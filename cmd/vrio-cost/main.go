@@ -1,0 +1,75 @@
+// Command vrio-cost is the §3 cost calculator: it prices Elvis and vRIO
+// racks and SSD consolidation plans from the embedded component data.
+//
+// Usage:
+//
+//	vrio-cost                          # Tables 1-2 and Figure 3
+//	vrio-cost -servers 6 -drives 4     # custom consolidation point
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vrio/internal/cost"
+)
+
+func main() {
+	servers := flag.Int("servers", 0, "rack size (3 or 6) for a custom consolidation quote")
+	drives := flag.Int("drives", 0, "vRIO drive count for the custom quote")
+	big := flag.Bool("big-ssd", false, "use the 6.4TB drive instead of 3.2TB")
+	flag.Parse()
+
+	if *servers != 0 {
+		quote(*servers, *drives, *big)
+		return
+	}
+
+	fmt.Println("Per-server configurations (Table 1):")
+	for _, s := range []cost.Server{
+		cost.ElvisServer(), cost.VMHostServer(),
+		cost.LightIOHostServer(), cost.HeavyIOHostServer(),
+	} {
+		fmt.Printf("  %-13s %d CPUs  %3d GB  %3.0f Gbps  $%.0f\n",
+			s.Name, s.CPUs, s.MemoryGB(), s.GbpsTotal(), s.Price())
+	}
+	fmt.Println("\nRack comparisons (Table 2):")
+	for _, r := range []cost.RackSetup{cost.Rack3(), cost.Rack6()} {
+		fmt.Printf("  %-9s elvis $%.0f  vrio $%.0f  (%+.0f%%)\n",
+			r.Name, r.ElvisPrice, r.VRIOPrice, r.Diff()*100)
+	}
+	fmt.Println("\nSSD consolidation (Figure 3):")
+	for _, row := range cost.Figure3() {
+		fmt.Printf("  %-9s %-6s %-5s %5.1f%%  ($%.0f)\n",
+			row.Rack, row.Drive, row.Ratio, row.PriceRel*100, row.VRIOTotal)
+	}
+}
+
+func quote(servers, drives int, big bool) {
+	var rack cost.RackSetup
+	switch servers {
+	case 3:
+		rack = cost.Rack3()
+	case 6:
+		rack = cost.Rack6()
+	default:
+		fmt.Fprintln(os.Stderr, "only 3- and 6-server racks are modelled")
+		os.Exit(2)
+	}
+	price := cost.PriceSSD3T2
+	name := "3.2TB"
+	if big {
+		price = cost.PriceSSD6T4
+		name = "6.4TB"
+	}
+	if drives < 1 || drives > servers {
+		fmt.Fprintf(os.Stderr, "drives must be 1..%d\n", servers)
+		os.Exit(2)
+	}
+	ratio, elvisTotal, vrioTotal := cost.SSDConsolidation(rack, price, servers, drives)
+	fmt.Printf("%s, %s drives, consolidation %d=>%d:\n", rack.Name, name, servers, drives)
+	fmt.Printf("  elvis total: $%.0f\n", elvisTotal)
+	fmt.Printf("  vrio total:  $%.0f (%.1f%% of elvis => %.1f%% saved)\n",
+		vrioTotal, ratio*100, (1-ratio)*100)
+}

@@ -1,0 +1,48 @@
+// Command vrio-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vrio-experiments -list
+//	vrio-experiments -run fig7
+//	vrio-experiments -run all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vrio/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	run := flag.String("run", "all", "experiment id to run, or 'all', or a comma-separated list")
+	quick := flag.Bool("quick", false, "shorter runs (lower precision)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.IDs()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		r := experiments.Get(id)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
+			os.Exit(2)
+		}
+		fmt.Print(experiments.Format(r(*quick)))
+		fmt.Println()
+	}
+}

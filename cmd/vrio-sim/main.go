@@ -1,0 +1,101 @@
+// Command vrio-sim runs one simulated testbed from command-line knobs (and
+// optional JSON parameter overrides) and prints the measured results —
+// the free-form companion to the fixed experiments of vrio-experiments.
+//
+// Usage:
+//
+//	vrio-sim -model vrio -vms 4 -workload rr -measure 50ms
+//	vrio-sim -model elvis -vms 7 -workload stream
+//	vrio-sim -model vrio -vms 2 -workload filebench -params '{"RamdiskLatency": 90000}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"vrio"
+	"vrio/internal/core"
+)
+
+func main() {
+	model := flag.String("model", "vrio", "baseline | elvis | vrio | vrio-nopoll | optimum")
+	vms := flag.Int("vms", 1, "VMs per VMhost")
+	hosts := flag.Int("vmhosts", 1, "number of VMhosts")
+	sidecores := flag.Int("sidecores", 1, "sidecores (per host for elvis; at the IOhost for vrio)")
+	wl := flag.String("workload", "rr", "rr | stream | apache | memcached | filebench | webserver")
+	measure := flag.Duration("measure", 50*time.Millisecond, "measured simulated duration")
+	seed := flag.Uint64("seed", 1, "simulation seed (same seed => identical run)")
+	overrides := flag.String("params", "", "JSON object of parameter overrides (see internal/params)")
+	flag.Parse()
+
+	valid := map[string]vrio.Model{
+		"baseline": core.ModelBaseline, "elvis": core.ModelElvis,
+		"vrio": core.ModelVRIO, "vrio-nopoll": core.ModelVRIONoPoll,
+		"optimum": core.ModelOptimum,
+	}
+	m, ok := valid[*model]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	p := vrio.DefaultParams()
+	if *overrides != "" {
+		if err := p.UnmarshalOverrides([]byte(*overrides)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	needsBlock := *wl == "filebench" || *wl == "webserver"
+	tb := vrio.NewTestbed(vrio.Config{
+		Model: m, VMs: *vms, VMHosts: *hosts, Sidecores: *sidecores,
+		WithBlock: needsBlock, WithThreads: needsBlock,
+		Seed: *seed, Params: &p,
+	})
+
+	fmt.Printf("model=%s vms=%d vmhosts=%d sidecores=%d workload=%s measure=%v\n\n",
+		*model, *vms, *hosts, *sidecores, *wl, *measure)
+
+	switch *wl {
+	case "rr":
+		r := tb.RunNetperfRR(*measure)
+		fmt.Printf("transactions: %d\n", r.Ops)
+		fmt.Printf("mean latency: %.1f µs\n", r.MeanLatencyMicros)
+		fmt.Printf("p99 latency:  %.1f µs\n", r.P99Micros)
+	case "stream":
+		r := tb.RunNetperfStream(*measure)
+		fmt.Printf("chunks:      %d\n", r.Ops)
+		fmt.Printf("throughput:  %.2f Gbps\n", r.ThroughputGbps)
+	case "apache":
+		r := tb.RunMacro(vrio.Apache, *measure)
+		fmt.Printf("requests:    %d (%.0f req/s)\n", r.Ops, float64(r.Ops)/measure.Seconds())
+		fmt.Printf("mean latency %.1f µs\n", r.MeanLatencyMicros)
+	case "memcached":
+		r := tb.RunMacro(vrio.Memcached, *measure)
+		fmt.Printf("transactions: %d (%.0f tps)\n", r.Ops, float64(r.Ops)/measure.Seconds())
+		fmt.Printf("mean latency: %.1f µs\n", r.MeanLatencyMicros)
+	case "filebench":
+		r := tb.RunFilebench(2, 2, *measure)
+		fmt.Printf("block ops:    %d (%.0f ops/s)\n", r.Ops, r.OpsPerSec)
+		fmt.Printf("throughput:   %.0f Mbps\n", r.ThroughputMbps)
+		fmt.Printf("guest context switches: %d involuntary, %d voluntary\n",
+			r.InvoluntaryCS, r.VoluntaryCS)
+	case "webserver":
+		r := tb.RunWebserver(*measure)
+		fmt.Printf("files served: %d (%.0f files/s)\n", r.Ops, r.OpsPerSec)
+		fmt.Printf("throughput:   %.0f Mbps\n", r.ThroughputMbps)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	if busy, poll := tb.SidecoreUtilization(); len(busy) > 0 {
+		fmt.Println()
+		for i := range busy {
+			fmt.Printf("sidecore %d: %.0f%% busy, %.0f%% polling\n",
+				i, busy[i]*100, poll[i]*100)
+		}
+	}
+}

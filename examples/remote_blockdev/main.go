@@ -1,0 +1,98 @@
+// Remote block device (§5 "Making a Local Device Remote"): place each VM's
+// block device on the IOhost, interpose AES-256 encryption on it, and show
+// that (a) data at rest on the IOhost is ciphertext while the guest sees
+// plaintext, and (b) the Filebench ops/sec tradeoff against Elvis's local
+// device matches the paper's shape — including the counterintuitive win
+// under concurrency driven by involuntary context switches.
+//
+//	go run ./examples/remote_blockdev
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"vrio"
+	"vrio/internal/interpose"
+)
+
+func main() {
+	demoEncryptedAtRest()
+	demoFilebenchTradeoff()
+}
+
+// demoEncryptedAtRest runs a write+read through the full vRIO stack with an
+// AES-256 interposition chain at the I/O hypervisor.
+func demoEncryptedAtRest() {
+	fmt.Println("== interposed encryption on a remote block device ==")
+	key := []byte("0123456789abcdef0123456789abcdef")
+	tb := vrio.NewTestbed(vrio.Config{
+		Model: vrio.ModelVRIO, VMs: 1, WithBlock: true, Seed: 3,
+		Interpose: func(host, vm int) *interpose.Chain {
+			aes, err := interpose.NewAES(key, vrio.DefaultParams().AESPerByteCost)
+			if err != nil {
+				panic(err)
+			}
+			return interpose.NewChain(aes)
+		},
+	})
+	raw := tb.Raw()
+	g := raw.Guests[0]
+	plain := bytes.Repeat([]byte("secret doc "), 373)[:4096]
+
+	done := false
+	g.WriteBlock(128, plain, func(err error) {
+		if err != nil {
+			panic(err)
+		}
+		g.ReadBlock(128, 8, func(data []byte, err error) {
+			if err != nil {
+				panic(err)
+			}
+			atRest, _ := raw.BlockDevices[0].Store().Read(128, 8)
+			fmt.Printf("  guest read matches written plaintext: %v\n", bytes.Equal(data, plain))
+			fmt.Printf("  IOhost stores ciphertext at rest:     %v\n", !bytes.Equal(atRest, plain))
+			done = true
+		})
+	})
+	raw.Eng.RunUntil(100 * 1e6) // 100ms of simulated time
+	if !done {
+		panic("block round trip did not complete")
+	}
+	fmt.Println()
+}
+
+// demoFilebenchTradeoff reproduces the Figure 14 shape via the public API.
+func demoFilebenchTradeoff() {
+	fmt.Println("== Filebench on ramdisk: local (Elvis) vs remote (vRIO) ==")
+	const measure = 25 * time.Millisecond
+	mixes := []struct {
+		name             string
+		readers, writers int
+	}{
+		{"1 reader", 1, 0},
+		{"1 pair  ", 1, 1},
+		{"2 pairs ", 2, 2},
+	}
+	fmt.Printf("  %-9s  %12s  %12s  %22s\n", "mix", "elvis ops/s", "vrio ops/s", "elvis involuntary CS")
+	for _, mix := range mixes {
+		var ops [2]float64
+		var invol uint64
+		for i, model := range []vrio.Model{vrio.ModelElvis, vrio.ModelVRIO} {
+			tb := vrio.NewTestbed(vrio.Config{
+				Model: model, VMs: 1, WithBlock: true, WithThreads: true, Seed: 4,
+			})
+			res := tb.RunFilebench(mix.readers, mix.writers, measure)
+			ops[i] = res.OpsPerSec
+			if model == vrio.ModelElvis {
+				invol = res.InvoluntaryCS
+			}
+		}
+		fmt.Printf("  %-9s  %12.0f  %12.0f  %22d\n", mix.name, ops[0], ops[1], invol)
+	}
+	fmt.Println()
+	fmt.Println("Expected shape (paper Fig. 14): Elvis wins the single reader (the")
+	fmt.Println("remote hop costs latency); as concurrency grows, Elvis's low-latency")
+	fmt.Println("completions cause involuntary context switches and vRIO catches up.")
+}

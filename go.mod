@@ -1,0 +1,3 @@
+module vrio
+
+go 1.22

@@ -1,0 +1,242 @@
+package blockdev
+
+import (
+	"fmt"
+
+	"vrio/internal/sim"
+)
+
+// Op is a block request operation.
+type Op uint8
+
+// Operations.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpFlush
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is one block I/O request.
+type Request struct {
+	Op     Op
+	Sector uint64
+	// Data is the payload for writes.
+	Data []byte
+	// Sectors is the read length in sectors.
+	Sectors int
+}
+
+// Response is a completed request.
+type Response struct {
+	Err error
+	// Data holds read results.
+	Data []byte
+}
+
+// Backend is anything that serves block requests asynchronously: a local
+// Device, or a vRIO remote device behind the transport.
+type Backend interface {
+	Submit(req Request, done func(Response))
+}
+
+// Device serves requests from a Store after a per-request access latency,
+// with bounded internal parallelism (channels/banks). A ramdisk profile has
+// microsecond latency; an SSD profile tens of microseconds (§5 uses both).
+type Device struct {
+	eng     *sim.Engine
+	store   *Store
+	latency sim.Time
+	ways    int // parallel banks
+
+	busy    int
+	waiting []queued
+
+	// FailNext injects a failure into the next request (fault testing).
+	FailNext bool
+
+	// Served counts completed requests.
+	Served uint64
+}
+
+type queued struct {
+	req  Request
+	done func(Response)
+}
+
+// NewDevice builds a device over store. ways is the internal parallelism
+// (>=1); latency is per-request access time.
+func NewDevice(eng *sim.Engine, store *Store, latency sim.Time, ways int) *Device {
+	if ways < 1 {
+		panic("blockdev: device needs at least one way")
+	}
+	if latency < 0 {
+		panic("blockdev: negative latency")
+	}
+	return &Device{eng: eng, store: store, latency: latency, ways: ways}
+}
+
+// Store exposes the backing store (for test setup and verification).
+func (d *Device) Store() *Store { return d.store }
+
+// QueueLen reports requests waiting for a free bank.
+func (d *Device) QueueLen() int { return len(d.waiting) }
+
+// Submit implements Backend.
+func (d *Device) Submit(req Request, done func(Response)) {
+	if done == nil {
+		panic("blockdev: Submit requires a completion callback")
+	}
+	if d.busy >= d.ways {
+		d.waiting = append(d.waiting, queued{req, done})
+		return
+	}
+	d.start(req, done)
+}
+
+func (d *Device) start(req Request, done func(Response)) {
+	d.busy++
+	d.eng.After(d.latency, func() {
+		resp := d.execute(req)
+		d.busy--
+		d.Served++
+		if len(d.waiting) > 0 {
+			next := d.waiting[0]
+			d.waiting = d.waiting[1:]
+			d.start(next.req, next.done)
+		}
+		done(resp)
+	})
+}
+
+func (d *Device) execute(req Request) Response {
+	if d.FailNext {
+		d.FailNext = false
+		return Response{Err: ErrDeviceFailed}
+	}
+	switch req.Op {
+	case OpWrite:
+		return Response{Err: d.store.Write(req.Sector, req.Data)}
+	case OpRead:
+		data, err := d.store.Read(req.Sector, req.Sectors)
+		return Response{Err: err, Data: data}
+	case OpFlush:
+		return Response{} // the in-memory store is always durable
+	default:
+		return Response{Err: fmt.Errorf("%w: %d", ErrBadOp, req.Op)}
+	}
+}
+
+// Scheduler is the guest OS disk scheduler (§4.5): it reorders requests so
+// each sector range has at most one outstanding request, queueing
+// conflicting requests until the outstanding one completes. This is what
+// makes blind retransmission of block requests safe.
+type Scheduler struct {
+	backend    Backend
+	sectorSize int
+	// locked marks sectors with an outstanding request.
+	locked  map[uint64]bool
+	waiting []queued
+
+	// Deferred counts requests that had to wait for an overlapping range.
+	Deferred uint64
+}
+
+// NewScheduler wraps a backend. sectorSize must match the backing device's.
+func NewScheduler(backend Backend, sectorSize int) *Scheduler {
+	if sectorSize <= 0 {
+		panic("blockdev: scheduler needs a positive sector size")
+	}
+	return &Scheduler{backend: backend, sectorSize: sectorSize, locked: make(map[uint64]bool)}
+}
+
+func (s *Scheduler) span(req Request) (uint64, uint64) {
+	n := uint64(req.Sectors)
+	if req.Op == OpWrite {
+		n = uint64((len(req.Data) + s.sectorSize - 1) / s.sectorSize)
+	}
+	if req.Op == OpFlush || n == 0 {
+		return req.Sector, 1
+	}
+	return req.Sector, n
+}
+
+// conflict reports whether any sector of [sector, sector+n) is locked.
+func (s *Scheduler) conflict(sector, n uint64) bool {
+	for i := uint64(0); i < n; i++ {
+		if s.locked[sector+i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Submit dispatches or defers the request.
+func (s *Scheduler) Submit(req Request, done func(Response)) {
+	sector, n := s.span(req)
+	if s.conflict(sector, n) {
+		s.Deferred++
+		s.waiting = append(s.waiting, queued{req, done})
+		return
+	}
+	s.dispatch(req, done, sector, n)
+}
+
+func (s *Scheduler) dispatch(req Request, done func(Response), sector, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.locked[sector+i] = true
+	}
+	s.backend.Submit(req, func(resp Response) {
+		for i := uint64(0); i < n; i++ {
+			delete(s.locked, sector+i)
+		}
+		s.drain()
+		done(resp)
+	})
+}
+
+// drain re-attempts deferred requests in order, preserving per-range FIFO.
+func (s *Scheduler) drain() {
+	remaining := s.waiting[:0]
+	blockedRanges := make(map[uint64]bool)
+	for _, q := range s.waiting {
+		sector, n := s.span(q.req)
+		// Preserve ordering: if an earlier deferred request overlaps this
+		// range, this one must keep waiting even if the lock cleared.
+		blockedByEarlier := false
+		for i := uint64(0); i < n; i++ {
+			if blockedRanges[sector+i] {
+				blockedByEarlier = true
+				break
+			}
+		}
+		if !blockedByEarlier && !s.conflict(sector, n) {
+			s.dispatch(q.req, q.done, sector, n)
+			continue
+		}
+		for i := uint64(0); i < n; i++ {
+			blockedRanges[sector+i] = true
+		}
+		remaining = append(remaining, q)
+	}
+	s.waiting = remaining
+}
+
+// Outstanding reports requests currently locked at the backend.
+func (s *Scheduler) Outstanding() int { return len(s.locked) }
+
+// Waiting reports deferred requests.
+func (s *Scheduler) Waiting() int { return len(s.waiting) }

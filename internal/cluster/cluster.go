@@ -1,0 +1,519 @@
+// Package cluster assembles the §5 testbeds: VMhosts, load generators, the
+// rack switch, and — for vRIO — the IOhost with its directly cabled channel
+// NICs. One Build call produces a ready testbed for any of the five
+// evaluated configurations.
+package cluster
+
+import (
+	"fmt"
+
+	"vrio/internal/blockdev"
+	"vrio/internal/core"
+	"vrio/internal/cpu"
+	"vrio/internal/ethernet"
+	"vrio/internal/guestos"
+	"vrio/internal/interpose"
+	"vrio/internal/iohyp"
+	"vrio/internal/link"
+	"vrio/internal/nic"
+	"vrio/internal/params"
+	"vrio/internal/sim"
+	"vrio/internal/workload"
+)
+
+// MAC numbering plan.
+const (
+	macGuestBase     = 1000 // F addresses, by global VM index
+	macTransportBase = 2000 // vRIO T addresses, by global VM index
+	macStationBase   = 3000 // load generators
+	macHostBase      = 4000 // host NICs (baseline/elvis/optimum uplinks)
+	macIOHostBase    = 5000 // IOhost channel + uplink ports
+)
+
+// Spec describes a testbed.
+type Spec struct {
+	Model core.ModelName
+	// VMHosts and VMsPerHost shape the rack; most microbenchmarks use one
+	// VMhost (Figure 6), the scalability experiment four (§5).
+	VMHosts    int
+	VMsPerHost int
+	// SidecoresPerHost applies to Elvis; IOhostSidecores to vRIO.
+	SidecoresPerHost int
+	IOhostSidecores  int
+	// WithBlock attaches a per-VM 1 GB block device (local for
+	// baseline/elvis, remote on the IOhost for vRIO).
+	WithBlock bool
+	// BlockLatency overrides the ramdisk latency (0 = params default).
+	BlockLatency sim.Time
+	// NetChain, if set, builds the interposition chain for VM (host, vm).
+	NetChain func(host, vm int) *interpose.Chain
+	// BlkChain likewise for block devices.
+	BlkChain func(host, vm int) *interpose.Chain
+	// WithThreads attaches a guest thread scheduler (needed by Filebench).
+	WithThreads bool
+	// BareClients marks vRIO IOclients as bare-metal OSes (§4.6): same
+	// datapath, plain host interrupts instead of ELI.
+	BareClients bool
+	// StationPerVM gives every VM its own load generator (the macro
+	// benchmarks need enough generator capacity not to be the bottleneck;
+	// the paper used four generator machines).
+	StationPerVM bool
+	// NoJitter disables the per-core OS-interference process (used by
+	// tests that assert exact deterministic timings).
+	NoJitter bool
+	// SecondaryIOhost cables every VMhost to a fallback IOhost as well
+	// (§4.6 "Fault Tolerance": "connecting VMhosts to a secondary fallback
+	// IOhost ... requires additional cables and matching ports"). The
+	// fallback mirrors all device registrations and shares the block
+	// backends (distributed-storage assumption); FailOverIOhost switches
+	// the clients onto it.
+	SecondaryIOhost bool
+	// Params: nil means params.Default().
+	Params *params.P
+	Seed   uint64
+}
+
+// Testbed is an assembled rack.
+type Testbed struct {
+	Eng    *sim.Engine
+	P      *params.P
+	Spec   Spec
+	Switch *link.Switch
+
+	// Guests in global order (host-major); GuestHost[i] is its host index.
+	Guests    []*core.Guest
+	GuestHost []int
+	// Stations: one load generator per VMhost.
+	Stations []*workload.Station
+	// VMCores[i] is guest i's core; Sidecores are the polling cores
+	// (per-host for Elvis, IOhost-resident for vRIO), IOCores the
+	// baseline's shared vhost cores (one per host).
+	VMCores   []*cpu.Core
+	Sidecores []*cpu.Core
+	IOCores   []*cpu.Core
+	GenCores  []*cpu.Core
+
+	// IOHyp is non-nil for the vRIO models.
+	IOHyp *iohyp.IOHypervisor
+	// VRIOClients by global VM index (vRIO models only).
+	VRIOClients []*core.VRIOClient
+	// BlockDevices by global VM index (when WithBlock).
+	BlockDevices []*blockdev.Device
+	// Threads by global VM index (when WithThreads).
+	Threads []*guestos.VCPU
+
+	// SecondaryIOHyp is the fallback I/O hypervisor (when configured).
+	SecondaryIOHyp *iohyp.IOHypervisor
+
+	// vRIO channel plumbing per VMhost, for live migration.
+	vrioChannels []vrioChannel
+	// secondaryChannels mirrors vrioChannels toward the fallback IOhost.
+	secondaryChannels []vrioChannel
+	nextTMAC          uint32
+}
+
+// vrioChannel is one VMhost's cable into the IOhost.
+type vrioChannel struct {
+	vmhostNIC *nic.NIC
+	iohostMAC ethernet.MAC
+	port      *nic.MessagePort
+}
+
+func (s *Spec) defaults() {
+	if s.VMHosts == 0 {
+		s.VMHosts = 1
+	}
+	if s.VMsPerHost == 0 {
+		s.VMsPerHost = 1
+	}
+	if s.SidecoresPerHost == 0 {
+		s.SidecoresPerHost = 1
+	}
+	if s.IOhostSidecores == 0 {
+		s.IOhostSidecores = 1
+	}
+}
+
+// Build assembles the testbed.
+func Build(spec Spec) *Testbed {
+	spec.defaults()
+	p := spec.Params
+	if p == nil {
+		def := params.Default()
+		p = &def
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if spec.BlockLatency == 0 {
+		spec.BlockLatency = p.RamdiskLatency
+	}
+
+	tb := &Testbed{
+		Eng:  sim.NewEngine(),
+		P:    p,
+		Spec: spec,
+	}
+	tb.Switch = link.NewSwitch(tb.Eng, p.SwitchLatency)
+	nicCfg := nic.Config{
+		ProcessCost:   p.NICProcessCost,
+		CoalesceDelay: p.IRQCoalesceDelay,
+		RxRingSize:    p.RxRingSize,
+	}
+
+	// Load generators: one station per VMhost (or per VM), each on its own
+	// switch port.
+	stations := spec.VMHosts
+	if spec.StationPerVM {
+		stations = spec.VMHosts * spec.VMsPerHost
+	}
+	for i := 0; i < stations; i++ {
+		cable := link.NewDuplex(tb.Eng, p.LinkBandwidth10G, p.WireLatency)
+		tb.Switch.AttachPort(cable)
+		genNIC := nic.New(tb.Eng, fmt.Sprintf("gen%d", i), nicCfg, cable.AtoB)
+		cable.BtoA.SetReceiver(genNIC)
+		genCore := cpu.New(tb.Eng, fmt.Sprintf("gen%d-core", i), p.ContextSwitchCost)
+		vf := genNIC.AddVF(ethernet.NewMAC(macStationBase+uint32(i)), nic.ModeInterrupt)
+		tb.GenCores = append(tb.GenCores, genCore)
+		tb.Stations = append(tb.Stations, workload.NewStation(tb.Eng, p, genCore, vf))
+	}
+
+	defer tb.attachJitter()
+
+	switch spec.Model {
+	case core.ModelOptimum:
+		tb.buildLocal(nicCfg, func(hostIdx int, hostNIC *nic.NIC) localHost {
+			h := core.NewOptimumHost(tb.Eng, p, fmt.Sprintf("vmhost%d", hostIdx), hostNIC)
+			return localHost{addVM: func(id int, c *cpu.Core, mac ethernet.MAC, _ blockdev.Backend, _ *interpose.Chain) *core.Guest {
+				return h.AddVM(id, c, mac)
+			}}
+		})
+	case core.ModelBaseline:
+		tb.buildLocal(nicCfg, func(hostIdx int, hostNIC *nic.NIC) localHost {
+			ioCore := cpu.New(tb.Eng, fmt.Sprintf("vmhost%d-io", hostIdx), p.ContextSwitchCost)
+			tb.IOCores = append(tb.IOCores, ioCore)
+			h := core.NewBaselineHost(tb.Eng, p, fmt.Sprintf("vmhost%d", hostIdx), ioCore, hostNIC)
+			return localHost{addVM: h.AddVM}
+		})
+	case core.ModelElvis:
+		tb.buildLocal(nicCfg, func(hostIdx int, hostNIC *nic.NIC) localHost {
+			var sides []*cpu.Core
+			for s := 0; s < spec.SidecoresPerHost; s++ {
+				sc := cpu.New(tb.Eng, fmt.Sprintf("vmhost%d-side%d", hostIdx, s), p.ContextSwitchCost)
+				sides = append(sides, sc)
+				tb.Sidecores = append(tb.Sidecores, sc)
+			}
+			h := core.NewElvisHost(tb.Eng, p, fmt.Sprintf("vmhost%d", hostIdx), sides, hostNIC, spec.Seed+uint64(hostIdx))
+			return localHost{addVM: h.AddVM}
+		})
+	case core.ModelVRIO, core.ModelVRIONoPoll:
+		tb.buildVRIO(nicCfg)
+	default:
+		panic(fmt.Sprintf("cluster: unknown model %q", spec.Model))
+	}
+	return tb
+}
+
+// localHost abstracts the three local models' AddVM signatures.
+type localHost struct {
+	addVM func(id int, c *cpu.Core, mac ethernet.MAC, blk blockdev.Backend, chain *interpose.Chain) *core.Guest
+}
+
+// buildLocal assembles optimum/baseline/elvis VMhosts on the switch.
+func (tb *Testbed) buildLocal(nicCfg nic.Config, mkHost func(hostIdx int, hostNIC *nic.NIC) localHost) {
+	spec := tb.Spec
+	p := tb.P
+	vmID := 0
+	for hostIdx := 0; hostIdx < spec.VMHosts; hostIdx++ {
+		cable := link.NewDuplex(tb.Eng, p.LinkBandwidth10G, p.WireLatency)
+		tb.Switch.AttachPort(cable)
+		hostNIC := nic.New(tb.Eng, fmt.Sprintf("vmhost%d-nic", hostIdx), nicCfg, cable.AtoB)
+		cable.BtoA.SetReceiver(hostNIC)
+		h := mkHost(hostIdx, hostNIC)
+
+		for v := 0; v < spec.VMsPerHost; v++ {
+			vmCore := cpu.New(tb.Eng, fmt.Sprintf("vm%d-core", vmID), p.ContextSwitchCost)
+			tb.VMCores = append(tb.VMCores, vmCore)
+			var backend blockdev.Backend
+			if spec.WithBlock {
+				backend = tb.newBlockDevice()
+			}
+			var chain *interpose.Chain
+			if spec.NetChain != nil {
+				chain = spec.NetChain(hostIdx, v)
+			}
+			if spec.BlkChain != nil && chain == nil {
+				chain = spec.BlkChain(hostIdx, v)
+			}
+			g := h.addVM(vmID, vmCore, ethernet.NewMAC(macGuestBase+uint32(vmID)), backend, chain)
+			tb.attachThreads(g)
+			tb.Guests = append(tb.Guests, g)
+			tb.GuestHost = append(tb.GuestHost, hostIdx)
+			vmID++
+		}
+	}
+}
+
+// buildVRIO assembles VMhosts direct-cabled to one IOhost, plus the
+// IOhost's uplink to the switch (Figure 2b's wiring).
+func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
+	spec := tb.Spec
+	p := tb.P
+
+	// IOhost sidecores and hypervisor.
+	mode := iohyp.ModePolling
+	if spec.Model == core.ModelVRIONoPoll {
+		mode = iohyp.ModeInterrupt
+	}
+	var sides []*cpu.Core
+	for s := 0; s < spec.IOhostSidecores; s++ {
+		sc := cpu.New(tb.Eng, fmt.Sprintf("iohost-side%d", s), p.ContextSwitchCost)
+		sides = append(sides, sc)
+		tb.Sidecores = append(tb.Sidecores, sc)
+	}
+	tb.IOHyp = iohyp.New(tb.Eng, iohyp.Config{
+		Params: p, Mode: mode, Sidecores: sides, Seed: spec.Seed,
+	})
+	if spec.SecondaryIOhost {
+		var sides2 []*cpu.Core
+		for s := 0; s < spec.IOhostSidecores; s++ {
+			sc := cpu.New(tb.Eng, fmt.Sprintf("iohost2-side%d", s), p.ContextSwitchCost)
+			sides2 = append(sides2, sc)
+		}
+		tb.SecondaryIOHyp = iohyp.New(tb.Eng, iohyp.Config{
+			Params: p, Mode: mode, Sidecores: sides2, Seed: spec.Seed ^ 0xfa11,
+		})
+		up2 := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
+		tb.Switch.AttachPort(up2)
+		up2NIC := nic.New(tb.Eng, "iohost2-uplink", nicCfg, up2.AtoB)
+		up2.BtoA.SetReceiver(up2NIC)
+		up2VF := up2NIC.AddVF(ethernet.NewMAC(macIOHostBase+100), nic.ModePoll)
+		up2NIC.Promiscuous = up2VF
+		tb.SecondaryIOHyp.AttachUplink(up2VF)
+	}
+
+	// IOhost uplink to the switch (40G, promiscuous for all F MACs).
+	upCable := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
+	tb.Switch.AttachPort(upCable)
+	upNIC := nic.New(tb.Eng, "iohost-uplink", nicCfg, upCable.AtoB)
+	upCable.BtoA.SetReceiver(upNIC)
+	uplinkVF := upNIC.AddVF(ethernet.NewMAC(macIOHostBase), nic.ModePoll)
+	upNIC.Promiscuous = uplinkVF
+	tb.IOHyp.AttachUplink(uplinkVF)
+
+	vmID := 0
+	for hostIdx := 0; hostIdx < spec.VMHosts; hostIdx++ {
+		// Dedicated channel: VMhost <-> IOhost, 40G direct cable.
+		ch := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
+		vmhostNIC := nic.New(tb.Eng, fmt.Sprintf("vmhost%d-ch", hostIdx), nicCfg, ch.AtoB)
+		iohostNIC := nic.New(tb.Eng, fmt.Sprintf("iohost-ch%d", hostIdx), nicCfg, ch.BtoA)
+		ch.AtoB.SetReceiver(iohostNIC)
+		ch.BtoA.SetReceiver(vmhostNIC)
+		iohostVF := iohostNIC.AddVF(ethernet.NewMAC(macIOHostBase+1+uint32(hostIdx)), nic.ModePoll)
+		port := tb.IOHyp.AttachChannelNIC(iohostVF)
+		tb.vrioChannels = append(tb.vrioChannels, vrioChannel{
+			vmhostNIC: vmhostNIC, iohostMAC: iohostVF.MAC(), port: port,
+		})
+		if spec.SecondaryIOhost {
+			// A second cable from this VMhost to the fallback IOhost.
+			ch2 := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
+			vmhost2NIC := nic.New(tb.Eng, fmt.Sprintf("vmhost%d-ch2", hostIdx), nicCfg, ch2.AtoB)
+			iohost2NIC := nic.New(tb.Eng, fmt.Sprintf("iohost2-ch%d", hostIdx), nicCfg, ch2.BtoA)
+			ch2.AtoB.SetReceiver(iohost2NIC)
+			ch2.BtoA.SetReceiver(vmhost2NIC)
+			io2VF := iohost2NIC.AddVF(ethernet.NewMAC(macIOHostBase+101+uint32(hostIdx)), nic.ModePoll)
+			port2 := tb.SecondaryIOHyp.AttachChannelNIC(io2VF)
+			tb.secondaryChannels = append(tb.secondaryChannels, vrioChannel{
+				vmhostNIC: vmhost2NIC, iohostMAC: io2VF.MAC(), port: port2,
+			})
+		}
+
+		host := core.NewVRIOHost(tb.Eng, p, fmt.Sprintf("vmhost%d", hostIdx), vmhostNIC, iohostVF.MAC())
+		for v := 0; v < spec.VMsPerHost; v++ {
+			vmCore := cpu.New(tb.Eng, fmt.Sprintf("vm%d-core", vmID), p.ContextSwitchCost)
+			tb.VMCores = append(tb.VMCores, vmCore)
+			fMAC := ethernet.NewMAC(macGuestBase + uint32(vmID))
+			tMAC := ethernet.NewMAC(macTransportBase + uint32(vmID))
+			client := host.AddClient(core.VMConfig{
+				ID:           vmID,
+				Core:         vmCore,
+				NetMAC:       fMAC,
+				TransportMAC: tMAC,
+				WithBlock:    spec.WithBlock,
+				Bare:         spec.BareClients,
+			})
+			tb.IOHyp.BindClient(tMAC, port)
+			var netChain, blkChain *interpose.Chain
+			if spec.NetChain != nil {
+				netChain = spec.NetChain(hostIdx, v)
+			}
+			if spec.BlkChain != nil {
+				blkChain = spec.BlkChain(hostIdx, v)
+			}
+			tb.IOHyp.RegisterNetDevice(tMAC, client.NetDeviceID(), fMAC, netChain)
+			var dev *blockdev.Device
+			if spec.WithBlock {
+				dev = tb.newBlockDevice()
+				tb.IOHyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), dev, blkChain)
+			}
+			if spec.SecondaryIOhost {
+				// Mirror the registrations on the fallback: the F address
+				// and the (shared, distributed-storage) block backend.
+				tb.SecondaryIOHyp.BindClient(tMAC, tb.secondaryChannels[hostIdx].port)
+				tb.SecondaryIOHyp.RegisterNetDevice(tMAC, client.NetDeviceID(), fMAC, netChain)
+				if dev != nil {
+					tb.SecondaryIOHyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), dev, blkChain)
+				}
+			}
+			tb.attachThreads(client.Guest)
+			tb.VRIOClients = append(tb.VRIOClients, client)
+			tb.Guests = append(tb.Guests, client.Guest)
+			tb.GuestHost = append(tb.GuestHost, hostIdx)
+			vmID++
+		}
+	}
+}
+
+// newBlockDevice builds one guest's 1 GB backing device.
+func (tb *Testbed) newBlockDevice() *blockdev.Device {
+	const gig = 1 << 30
+	store := blockdev.NewStore(tb.P.SectorSize, gig/uint64(tb.P.SectorSize))
+	dev := blockdev.NewDevice(tb.Eng, store, tb.Spec.BlockLatency, 4)
+	tb.BlockDevices = append(tb.BlockDevices, dev)
+	return dev
+}
+
+func (tb *Testbed) attachThreads(g *core.Guest) {
+	if !tb.Spec.WithThreads {
+		tb.Threads = append(tb.Threads, nil)
+		return
+	}
+	// Guest-level switches cost more than bare context switches: the
+	// paper attributes Elvis's Figure 14 collapse to involuntary context
+	// switches, whose real cost includes cache/TLB refill.
+	v := guestos.NewVCPU(tb.Eng, 3*tb.P.ContextSwitchCost, tb.P.TimesliceMin)
+	g.Threads = v
+	tb.Threads = append(tb.Threads, v)
+}
+
+// attachJitter starts a background OS-interference process on every core:
+// timer ticks and kernel housekeeping with rare long spikes. This is what
+// gives the Table 4 tail-latency distributions their tails.
+func (tb *Testbed) attachJitter() {
+	if tb.Spec.NoJitter {
+		return
+	}
+	rng := sim.NewRNG(tb.Spec.Seed ^ 0x71773)
+	cores := append([]*cpu.Core{}, tb.VMCores...)
+	cores = append(cores, tb.Sidecores...)
+	cores = append(cores, tb.IOCores...)
+	cores = append(cores, tb.GenCores...)
+	for _, c := range cores {
+		c := c
+		r := rng.Fork()
+		var loop func()
+		loop = func() {
+			tb.Eng.After(r.Exp(tb.P.JitterInterval), func() {
+				d := r.Exp(tb.P.JitterMean)
+				if r.Bool(tb.P.JitterSpikeProb) {
+					d += tb.P.JitterSpike
+				}
+				c.Exec(cpu.NoOwner, cpu.KindIRQ, d, nil)
+				loop()
+			})
+		}
+		loop()
+	}
+}
+
+// MigrateVM live-migrates vRIO guest vm to dstHost (§4.6): the client is
+// paused for the stop-and-copy blackout, its transport re-attached to an
+// SRIOV VF on the destination VMhost's channel, and the I/O hypervisor
+// rebinds its devices — the F address and the remote block device never
+// move, so peers and storage are undisturbed. done (optional) runs when
+// the VM resumes on the destination.
+func (tb *Testbed) MigrateVM(vm, dstHost int, done func()) {
+	if tb.IOHyp == nil {
+		panic("cluster: MigrateVM requires a vRIO testbed")
+	}
+	if dstHost < 0 || dstHost >= len(tb.vrioChannels) {
+		panic(fmt.Sprintf("cluster: no VMhost %d", dstHost))
+	}
+	client := tb.VRIOClients[vm]
+	oldMAC := client.TransportMAC()
+	client.Pause()
+	tb.Eng.After(tb.P.MigrationDowntime, func() {
+		// A fresh SRIOV instance on the destination's channel NIC.
+		tb.nextTMAC++
+		newMAC := ethernet.NewMAC(macTransportBase + 500 + tb.nextTMAC)
+		ch := tb.vrioChannels[dstHost]
+		vf := ch.vmhostNIC.AddVF(newMAC, nic.ModeInterrupt)
+		client.AttachChannel(vf, ch.iohostMAC)
+		tb.IOHyp.RebindClient(oldMAC, newMAC, ch.port)
+		tb.GuestHost[vm] = dstHost
+		client.Resume()
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// FailOverIOhost crashes the primary IOhost and re-attaches every IOclient
+// to the secondary fallback (§4.6 "Fault Tolerance"). Net traffic recovers
+// once the switch re-learns the F addresses from the fallback's uplink;
+// in-flight block requests ride across on §4.5 retransmission, since the
+// fallback shares the (distributed) block backends.
+func (tb *Testbed) FailOverIOhost() {
+	if tb.SecondaryIOHyp == nil {
+		panic("cluster: no secondary IOhost configured")
+	}
+	tb.IOHyp.Fail()
+	for i, client := range tb.VRIOClients {
+		host := tb.GuestHost[i]
+		ch := tb.secondaryChannels[host]
+		tb.nextTMAC++
+		// The client keeps its transport MAC: the fallback already has its
+		// registrations under that address; only the VF and cable change.
+		vf := ch.vmhostNIC.AddVF(client.TransportMAC(), nic.ModeInterrupt)
+		client.AttachChannel(vf, ch.iohostMAC)
+	}
+	// Gratuitous announcements: the switch must re-learn every F address
+	// on the fallback's uplink port, or traffic keeps flowing to the dead
+	// primary.
+	tb.SecondaryIOHyp.AnnounceAddresses()
+}
+
+// StationFor returns the load generator driving guest i: its own station
+// under StationPerVM, otherwise its VMhost's.
+func (tb *Testbed) StationFor(guest int) *workload.Station {
+	if tb.Spec.StationPerVM {
+		return tb.Stations[guest]
+	}
+	return tb.Stations[tb.GuestHost[guest]]
+}
+
+// Run advances the simulation: warmup, then a measured window during which
+// the provided Results collectors record. It returns the measured duration.
+type Measurable interface {
+	StartMeasuring()
+	StopMeasuring()
+}
+
+// RunMeasured runs warmup + duration, toggling the collectors around the
+// measurement window.
+func (tb *Testbed) RunMeasured(warmup, duration sim.Time, collectors ...Measurable) sim.Time {
+	tb.Eng.At(tb.Eng.Now()+warmup, func() {
+		for _, c := range collectors {
+			c.StartMeasuring()
+		}
+	})
+	end := tb.Eng.Now() + warmup + duration
+	tb.Eng.At(end, func() {
+		for _, c := range collectors {
+			c.StopMeasuring()
+		}
+		tb.Eng.Stop()
+	})
+	tb.Eng.RunUntil(end)
+	return duration
+}

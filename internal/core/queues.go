@@ -1,0 +1,165 @@
+package core
+
+import (
+	"vrio/internal/virtio"
+)
+
+// Queue geometry for the paravirtual devices. 256 descriptors of 2 KiB
+// cover plain Ethernet frames in one segment and 4 KiB block payloads in a
+// short chain.
+const (
+	queueSize   = 256
+	segmentSize = 2048
+	rxBuffers   = 128
+	rxBufferLen = 2048
+)
+
+// netQueues is the guest/host shared-memory state of one paravirtual net
+// device: a TX virtqueue carrying guest frames out, and an RX virtqueue the
+// guest stocks with empty buffers for the host to fill — both real
+// byte-level rings (package virtio), exactly the structures Elvis polls and
+// the baseline kicks.
+type netQueues struct {
+	tx *virtio.Ring
+	rx *virtio.Ring
+	// rxFree are host-side pre-popped guest buffers awaiting frames.
+	rxFree []virtio.Chain
+	// RxDrops counts frames dropped for want of guest rx buffers.
+	RxDrops uint64
+}
+
+func newNetQueues() *netQueues {
+	tx, err := virtio.NewRing(queueSize, segmentSize)
+	if err != nil {
+		panic(err)
+	}
+	rx, err := virtio.NewRing(queueSize, segmentSize)
+	if err != nil {
+		panic(err)
+	}
+	q := &netQueues{tx: tx, rx: rx}
+	q.stockRx(rxBuffers)
+	return q
+}
+
+// stockRx posts n empty receive buffers (guest side) and pre-pops them
+// (host side) so the host can fill them on frame arrival.
+func (q *netQueues) stockRx(n int) {
+	for i := 0; i < n; i++ {
+		if _, err := q.rx.Add(nil, rxBufferLen); err != nil {
+			break // ring full: stop stocking
+		}
+	}
+	for {
+		c, ok, err := q.rx.Pop()
+		if err != nil || !ok {
+			break
+		}
+		q.rxFree = append(q.rxFree, c)
+	}
+}
+
+// guestSend places an encoded frame on the TX ring. It reports whether the
+// ring had room (a full ring drops, as a real overloaded virtio device
+// does).
+func (q *netQueues) guestSend(frame []byte) bool {
+	_, err := q.tx.Add(frame, 0)
+	return err == nil
+}
+
+// hostPopTx drains up to max pending TX frames (host side).
+func (q *netQueues) hostPopTx(max int) [][]byte {
+	var out [][]byte
+	for max <= 0 || len(out) < max {
+		c, ok, err := q.tx.Pop()
+		if err != nil || !ok {
+			break
+		}
+		frame := append([]byte{}, c.Out...)
+		q.tx.Push(c, nil)
+		out = append(out, frame)
+	}
+	return out
+}
+
+// guestReapTx frees completed TX descriptors (guest side).
+func (q *netQueues) guestReapTx() int {
+	return len(q.tx.Reap(0))
+}
+
+// hostDeliver fills one guest rx buffer with the frame (host side). False
+// means no buffer was available and the frame is dropped.
+func (q *netQueues) hostDeliver(frame []byte) bool {
+	if len(q.rxFree) == 0 {
+		q.RxDrops++
+		return false
+	}
+	c := q.rxFree[0]
+	q.rxFree = q.rxFree[1:]
+	q.rx.Push(c, frame)
+	return true
+}
+
+// guestReapRx collects received frames and restocks the buffers.
+func (q *netQueues) guestReapRx() [][]byte {
+	comps := q.rx.Reap(0)
+	if len(comps) == 0 {
+		return nil
+	}
+	frames := make([][]byte, 0, len(comps))
+	for _, c := range comps {
+		frames = append(frames, append([]byte{}, c.In...))
+	}
+	q.stockRx(len(comps))
+	return frames
+}
+
+// txPending reports whether the TX ring has unpopped requests (the Elvis
+// sidecore's poll predicate).
+func (q *netQueues) txPending() bool { return q.tx.HasAvail() }
+
+// blkQueue is the shared-memory state of one paravirtual block device: a
+// single virtqueue whose chains carry a virtio-blk header plus data out,
+// and reserve in-space for status (+ read data).
+type blkQueue struct {
+	ring *virtio.Ring
+}
+
+func newBlkQueue() *blkQueue {
+	// Block chains move 4 KiB payloads: 2 KiB segments chain fine, but a
+	// larger ring keeps many requests in flight.
+	ring, err := virtio.NewRing(queueSize, segmentSize)
+	if err != nil {
+		panic(err)
+	}
+	return &blkQueue{ring: ring}
+}
+
+// guestSubmit posts one block request; respCap reserves room for the
+// response (1 status byte, plus data for reads). It reports ring-full.
+func (q *blkQueue) guestSubmit(req []byte, respCap int) (uint16, bool) {
+	head, err := q.ring.Add(req, respCap)
+	return head, err == nil
+}
+
+// hostPop takes the next request (host side).
+func (q *blkQueue) hostPop() (virtio.Chain, bool) {
+	c, ok, err := q.ring.Pop()
+	if err != nil {
+		return virtio.Chain{}, false
+	}
+	return c, ok
+}
+
+// hostComplete pushes the response for a chain.
+func (q *blkQueue) hostComplete(c virtio.Chain, resp []byte) {
+	q.ring.Push(c, resp)
+}
+
+// guestReap collects completed requests.
+func (q *blkQueue) guestReap() []virtio.Completion {
+	return q.ring.Reap(0)
+}
+
+// pending reports whether requests await the host (poll predicate).
+func (q *blkQueue) pending() bool { return q.ring.HasAvail() }

@@ -1,0 +1,100 @@
+// Package ethernet implements the wire format of vRIO's dedicated
+// communication channel: Ethernet framing, the STT-style fake-TCP/IP
+// encapsulation that lets vRIO exploit NIC TSO while working at raw Ethernet
+// level (§4.3), and the zero-copy reassembler with the paper's 17-fragment
+// page-budget rule (§4.4).
+package ethernet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String renders the usual colon-hex form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Broadcast is the all-ones broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// NewMAC derives a locally administered unicast MAC from a 32-bit node id.
+func NewMAC(node uint32) MAC {
+	var m MAC
+	m[0] = 0x02 // locally administered, unicast
+	m[1] = 0x10
+	binary.BigEndian.PutUint32(m[2:], node)
+	return m
+}
+
+// EtherType values used by the reproduction.
+const (
+	// EtherTypeVRIO marks vRIO-encapsulated traffic (an experimental-range
+	// EtherType, as a real deployment would use).
+	EtherTypeVRIO = 0x88B5
+	// EtherTypePlain marks ordinary tenant traffic (e.g. generator <->
+	// webserver payloads, which vRIO forwards without decapsulation).
+	EtherTypePlain = 0x0800
+)
+
+// HeaderSize is the Ethernet header length (no VLAN tag).
+const HeaderSize = 14
+
+// MinMTU and MaxMTU bound the payload per frame. 9000 is the maximal jumbo
+// frame; the paper deliberately uses 8100 (see package tso).
+const (
+	MinMTU = 64
+	MaxMTU = 9000
+)
+
+// Frame is one Ethernet frame.
+type Frame struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrShortFrame = errors.New("ethernet: frame shorter than header")
+	ErrOversize   = errors.New("ethernet: payload exceeds MTU")
+)
+
+// Encode serializes the frame. If mtu > 0 the payload length is validated
+// against it.
+func (f *Frame) Encode(mtu int) ([]byte, error) {
+	if mtu > 0 && len(f.Payload) > mtu {
+		return nil, fmt.Errorf("%w: %d > %d", ErrOversize, len(f.Payload), mtu)
+	}
+	b := make([]byte, HeaderSize+len(f.Payload))
+	copy(b[0:6], f.Dst[:])
+	copy(b[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], f.EtherType)
+	copy(b[HeaderSize:], f.Payload)
+	return b, nil
+}
+
+// Decode parses a serialized frame. The returned payload aliases b.
+func Decode(b []byte) (Frame, error) {
+	if len(b) < HeaderSize {
+		return Frame{}, ErrShortFrame
+	}
+	var f Frame
+	copy(f.Dst[:], b[0:6])
+	copy(f.Src[:], b[6:12])
+	f.EtherType = binary.BigEndian.Uint16(b[12:14])
+	f.Payload = b[HeaderSize:]
+	return f, nil
+}
+
+// WireSize reports the on-the-wire size of the frame including header and a
+// fixed 24 bytes of preamble/FCS/inter-frame gap, used for serialization
+// delay on links.
+func (f *Frame) WireSize() int {
+	return HeaderSize + len(f.Payload) + 24
+}

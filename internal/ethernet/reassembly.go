@@ -1,0 +1,145 @@
+package ethernet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Reassembler rebuilds messages from encapsulated fragments at the IOhost
+// (or at the IOclient for responses). It mirrors §4.4's zero-copy SKB
+// construction: fragments are collected per (source MAC, message id) and the
+// message completes when the byte range [0, total) is fully covered.
+type Reassembler struct {
+	partial map[reassemblyKey]*partialMsg
+	// MaxPartial bounds concurrently reassembling messages; beyond it the
+	// oldest partial is evicted (defensive against leaking state when
+	// fragments are lost and the message is never completed).
+	maxPartial int
+	evictions  uint64
+	seq        uint64
+}
+
+type reassemblyKey struct {
+	src   MAC
+	msgID uint32
+}
+
+type partialMsg struct {
+	buf      []byte
+	have     []bool // per-fragment-chunk coverage bitmap, indexed by offset/chunk
+	covered  uint32
+	total    uint32
+	deviceID uint16
+	pages    int
+	frags    int
+	seq      uint64 // insertion order for eviction
+}
+
+// NewReassembler returns a reassembler that tracks at most maxPartial
+// in-progress messages (default 1024 if maxPartial <= 0).
+func NewReassembler(maxPartial int) *Reassembler {
+	if maxPartial <= 0 {
+		maxPartial = 1024
+	}
+	return &Reassembler{
+		partial:    make(map[reassemblyKey]*partialMsg),
+		maxPartial: maxPartial,
+	}
+}
+
+// Message is one fully reassembled message.
+type Message struct {
+	Src      MAC
+	MsgID    uint32
+	DeviceID uint16
+	Data     []byte
+	// ZeroCopy reports whether the reassembly stayed within the 17-page SKB
+	// budget; when false the datapath must charge a copy (§4.4).
+	ZeroCopy bool
+	// Fragments is how many fragments composed the message.
+	Fragments int
+}
+
+// ErrDeviceMismatch reports fragments of one message disagreeing on the
+// front-end device id.
+var ErrDeviceMismatch = errors.New("ethernet: fragments disagree on device id")
+
+// Pending reports the number of partially reassembled messages.
+func (r *Reassembler) Pending() int { return len(r.partial) }
+
+// Evictions reports how many partial messages were dropped to respect the
+// partial-message bound.
+func (r *Reassembler) Evictions() uint64 { return r.evictions }
+
+// Add ingests one fragment (frame payload bytes). It returns a completed
+// message when this fragment finishes one, or nil. Duplicate fragments
+// (retransmissions seen twice) are tolerated and ignored.
+func (r *Reassembler) Add(src MAC, raw []byte) (*Message, error) {
+	seg, err := DecodeSegment(raw)
+	if err != nil {
+		return nil, err
+	}
+	key := reassemblyKey{src, seg.MsgID}
+	p := r.partial[key]
+	if p == nil {
+		if len(r.partial) >= r.maxPartial {
+			r.evictOldest()
+		}
+		p = &partialMsg{
+			buf:      make([]byte, seg.Total),
+			have:     make([]bool, int(seg.Total)+1), // byte-granular; +1 so total==0 allocates
+			total:    seg.Total,
+			deviceID: seg.DeviceID,
+			seq:      r.seq,
+		}
+		r.seq++
+		r.partial[key] = p
+	}
+	if p.total != seg.Total || p.deviceID != seg.DeviceID {
+		return nil, fmt.Errorf("%w (msg %d)", ErrDeviceMismatch, seg.MsgID)
+	}
+	// Coverage is tracked per byte via the range [Offset, Offset+len).
+	// Fragments from SegmentMessage never overlap, but retransmitted frames
+	// can duplicate; only newly covered bytes count.
+	newBytes := uint32(0)
+	for i := range seg.Payload {
+		idx := int(seg.Offset) + i
+		if !p.have[idx] {
+			p.have[idx] = true
+			newBytes++
+		}
+	}
+	if newBytes > 0 {
+		copy(p.buf[seg.Offset:], seg.Payload)
+		p.covered += newBytes
+		p.frags++
+		p.pages += FragmentPages(len(raw))
+	}
+	if p.covered < p.total && !(p.total == 0 && seg.Last) {
+		return nil, nil
+	}
+	delete(r.partial, key)
+	return &Message{
+		Src:       src,
+		MsgID:     seg.MsgID,
+		DeviceID:  p.deviceID,
+		Data:      p.buf,
+		ZeroCopy:  p.pages <= MaxZeroCopyPages,
+		Fragments: p.frags,
+	}, nil
+}
+
+func (r *Reassembler) evictOldest() {
+	var oldestKey reassemblyKey
+	var oldest *partialMsg
+	for k, p := range r.partial {
+		if oldest == nil || p.seq < oldest.seq {
+			oldest = p
+			oldestKey = k
+		}
+	}
+	if oldest != nil {
+		delete(r.partial, oldestKey)
+		r.evictions++
+	}
+}

@@ -1,0 +1,164 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	f := func(msgID uint32, dev uint16, payload []byte) bool {
+		if len(payload) > MaxMessage {
+			payload = payload[:MaxMessage]
+		}
+		frames, err := SegmentMessage(msgID, dev, payload, 1500)
+		if err != nil {
+			return false
+		}
+		var got []byte
+		for i, fr := range frames {
+			seg, err := DecodeSegment(fr)
+			if err != nil {
+				return false
+			}
+			if seg.MsgID != msgID || seg.DeviceID != dev {
+				return false
+			}
+			if int(seg.Offset) != len(got) {
+				return false
+			}
+			if seg.Last != (i == len(frames)-1) {
+				return false
+			}
+			got = append(got, seg.Payload...)
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentCountMTU8100(t *testing.T) {
+	// A full 64 KiB message at MTU 8100 must produce 9 fragments (§4.4).
+	msg := make([]byte, MaxMessage)
+	frames, err := SegmentMessage(1, 1, msg, 8100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 9 {
+		t.Errorf("fragments = %d, want 9", len(frames))
+	}
+	// First 8 fragments are MTU-sized; the 9th is small.
+	for i := 0; i < 8; i++ {
+		if len(frames[i]) != 8100 {
+			t.Errorf("fragment %d wire len = %d, want 8100", i, len(frames[i]))
+		}
+	}
+	if len(frames[8]) >= PageSize {
+		t.Errorf("last fragment = %d bytes, want < one page", len(frames[8]))
+	}
+}
+
+func TestSegmentTooBig(t *testing.T) {
+	if _, err := SegmentMessage(1, 1, make([]byte, MaxMessage+1), 8100); err == nil {
+		t.Error("oversize message accepted")
+	}
+}
+
+func TestSegmentBadMTU(t *testing.T) {
+	for _, mtu := range []int{0, 63, 9001, -5} {
+		if _, err := SegmentMessage(1, 1, []byte("x"), mtu); err == nil {
+			t.Errorf("MTU %d accepted", mtu)
+		}
+	}
+}
+
+func TestSegmentEmptyMessage(t *testing.T) {
+	frames, err := SegmentMessage(5, 2, nil, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 {
+		t.Fatalf("empty message produced %d fragments, want 1", len(frames))
+	}
+	seg, err := DecodeSegment(frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Last || seg.Total != 0 || len(seg.Payload) != 0 {
+		t.Errorf("empty-message segment: %+v", seg)
+	}
+}
+
+func TestDecodeSegmentChecksumDetectsCorruption(t *testing.T) {
+	frames, _ := SegmentMessage(7, 3, []byte("data"), 1500)
+	raw := frames[0]
+	for bit := 0; bit < ipHeaderSize*8; bit += 13 {
+		corrupted := append([]byte{}, raw...)
+		corrupted[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeSegment(corrupted); err == nil {
+			// Flipping a bit in the checksum-covered header must fail
+			// (either the checksum or a consistency check).
+			t.Errorf("corruption at header bit %d undetected", bit)
+		}
+	}
+}
+
+func TestDecodeSegmentShort(t *testing.T) {
+	if _, err := DecodeSegment(make([]byte, EncapOverhead-1)); err != ErrShortSegment {
+		t.Errorf("err = %v, want ErrShortSegment", err)
+	}
+}
+
+func TestDecodeSegmentLengthMismatch(t *testing.T) {
+	frames, _ := SegmentMessage(7, 3, []byte("data"), 1500)
+	truncated := frames[0][:len(frames[0])-2]
+	if _, err := DecodeSegment(truncated); err == nil {
+		t.Error("truncated segment accepted")
+	}
+}
+
+func TestFragmentPages(t *testing.T) {
+	cases := []struct{ wire, want int }{
+		{0, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8100, 2}, {8192, 2}, {8193, 3}, {9040, 3},
+	}
+	for _, c := range cases {
+		if got := FragmentPages(c.wire); got != c.want {
+			t.Errorf("FragmentPages(%d) = %d, want %d", c.wire, got, c.want)
+		}
+	}
+}
+
+func TestZeroCopyFeasibleMatchesPaper(t *testing.T) {
+	// §4.4: MTU 8100 keeps a 64 KiB message within 17 pages; MTU 9000
+	// does not.
+	if !ZeroCopyFeasible(MaxMessage, 8100) {
+		t.Error("64KiB at MTU 8100 should be zero-copy feasible")
+	}
+	if ZeroCopyFeasible(MaxMessage, 9000) {
+		t.Error("64KiB at MTU 9000 should NOT be zero-copy feasible")
+	}
+	// Small messages are always feasible.
+	if !ZeroCopyFeasible(1000, 1500) {
+		t.Error("small message infeasible")
+	}
+	if !ZeroCopyFeasible(0, 8100) {
+		t.Error("empty message infeasible")
+	}
+}
+
+func TestIPChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example-style check: checksum of a header with the checksum
+	// field filled must verify to zero.
+	hdr := make([]byte, 20)
+	hdr[0] = 0x45
+	hdr[2], hdr[3] = 0x00, 0x3c
+	hdr[8], hdr[9] = 64, 6
+	sum := ipChecksum(hdr)
+	hdr[10] = byte(sum >> 8)
+	hdr[11] = byte(sum)
+	if ipChecksum(hdr) != 0 {
+		t.Error("checksum of checksummed header is not zero")
+	}
+}

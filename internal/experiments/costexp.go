@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrio/internal/cost"
+)
+
+func init() {
+	register("fig1", fig1)
+	register("table1", table1)
+	register("table2", table2)
+	register("fig3", fig3)
+}
+
+// fig1 reproduces the CPU-vs-NIC upgrade scatter.
+func fig1(bool) Result {
+	res := Result{
+		ID:     "fig1",
+		Title:  "Upgrade economics: added hardware vs added cost (Figure 1)",
+		Header: []string{"kind", "pair", "cost ratio", "capability ratio", "side of diagonal"},
+	}
+	for _, p := range cost.CPUPairs() {
+		side := "below"
+		if p.AboveDiagonal() {
+			side = "above"
+		}
+		res.Rows = append(res.Rows, []string{"CPU", p.Name, f2(p.CostRatio()), f2(p.CapabilityRatio()), side})
+	}
+	for _, p := range cost.NICPairs() {
+		side := "below"
+		if p.AboveDiagonal() {
+			side = "above"
+		}
+		res.Rows = append(res.Rows, []string{"NIC", p.Name, f2(p.CostRatio()), f2(p.CapabilityRatio()), side})
+	}
+	res.Notes = append(res.Notes,
+		"paper: all CPU points fall below the break-even diagonal, all NIC points above — CPU upgrades carry a premium that NIC upgrades do not")
+	return res
+}
+
+// table1 reproduces the per-server configurations.
+func table1(bool) Result {
+	res := Result{
+		ID:     "table1",
+		Title:  "Dell R930 per-server price, components, and throughput (Table 1)",
+		Header: []string{"server", "CPUs", "memory [GB]", "price [$]", "Gbps installed", "Gbps required"},
+	}
+	for _, s := range []cost.Server{
+		cost.ElvisServer(), cost.VMHostServer(),
+		cost.LightIOHostServer(), cost.HeavyIOHostServer(),
+	} {
+		res.Rows = append(res.Rows, []string{
+			s.Name, fmt.Sprintf("%d", s.CPUs), fmt.Sprintf("%d", s.MemoryGB()),
+			fmt.Sprintf("%.0f", s.Price()), f2(s.GbpsTotal()), f2(s.GbpsRequired),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper totals: elvis $44.5K, vmhost $47.0K, light IOhost $26.0K, heavy IOhost $44.2K")
+	return res
+}
+
+// table2 reproduces the rack-level price comparison.
+func table2(bool) Result {
+	res := Result{
+		ID:     "table2",
+		Title:  "Overall price of the Elvis and vRIO setups (Table 2)",
+		Header: []string{"setup", "elvis servers", "vrio servers", "elvis price [$]", "vrio price [$]", "diff"},
+	}
+	for _, r := range []cost.RackSetup{cost.Rack3(), cost.Rack6()} {
+		res.Rows = append(res.Rows, []string{
+			r.Name,
+			fmt.Sprintf("%d", r.ElvisServers),
+			fmt.Sprintf("%d+%d", r.VMHosts, r.IOHosts),
+			fmt.Sprintf("%.0f", r.ElvisPrice),
+			fmt.Sprintf("%.0f", r.VRIOPrice),
+			pct(r.Diff()),
+		})
+	}
+	res.Notes = append(res.Notes, "paper: -10% and -13%")
+	return res
+}
+
+// fig3 reproduces the SSD consolidation sweep.
+func fig3(bool) Result {
+	res := Result{
+		ID:     "fig3",
+		Title:  "vRIO price relative to Elvis per SSD consolidation ratio (Figure 3)",
+		Header: []string{"rack", "drive", "ratio", "vrio/elvis", "vrio total [$]"},
+	}
+	for _, r := range cost.Figure3() {
+		res.Rows = append(res.Rows, []string{
+			r.Rack, r.Drive, r.Ratio,
+			fmt.Sprintf("%.1f%%", r.PriceRel*100),
+			fmt.Sprintf("%.0f", r.VRIOTotal),
+		})
+	}
+	res.Notes = append(res.Notes, "paper: cost reduction between 8% and 38%")
+	return res
+}

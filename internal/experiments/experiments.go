@@ -1,0 +1,179 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3 and §5). Each experiment is a named Runner producing a
+// printable Result; cmd/vrio-experiments and the repository's benchmark
+// harness both drive this registry.
+package experiments
+
+import (
+	"fmt"
+
+	"vrio/internal/cluster"
+	"vrio/internal/core"
+	"vrio/internal/sim"
+	"vrio/internal/workload"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Runner produces a Result. quick trades precision for speed (used by unit
+// tests and -quick runs); full runs use the durations EXPERIMENTS.md
+// reports.
+type Runner func(quick bool) Result
+
+var registry = map[string]Runner{}
+var order []string
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+	order = append(order, id)
+}
+
+// IDs lists experiment ids in registration (paper) order.
+func IDs() []string {
+	out := append([]string{}, order...)
+	return out
+}
+
+// Get returns the runner for id, or nil.
+func Get(id string) Runner { return registry[id] }
+
+// RunAll executes every experiment.
+func RunAll(quick bool) []Result {
+	var out []Result
+	for _, id := range IDs() {
+		out = append(out, registry[id](quick))
+	}
+	return out
+}
+
+// Format renders a Result as an aligned text table.
+func Format(r Result) string {
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := fmt.Sprintf("== %s: %s ==\n", r.ID, r.Title)
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			if i < len(widths) {
+				s += fmt.Sprintf("%-*s  ", widths[i], c)
+			} else {
+				s += c + "  "
+			}
+		}
+		return s + "\n"
+	}
+	out += line(r.Header)
+	for _, row := range r.Rows {
+		out += line(row)
+	}
+	for _, n := range r.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+// --- shared helpers ---
+
+// durations returns (warmup, measure) scaled for quick mode.
+func durations(quick bool, warmup, measure sim.Time) (sim.Time, sim.Time) {
+	if quick {
+		return warmup / 4, measure / 5
+	}
+	return warmup, measure
+}
+
+// netModels is the Figure 7/9/12 model set, in plot order.
+var netModels = []core.ModelName{
+	core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline,
+}
+
+// fig5Models adds the no-poll ablation (Figure 5's set).
+var fig5Models = []core.ModelName{
+	core.ModelOptimum, core.ModelVRIO, core.ModelElvis,
+	core.ModelVRIONoPoll, core.ModelBaseline,
+}
+
+// rrRun runs Netperf RR on every guest of a testbed and returns the RR
+// instances after the measured window.
+func rrRun(tb *cluster.Testbed, warmup, dur sim.Time) []*workload.RR {
+	var rrs []*workload.RR
+	var collectors []cluster.Measurable
+	for i, g := range tb.Guests {
+		workload.InstallRRServer(g, tb.P.NetperfRRProcessCost)
+		rr := workload.NewRR(tb.StationFor(i), g.MAC(), 16)
+		rr.Start()
+		rrs = append(rrs, rr)
+		collectors = append(collectors, &rr.Results)
+	}
+	tb.RunMeasured(warmup, dur, collectors...)
+	return rrs
+}
+
+// meanLatencyMicros aggregates the ops-weighted mean latency in µs.
+func meanLatencyMicros(rrs []*workload.RR) float64 {
+	var weighted float64
+	var ops uint64
+	for _, rr := range rrs {
+		weighted += rr.Results.Latency.Mean() * float64(rr.Results.Ops)
+		ops += rr.Results.Ops
+	}
+	if ops == 0 {
+		return 0
+	}
+	return weighted / float64(ops) / 1000
+}
+
+// totalOps sums completed transactions.
+func totalOps(rrs []*workload.RR) uint64 {
+	var ops uint64
+	for _, rr := range rrs {
+		ops += rr.Results.Ops
+	}
+	return ops
+}
+
+// streamRun runs Netperf stream from every guest and returns the instances.
+func streamRun(tb *cluster.Testbed, warmup, dur sim.Time) []*workload.Stream {
+	var sts []*workload.Stream
+	var collectors []cluster.Measurable
+	for i, g := range tb.Guests {
+		st := workload.NewStream(g, tb.StationFor(i), tb.P.StreamChunk, tb.P.StreamPerChunkCost, 16)
+		st.Start()
+		sts = append(sts, st)
+		collectors = append(collectors, &st.Results)
+	}
+	tb.RunMeasured(warmup, dur, collectors...)
+	return sts
+}
+
+// aggGbps sums stream throughput in Gbps over the measured window.
+func aggGbps(sts []*workload.Stream, dur sim.Time) float64 {
+	var total float64
+	for _, st := range sts {
+		total += st.Results.Throughput(dur)
+	}
+	return total / 1e9
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%+.0f%%", v*100) }

@@ -1,0 +1,421 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrio/internal/cluster"
+	"vrio/internal/core"
+	"vrio/internal/params"
+	"vrio/internal/sim"
+	"vrio/internal/workload"
+)
+
+func init() {
+	register("table3", table3)
+	register("fig5", fig5)
+	register("fig7", fig7)
+	register("fig8", fig8)
+	register("fig9", fig9)
+	register("fig10", fig10)
+	register("fig11", fig11)
+	register("table4", table4)
+	register("fig12", fig12)
+	register("fig13", fig13)
+	register("heterogeneity", heterogeneity)
+}
+
+// table3 measures (not assumes) the per-request-response virtualization
+// events of every model.
+func table3(quick bool) Result {
+	warm, dur := durations(quick, 2*sim.Millisecond, 50*sim.Millisecond)
+	res := Result{
+		ID:     "table3",
+		Title:  "Exits and interrupts per request-response (measured)",
+		Header: []string{"model", "sync exits", "guest intrpts", "intrpt injection", "host intrpts", "IOhost intrpts", "sum"},
+	}
+	for _, m := range fig5Models {
+		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, Seed: 11})
+		rrs := rrRun(tb, warm, dur)
+		ops := float64(totalOps(rrs))
+		if ops == 0 {
+			res.Notes = append(res.Notes, string(m)+": no transactions")
+			continue
+		}
+		g := tb.Guests[0]
+		per := func(name string) float64 { return float64(g.VM.Counters.Get(name)) / ops }
+		ioirq := 0.0
+		if tb.IOHyp != nil {
+			ioirq = float64(tb.IOHyp.Counters.Get("iohost_irqs")) / ops
+		}
+		sum := per("exits") + per("guest_irqs") + per("irq_injections") + per("host_irqs") + ioirq
+		res.Rows = append(res.Rows, []string{
+			string(m), f1(per("exits")), f1(per("guest_irqs")),
+			f1(per("irq_injections")), f1(per("host_irqs")), f1(ioirq), f1(sum),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: optimum 0/2/0/0/- (2), vrio 0/2/0/0/0 (2), elvis 0/2/0/2/- (4), vrio-nopoll 0/2/0/0/4 (6), baseline 3/2/2/2/- (9)")
+	return res
+}
+
+// fig5 runs ApacheBench on the five configurations.
+func fig5(quick bool) Result {
+	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
+	res := Result{
+		ID:     "fig5",
+		Title:  "ApacheBench aggregate requests/sec vs number of VMs",
+		Header: []string{"VMs"},
+	}
+	for _, m := range fig5Models {
+		res.Header = append(res.Header, string(m))
+	}
+	maxN := 7
+	if quick {
+		maxN = 3
+	}
+	for n := 1; n <= maxN; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, m := range fig5Models {
+			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, StationPerVM: true, Seed: 21})
+			var ms []*workload.Macro
+			var cs []cluster.Measurable
+			for i, g := range tb.Guests {
+				workload.InstallMacroServer(g, tb.P.ApacheRequestCost, workload.ApacheConfig().RespSize)
+				mac := workload.NewMacro(tb.StationFor(i), g.MAC(), workload.ApacheConfig())
+				mac.Start()
+				ms = append(ms, mac)
+				cs = append(cs, &mac.Results)
+			}
+			tb.RunMeasured(warm, dur, cs...)
+			var total float64
+			for _, mac := range ms {
+				total += mac.Results.OpsPerSec(dur)
+			}
+			row = append(row, fmt.Sprintf("%.0f", total))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: throughput inversely ordered by Table 3's event sum: optimum≈vrio > elvis > vrio-nopoll > baseline")
+	return res
+}
+
+// fig7 measures Netperf RR mean latency vs N for the four models.
+func fig7(quick bool) Result {
+	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
+	res := Result{
+		ID:     "fig7",
+		Title:  "Netperf RR average latency [µs] vs number of VMs (N+1 cores; optimum N)",
+		Header: []string{"VMs", "baseline", "vrio", "elvis", "optimum"},
+	}
+	maxN := 7
+	if quick {
+		maxN = 3
+	}
+	for n := 1; n <= maxN; n++ {
+		lat := map[core.ModelName]float64{}
+		for _, m := range netModels {
+			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, Seed: 31})
+			lat[m] = meanLatencyMicros(rrRun(tb, warm, dur))
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", n),
+			f1(lat[core.ModelBaseline]), f1(lat[core.ModelVRIO]),
+			f1(lat[core.ModelElvis]), f1(lat[core.ModelOptimum]),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: optimum ≈30-32µs near-flat; vrio ≈ optimum+12-13µs; elvis starts 8µs under vrio, crosses above near N=6; baseline worst")
+	return res
+}
+
+// fig8 reports the vRIO-minus-optimum latency gap and the IOhost sidecore
+// contention (fraction of work that queued).
+func fig8(quick bool) Result {
+	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
+	res := Result{
+		ID:     "fig8",
+		Title:  "Netperf RR vRIO: latency gap vs optimum [µs] and sidecore contention [%]",
+		Header: []string{"VMs", "gap [µs]", "contention [%]"},
+	}
+	maxN := 7
+	if quick {
+		maxN = 3
+	}
+	for n := 1; n <= maxN; n++ {
+		tbO := cluster.Build(cluster.Spec{Model: core.ModelOptimum, VMsPerHost: n, Seed: 41})
+		opt := meanLatencyMicros(rrRun(tbO, warm, dur))
+		tbV := cluster.Build(cluster.Spec{Model: core.ModelVRIO, VMsPerHost: n, Seed: 41})
+		vr := meanLatencyMicros(rrRun(tbV, warm, dur))
+		contention := 0.0
+		for _, sc := range tbV.Sidecores {
+			contention += sc.WaitFraction()
+		}
+		contention /= float64(len(tbV.Sidecores))
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", n), f1(vr - opt), f1(contention * 100),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: gap grows slowly from ≈12 to ≈13µs; contention grows from ≈5% to ≈20%")
+	return res
+}
+
+// fig9 measures Netperf stream throughput vs N.
+func fig9(quick bool) Result {
+	warm, dur := durations(quick, 5*sim.Millisecond, 80*sim.Millisecond)
+	res := Result{
+		ID:     "fig9",
+		Title:  "Netperf stream aggregate throughput [Gbps] vs number of VMs",
+		Header: []string{"VMs", "optimum", "elvis", "vrio", "baseline"},
+	}
+	maxN := 7
+	if quick {
+		maxN = 3
+	}
+	for n := 1; n <= maxN; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, m := range []core.ModelName{core.ModelOptimum, core.ModelElvis, core.ModelVRIO, core.ModelBaseline} {
+			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, Seed: 51})
+			row = append(row, f2(aggGbps(streamRun(tb, warm, dur), dur)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: elvis ≈ optimum; vrio 5-8% lower; baseline clearly lowest and flattening")
+	return res
+}
+
+// fig10 measures VMhost-side cycles (ns of busy CPU) per stream chunk, N=1.
+func fig10(quick bool) Result {
+	warm, dur := durations(quick, 5*sim.Millisecond, 80*sim.Millisecond)
+	res := Result{
+		ID:     "fig10",
+		Title:  "Per-packet processing [ns of VMhost CPU per 64KB chunk], N=1",
+		Header: []string{"model", "ns/chunk", "vs optimum"},
+	}
+	base := 0.0
+	for _, m := range []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline} {
+		// NoJitter: background interference would smear the per-chunk
+		// cycle accounting (models with more local cores absorb more
+		// jitter, which is not what Figure 10 measures).
+		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, NoJitter: true, Seed: 61})
+		sts := streamRun(tb, warm, dur)
+		chunks := sts[0].Results.Ops
+		if chunks == 0 {
+			continue
+		}
+		// VMhost busy fraction over the run, scaled to the measured
+		// window's chunk count: ns of VMhost CPU per chunk.
+		perChunk := float64(vmhostBusy(tb)) / float64(tb.Eng.Now()) * float64(dur) / float64(chunks)
+		rel := "+0%"
+		if base == 0 {
+			base = perChunk
+		} else {
+			rel = pct(perChunk/base - 1)
+		}
+		res.Rows = append(res.Rows, []string{string(m), fmt.Sprintf("%.0f", perChunk), rel})
+	}
+	res.Notes = append(res.Notes,
+		"paper: optimum +0%, vrio +9%, elvis +1%, baseline +40% (per-packet cycles on the VMhost)")
+	return res
+}
+
+// vmhostBusy sums busy time across VM cores and local host cores (vRIO's
+// IOhost cores are deliberately excluded: they are the remote device).
+func vmhostBusy(tb *cluster.Testbed) sim.Time {
+	var total sim.Time
+	for _, c := range tb.VMCores {
+		total += c.BusyTime()
+	}
+	for _, c := range tb.IOCores {
+		total += c.BusyTime()
+	}
+	if tb.Spec.Model == core.ModelElvis {
+		for _, c := range tb.Sidecores {
+			total += c.BusyTime()
+		}
+	}
+	return total
+}
+
+// fig11 equalizes core counts: the optimum gets N+1=8 cores (8 VMs) and is
+// compared against the other models at N=7.
+func fig11(quick bool) Result {
+	warm, dur := durations(quick, 5*sim.Millisecond, 80*sim.Millisecond)
+	res := Result{
+		ID:     "fig11",
+		Title:  "Stream throughput [Gbps] with equal cores: optimum 8 VMs vs others at N=7",
+		Header: []string{"config", "Gbps", "vs optimum-8vms"},
+	}
+	n := 7
+	if quick {
+		n = 3
+	}
+	type cfg struct {
+		name  string
+		model core.ModelName
+		vms   int
+	}
+	cfgs := []cfg{
+		{"optimum-8vms", core.ModelOptimum, n + 1},
+		{"optimum", core.ModelOptimum, n},
+		{"elvis", core.ModelElvis, n},
+		{"vrio", core.ModelVRIO, n},
+		{"baseline", core.ModelBaseline, n},
+	}
+	base := 0.0
+	for _, c := range cfgs {
+		tb := cluster.Build(cluster.Spec{Model: c.model, VMsPerHost: c.vms, Seed: 71})
+		g := aggGbps(streamRun(tb, warm, dur), dur)
+		rel := "0%"
+		if base == 0 {
+			base = g
+		} else {
+			rel = pct(g/base - 1)
+		}
+		res.Rows = append(res.Rows, []string{c.name, f2(g), rel})
+	}
+	res.Notes = append(res.Notes,
+		"paper: with a core parity the optimum wins by 11-18% over elvis/vrio and 54% over baseline — the price of interposition")
+	return res
+}
+
+// table4 reports RR tail latency percentiles for one VM.
+func table4(quick bool) Result {
+	warm, dur := durations(quick, 5*sim.Millisecond, 2000*sim.Millisecond)
+	res := Result{
+		ID:     "table4",
+		Title:  "Tail latency [µs] for one VM (Netperf RR)",
+		Header: []string{"percentile", "optimum", "elvis", "vrio"},
+	}
+	percentiles := []float64{99.9, 99.99, 99.999, 100}
+	vals := map[core.ModelName][]float64{}
+	for _, m := range []core.ModelName{core.ModelOptimum, core.ModelElvis, core.ModelVRIO} {
+		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, Seed: 81})
+		rrs := rrRun(tb, warm, dur)
+		for _, p := range percentiles {
+			vals[m] = append(vals[m], float64(rrs[0].Results.Latency.Percentile(p))/1000)
+		}
+	}
+	names := []string{"99.9%", "99.99%", "99.999%", "100%"}
+	for i, name := range names {
+		res.Rows = append(res.Rows, []string{
+			name,
+			f1(vals[core.ModelOptimum][i]),
+			f1(vals[core.ModelElvis][i]),
+			f1(vals[core.ModelVRIO][i]),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: optimum 35/42/214/227, elvis 53/71/466/480, vrio 60/156/258/274 — mixed tails: elvis better at 99.9/99.99, vrio better at 99.999/max")
+	return res
+}
+
+// fig12 runs the memcached and apache macrobenchmarks across N.
+func fig12(quick bool) Result {
+	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
+	res := Result{
+		ID:     "fig12",
+		Title:  "Macrobenchmarks [K transactions/sec] vs number of VMs",
+		Header: []string{"VMs", "mc-optimum", "mc-vrio", "mc-elvis", "mc-base", "ap-optimum", "ap-vrio", "ap-elvis", "ap-base"},
+	}
+	maxN := 7
+	if quick {
+		maxN = 3
+	}
+	run := func(m core.ModelName, n int, cfg workload.MacroConfig, cost sim.Time) float64 {
+		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, StationPerVM: true, Seed: 91})
+		var ms []*workload.Macro
+		var cs []cluster.Measurable
+		for i, g := range tb.Guests {
+			workload.InstallMacroServer(g, cost, cfg.RespSize)
+			mac := workload.NewMacro(tb.StationFor(i), g.MAC(), cfg)
+			mac.Start()
+			ms = append(ms, mac)
+			cs = append(cs, &mac.Results)
+		}
+		tb.RunMeasured(warm, dur, cs...)
+		var total float64
+		for _, mac := range ms {
+			total += mac.Results.OpsPerSec(dur)
+		}
+		return total / 1000
+	}
+	p := params.Default()
+	for n := 1; n <= maxN; n++ {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, m := range []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline} {
+			row = append(row, f1(run(m, n, workload.MemcachedConfig(), p.MemcachedRequestCost)))
+		}
+		for _, m := range []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline} {
+			row = append(row, f1(run(m, n, workload.ApacheConfig(), p.ApacheRequestCost)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: vrio approaches the optimum while elvis falls behind at higher N (interrupt cost); baseline lowest")
+	return res
+}
+
+// fig13 serves four VMhosts from one IOhost with 1, 2, and 4 sidecores.
+func fig13(quick bool) Result {
+	warm, dur := durations(quick, 4*sim.Millisecond, 40*sim.Millisecond)
+	res := Result{
+		ID:     "fig13",
+		Title:  "vRIO IOhost scalability: 4 VMhosts, RR latency [µs] and stream throughput [Gbps]",
+		Header: []string{"VMs", "lat 1sc", "lat 2sc", "lat 4sc", "tput 1sc", "tput 2sc", "tput 4sc"},
+	}
+	steps := []int{4, 8, 12, 16, 20, 24, 28}
+	if quick {
+		steps = []int{4, 8}
+	}
+	for _, total := range steps {
+		row := []string{fmt.Sprintf("%d", total)}
+		perHost := total / 4
+		for _, sc := range []int{1, 2, 4} {
+			tb := cluster.Build(cluster.Spec{
+				Model: core.ModelVRIO, VMHosts: 4, VMsPerHost: perHost,
+				IOhostSidecores: sc, Seed: 101,
+			})
+			row = append(row, f1(meanLatencyMicros(rrRun(tb, warm, dur))))
+		}
+		for _, sc := range []int{1, 2, 4} {
+			tb := cluster.Build(cluster.Spec{
+				Model: core.ModelVRIO, VMHosts: 4, VMsPerHost: perHost,
+				IOhostSidecores: sc, Seed: 101,
+			})
+			row = append(row, f2(aggGbps(streamRun(tb, warm, dur), dur)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes,
+		"paper shape: more sidecores reduce latency; one sidecore saturates near 13 VMs ≈ 13 Gbps; VM placement across hosts is irrelevant")
+	return res
+}
+
+// heterogeneity runs vRIO stream clients of different kinds (VM and bare
+// metal) and shows both attain the same service (§5 "Heterogeneity").
+func heterogeneity(quick bool) Result {
+	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
+	res := Result{
+		ID:     "heterogeneity",
+		Title:  "vRIO with heterogeneous IOclients: per-client stream throughput [Gbps]",
+		Header: []string{"client kind", "Gbps", "VM-core util [%]"},
+	}
+	for _, bare := range []bool{false, true} {
+		tb := cluster.Build(cluster.Spec{
+			Model: core.ModelVRIO, VMsPerHost: 1, BareClients: bare, Seed: 111,
+		})
+		sts := streamRun(tb, warm, dur)
+		kind := "KVM guest"
+		if bare {
+			kind = "bare metal"
+		}
+		util := tb.VMCores[0].Utilization() * 100
+		res.Rows = append(res.Rows, []string{kind, f2(aggGbps(sts, dur)), f1(util)})
+	}
+	res.Notes = append(res.Notes,
+		"paper: ESXi guests, KVM guests, bare-metal x86 and POWER clients all attain line rate with comparable CPU; the vRIO datapath is hypervisor-agnostic by construction (the IOhost never inspects the client kind)")
+	return res
+}

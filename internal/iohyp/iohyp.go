@@ -1,0 +1,685 @@
+// Package iohyp implements the vRIO I/O hypervisor — the software that
+// controls the IOhost (§4.1). Workers run on dedicated sidecores; an idle
+// worker takes a batch of frames off a NIC receive ring, reassembles
+// transport messages, and steers each virtual device's requests so that one
+// worker owns a device for as long as it has unprocessed requests,
+// preserving per-device ordering. Requests then flow through the device's
+// interposition chain into its backend (the network uplink or a block
+// device), and responses return to the IOclient over the dedicated channel.
+package iohyp
+
+import (
+	"fmt"
+
+	"vrio/internal/blockdev"
+	"vrio/internal/cpu"
+	"vrio/internal/ethernet"
+	"vrio/internal/interpose"
+	"vrio/internal/nic"
+	"vrio/internal/params"
+	"vrio/internal/sim"
+	"vrio/internal/stats"
+	"vrio/internal/transport"
+	"vrio/internal/virtio"
+)
+
+// Mode selects the IOhost NIC handling discipline.
+type Mode int
+
+// Modes.
+const (
+	// ModePolling is normal vRIO: workers poll the NICs, no interrupts.
+	ModePolling Mode = iota
+	// ModeInterrupt is the "vrio w/o poll" ablation of §4.2/Figure 5:
+	// NIC interrupts drive the IOhost, costing 4 extra interrupts per
+	// request-response.
+	ModeInterrupt
+)
+
+// devKey identifies a front-end device: the client's transport MAC plus the
+// device id.
+type devKey struct {
+	client ethernet.MAC
+	id     uint16
+}
+
+// netDevice is a registered paravirtual net front-end.
+type netDevice struct {
+	key   devKey
+	fMAC  ethernet.MAC // the front-end's outward-facing MAC (§4.6: "F")
+	chain *interpose.Chain
+}
+
+// blkDevice is a registered paravirtual block front-end.
+type blkDevice struct {
+	key     devKey
+	backend blockdev.Backend
+	chain   *interpose.Chain
+}
+
+// IOHypervisor is the remote half of the split hypervisor.
+type IOHypervisor struct {
+	eng  *sim.Engine
+	p    *params.P
+	mode Mode
+	rng  *sim.RNG
+
+	workers []*Worker
+
+	// Channel plumbing: one MessagePort per channel NIC; clients are
+	// routed to the port their VMhost is cabled to.
+	ports      []*nic.MessagePort
+	clientPort map[ethernet.MAC]*nic.MessagePort
+	endpoint   *transport.Endpoint
+
+	// Uplink is the NIC VF facing the rack switch for external traffic;
+	// nil when all traffic is client-to-client.
+	uplink *nic.VF
+
+	netDevs   map[devKey]*netDevice
+	blkDevs   map[devKey]*blkDevice
+	fib       map[ethernet.MAC]*netDevice // F MAC -> device, for local delivery
+	defaultCh *interpose.Chain
+
+	// Steering state (§4.1's ordering policy).
+	devOwner   map[devKey]*Worker
+	devPending map[devKey]int
+	rrIdx      int
+
+	// failed marks a crashed IOhost (§4.6 fault tolerance): everything it
+	// would receive or send is silently lost.
+	failed bool
+
+	// Counters: "msgs", "net_fwd_local", "net_fwd_uplink", "net_in",
+	// "blk_reqs", "iohost_irqs", "interpose_drops", "copy_bytes".
+	Counters stats.Counters
+}
+
+// Worker is one sidecore worker.
+type Worker struct {
+	hyp  *IOHypervisor
+	Core *cpu.Core
+	// scanArmed marks a scheduled ring scan.
+	scanArmed bool
+	// Processed counts messages this worker handled.
+	Processed uint64
+}
+
+// Config assembles an I/O hypervisor.
+type Config struct {
+	Params *params.P
+	Mode   Mode
+	// Sidecores are the worker cores (one worker per core).
+	Sidecores []*cpu.Core
+	// Seed feeds poll-delay jitter.
+	Seed uint64
+}
+
+// New builds the I/O hypervisor. Channel NICs and devices are attached
+// afterwards.
+func New(eng *sim.Engine, cfg Config) *IOHypervisor {
+	if len(cfg.Sidecores) == 0 {
+		panic("iohyp: need at least one sidecore")
+	}
+	h := &IOHypervisor{
+		eng:        eng,
+		p:          cfg.Params,
+		mode:       cfg.Mode,
+		rng:        sim.NewRNG(cfg.Seed ^ 0x10457),
+		clientPort: make(map[ethernet.MAC]*nic.MessagePort),
+		netDevs:    make(map[devKey]*netDevice),
+		blkDevs:    make(map[devKey]*blkDevice),
+		fib:        make(map[ethernet.MAC]*netDevice),
+		devOwner:   make(map[devKey]*Worker),
+		devPending: make(map[devKey]int),
+		defaultCh:  interpose.NewChain(),
+	}
+	for _, core := range cfg.Sidecores {
+		if cfg.Mode == ModePolling {
+			core.Polling = true
+			// Whenever a sidecore drains, it returns to its poll loop.
+			core.OnIdle = func() { h.armScan() }
+		}
+		h.workers = append(h.workers, &Worker{hyp: h, Core: core})
+	}
+	h.endpoint = transport.NewEndpoint(eng, routerPort{h}, transport.Config{
+		InitialTimeout: cfg.Params.RetransmitTimeout,
+		MaxRetransmits: cfg.Params.MaxRetransmits,
+	})
+	h.endpoint.NetTx = h.handleNetTx
+	h.endpoint.BlkReq = h.handleBlkReq
+	return h
+}
+
+// Endpoint exposes the transport endpoint (for device control commands).
+func (h *IOHypervisor) Endpoint() *transport.Endpoint { return h.endpoint }
+
+// Workers exposes the worker list (for utilization reporting).
+func (h *IOHypervisor) Workers() []*Worker { return h.workers }
+
+// Fail crashes the IOhost (§4.6 "Fault Tolerance"): its sidecores stop
+// serving and all traffic through it is lost. IOclients recover by
+// re-attaching to a fallback IOhost; their §4.5 retransmission machinery
+// carries in-flight block requests across.
+func (h *IOHypervisor) Fail() { h.failed = true }
+
+// Failed reports the crash state.
+func (h *IOHypervisor) Failed() bool { return h.failed }
+
+// AnnounceAddresses broadcasts one gratuitous frame per registered F
+// address out the uplink, so the rack switch re-learns that this IOhost
+// now speaks for them — the standard takeover announcement after a
+// failover or migration.
+func (h *IOHypervisor) AnnounceAddresses() {
+	if h.uplink == nil || h.failed {
+		return
+	}
+	for fMAC := range h.fib {
+		_ = h.uplink.SendFrame(ethernet.Frame{
+			Dst:       ethernet.Broadcast,
+			Src:       fMAC,
+			EtherType: ethernet.EtherTypePlain,
+		})
+	}
+	h.Counters.Inc("announcements", uint64(len(h.fib)))
+}
+
+// ChannelDrops totals frames lost to full receive rings on the channel
+// NICs (§4.5's failure mode).
+func (h *IOHypervisor) ChannelDrops() uint64 {
+	var total uint64
+	for _, p := range h.ports {
+		total += p.VF().Drops
+	}
+	return total
+}
+
+// routerPort routes transport sends to the channel port of the destination
+// client.
+type routerPort struct{ h *IOHypervisor }
+
+// LocalMAC implements transport.Port. The IOhost speaks through many ports;
+// the first port's MAC is the canonical identity.
+func (r routerPort) LocalMAC() ethernet.MAC {
+	if len(r.h.ports) == 0 {
+		return ethernet.MAC{}
+	}
+	return r.h.ports[0].LocalMAC()
+}
+
+// Send implements transport.Port.
+func (r routerPort) Send(dst ethernet.MAC, payload []byte) {
+	if r.h.failed {
+		return // a crashed IOhost sends nothing
+	}
+	port := r.h.clientPort[dst]
+	if port == nil {
+		// Unknown client: nothing to do; the retransmission machinery (for
+		// control traffic) will give up eventually.
+		return
+	}
+	port.Send(dst, payload)
+}
+
+// AttachChannelNIC registers a channel-facing VF. Frames arriving on it are
+// picked up by workers (polling) or delivered by interrupts (the ablation).
+func (h *IOHypervisor) AttachChannelNIC(vf *nic.VF) *nic.MessagePort {
+	port := nic.NewMessagePort(vf, h.p.MTU)
+	port.OnMessage = func(src ethernet.MAC, msg []byte, zeroCopy bool, fragments int) {
+		h.ingressMessage(src, msg, zeroCopy)
+	}
+	h.ports = append(h.ports, port)
+	switch h.mode {
+	case ModePolling:
+		vf.SetMode(nic.ModePoll)
+		vf.NotifyRx = func() { h.armScan() }
+	case ModeInterrupt:
+		vf.SetMode(nic.ModeInterrupt)
+		vf.OnInterrupt(func(frames [][]byte) {
+			// The interrupt itself costs a worker core.
+			w := h.pickWorker()
+			h.Counters.Inc("iohost_irqs", 1)
+			w.Core.Exec(cpu.NoOwner, cpu.KindIRQ, h.p.HostIRQCost, func() {
+				port.HandleBatch(frames)
+			})
+		})
+	}
+	return port
+}
+
+// AttachUplink registers the switch-facing VF for external traffic.
+func (h *IOHypervisor) AttachUplink(vf *nic.VF) {
+	h.uplink = vf
+	switch h.mode {
+	case ModePolling:
+		vf.SetMode(nic.ModePoll)
+		vf.NotifyRx = func() { h.armScan() }
+	case ModeInterrupt:
+		vf.SetMode(nic.ModeInterrupt)
+		vf.OnInterrupt(func(frames [][]byte) {
+			w := h.pickWorker()
+			h.Counters.Inc("iohost_irqs", 1)
+			w.Core.Exec(cpu.NoOwner, cpu.KindIRQ, h.p.HostIRQCost, func() {
+				for _, fr := range frames {
+					h.ingressPlain(fr)
+				}
+			})
+		})
+	}
+}
+
+// BindClient routes a client's transport MAC to a channel port (its cabled
+// NIC).
+func (h *IOHypervisor) BindClient(client ethernet.MAC, port *nic.MessagePort) {
+	h.clientPort[client] = port
+}
+
+// RebindClient moves an IOclient to a new transport address and channel
+// port — the IOhost side of a live migration between VMhosts that share
+// this IOhost (§4.6). All the client's device registrations, the F-address
+// forwarding table, and any steering state follow. The client should be
+// paused while this runs.
+func (h *IOHypervisor) RebindClient(oldMAC, newMAC ethernet.MAC, port *nic.MessagePort) {
+	delete(h.clientPort, oldMAC)
+	h.clientPort[newMAC] = port
+	rekeyDev := func(old devKey) devKey { return devKey{newMAC, old.id} }
+	for k, d := range h.netDevs {
+		if k.client == oldMAC {
+			delete(h.netDevs, k)
+			d.key = rekeyDev(k)
+			h.netDevs[d.key] = d
+			h.fib[d.fMAC] = d
+		}
+	}
+	for k, d := range h.blkDevs {
+		if k.client == oldMAC {
+			delete(h.blkDevs, k)
+			d.key = rekeyDev(k)
+			h.blkDevs[d.key] = d
+		}
+	}
+	for k, w := range h.devOwner {
+		if k.client == oldMAC {
+			delete(h.devOwner, k)
+			h.devOwner[rekeyDev(k)] = w
+		}
+	}
+	for k, n := range h.devPending {
+		if k.client == oldMAC {
+			delete(h.devPending, k)
+			h.devPending[rekeyDev(k)] = n
+		}
+	}
+	h.Counters.Inc("migrations", 1)
+}
+
+// RegisterNetDevice creates a net front-end: fMAC is the device's
+// outward-facing address. A nil chain means no interposition.
+func (h *IOHypervisor) RegisterNetDevice(client ethernet.MAC, id uint16, fMAC ethernet.MAC, chain *interpose.Chain) {
+	if chain == nil {
+		chain = h.defaultCh
+	}
+	d := &netDevice{key: devKey{client, id}, fMAC: fMAC, chain: chain}
+	h.netDevs[d.key] = d
+	h.fib[fMAC] = d
+}
+
+// RegisterBlkDevice creates a block front-end served by backend.
+func (h *IOHypervisor) RegisterBlkDevice(client ethernet.MAC, id uint16, backend blockdev.Backend, chain *interpose.Chain) {
+	if chain == nil {
+		chain = h.defaultCh
+	}
+	d := &blkDevice{key: devKey{client, id}, backend: backend, chain: chain}
+	h.blkDevs[d.key] = d
+}
+
+// --- polling pickup ---
+
+// armScan schedules an idle worker to take a batch after the mean poll
+// detection delay. If every worker is busy, the batch waits until one
+// drains (workers re-scan after each work item).
+func (h *IOHypervisor) armScan() {
+	if h.failed {
+		return
+	}
+	w := h.idleWorker()
+	if w == nil || w.scanArmed {
+		return
+	}
+	w.scanArmed = true
+	delay := h.rng.Range(1, h.p.PollInterval)
+	if h.p.MwaitEnabled {
+		// §4.6 "Energy": the sidecore waits in a low-power state via
+		// monitor/mwait and pays the wake-up latency on new work.
+		delay += h.p.MwaitWakeLatency
+	}
+	h.eng.After(delay, func() {
+		w.scanArmed = false
+		w.scan()
+	})
+}
+
+func (h *IOHypervisor) idleWorker() *Worker {
+	for _, w := range h.workers {
+		if !w.Core.Busy() && !w.scanArmed {
+			return w
+		}
+	}
+	return nil
+}
+
+// pickWorker returns the least-loaded worker, breaking ties round-robin so
+// steady light load still spreads across the sidecores.
+func (h *IOHypervisor) pickWorker() *Worker {
+	n := len(h.workers)
+	h.rrIdx++
+	best := h.workers[h.rrIdx%n]
+	for i := 1; i < n; i++ {
+		w := h.workers[(h.rrIdx+i)%n]
+		if w.Core.QueueLen() < best.Core.QueueLen() {
+			best = w
+		}
+	}
+	return best
+}
+
+// scan is the worker poll loop body: drain every ring, handing frames to
+// the reassembly ports; complete messages are steered as work items.
+func (w *Worker) scan() {
+	h := w.hyp
+	found := false
+	for _, port := range h.ports {
+		frames := port.VF().Poll(64)
+		if len(frames) > 0 {
+			found = true
+			port.HandleBatch(frames)
+		}
+	}
+	if h.uplink != nil {
+		frames := h.uplink.Poll(64)
+		if len(frames) > 0 {
+			found = true
+			for _, fr := range frames {
+				h.ingressPlain(fr)
+			}
+		}
+	}
+	if found {
+		// More may have arrived while we processed; re-arm.
+		h.armScan()
+	}
+}
+
+// --- ingress paths ---
+
+// ingressMessage handles a reassembled transport message from a client.
+func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy bool) {
+	if h.failed {
+		return
+	}
+	h.Counters.Inc("msgs", 1)
+	cost := h.p.WorkerServiceCost + sim.Time(h.p.WorkerPerByte*float64(len(msg)))
+	if !zeroCopy {
+		cost += sim.Time(h.p.CopyPenaltyPerByte * float64(len(msg)))
+		h.Counters.Inc("copy_bytes", uint64(len(msg)))
+	}
+	// Peek at the device to steer before charging the worker.
+	hdr, _, err := transport.Decode(msg)
+	key := devKey{src, 0}
+	if err == nil {
+		key.id = hdr.DeviceID
+	}
+	h.steer(key, cost, func() {
+		if err := h.endpoint.Deliver(src, msg); err != nil {
+			h.Counters.Inc("bad_msgs", 1)
+		}
+	})
+}
+
+// ingressPlain handles a frame from the uplink (external party -> some VM's
+// F address).
+func (h *IOHypervisor) ingressPlain(frame []byte) {
+	if h.failed {
+		return
+	}
+	f, err := ethernet.Decode(frame)
+	if err != nil {
+		return
+	}
+	dev := h.fib[f.Dst]
+	if dev == nil {
+		h.Counters.Inc("unknown_dst", 1)
+		return
+	}
+	h.Counters.Inc("net_in", 1)
+	payload, icost, err := dev.chain.Process(interpose.ToGuest, dev.key.id, f.Payload)
+	if err != nil {
+		h.Counters.Inc("interpose_drops", 1)
+		return
+	}
+	inner := ethernet.Frame{Dst: f.Dst, Src: f.Src, EtherType: f.EtherType, Payload: payload}
+	raw, _ := inner.Encode(0)
+	cost := h.p.WorkerServiceCost + h.p.EncapCost + icost
+	h.steer(dev.key, cost, func() {
+		h.endpoint.SendNetRx(dev.key.client, dev.key.id, raw)
+		h.txInterrupt()
+	})
+}
+
+// txInterrupt charges the transmit-side interrupt in the no-poll ablation.
+func (h *IOHypervisor) txInterrupt() {
+	if h.mode != ModeInterrupt {
+		return
+	}
+	w := h.pickWorker()
+	h.Counters.Inc("iohost_irqs", 1)
+	w.Core.Exec(cpu.NoOwner, cpu.KindIRQ, h.p.HostIRQCost, nil)
+}
+
+// steer assigns work for a device to its owning worker, or to the least
+// loaded worker when unowned, holding ownership until the device's queue
+// drains (§4.1: order-preserving steering).
+func (h *IOHypervisor) steer(key devKey, cost sim.Time, fn func()) {
+	w := h.devOwner[key]
+	if w == nil {
+		w = h.pickWorker()
+		h.devOwner[key] = w
+	}
+	h.devPending[key]++
+	w.Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
+		w.Processed++
+		h.devPending[key]--
+		if h.devPending[key] == 0 {
+			delete(h.devOwner, key)
+			delete(h.devPending, key)
+		}
+		if h.failed {
+			return // a crashed host executes nothing, even queued work
+		}
+		fn()
+	})
+}
+
+// --- transport-level handlers (run inside steered work items) ---
+
+// handleNetTx forwards a guest-transmitted frame: locally to another
+// IOclient device, or out the uplink.
+func (h *IOHypervisor) handleNetTx(src ethernet.MAC, deviceID uint16, frame []byte) {
+	if h.failed {
+		return
+	}
+	dev := h.netDevs[devKey{src, deviceID}]
+	chain := h.defaultCh
+	if dev != nil {
+		chain = dev.chain
+	}
+	f, err := ethernet.Decode(frame)
+	if err != nil {
+		h.Counters.Inc("bad_msgs", 1)
+		return
+	}
+	payload, icost, err := chain.Process(interpose.ToDevice, deviceID, f.Payload)
+	if err != nil {
+		h.Counters.Inc("interpose_drops", 1)
+		return
+	}
+	// Interposition cost is charged to the current worker asynchronously
+	// (the message's service cost was charged at steer time; chain cost is
+	// charged now on the least loaded worker to keep the model simple).
+	if icost > 0 {
+		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost, nil)
+	}
+	out := ethernet.Frame{Dst: f.Dst, Src: f.Src, EtherType: f.EtherType, Payload: payload}
+
+	if local := h.fib[f.Dst]; local != nil {
+		// VM-to-VM through the IOhost: deliver to the destination device.
+		h.Counters.Inc("net_fwd_local", 1)
+		inPayload, inCost, err := local.chain.Process(interpose.ToGuest, local.key.id, out.Payload)
+		if err != nil {
+			h.Counters.Inc("interpose_drops", 1)
+			return
+		}
+		if inCost > 0 {
+			h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, inCost, nil)
+		}
+		final := out
+		final.Payload = inPayload
+		raw, _ := final.Encode(0)
+		h.endpoint.SendNetRx(local.key.client, local.key.id, raw)
+		h.txInterrupt()
+		return
+	}
+	if h.uplink == nil {
+		h.Counters.Inc("unknown_dst", 1)
+		return
+	}
+	h.Counters.Inc("net_fwd_uplink", 1)
+	// Transmit with the device's F MAC as source so replies route back.
+	if dev != nil {
+		out.Src = dev.fMAC
+	}
+	if err := h.uplink.SendFrame(out); err != nil {
+		h.Counters.Inc("bad_msgs", 1)
+	}
+	h.txInterrupt()
+}
+
+// handleBlkReq decodes a virtio-blk request, interposes, executes it on the
+// backend, and responds.
+func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req []byte) {
+	dev := h.blkDevs[devKey{src, hdr.DeviceID}]
+	if dev == nil {
+		h.Counters.Inc("unknown_dev", 1)
+		h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkUnsupp})
+		return
+	}
+	bh, body, err := virtio.DecodeBlkHdr(req)
+	if err != nil {
+		h.Counters.Inc("bad_msgs", 1)
+		h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkIOErr})
+		return
+	}
+	h.Counters.Inc("blk_reqs", 1)
+
+	switch bh.Type {
+	case virtio.BlkOut: // write
+		payload, icost, err := dev.chain.Process(interpose.ToDevice, hdr.DeviceID, body)
+		if err != nil {
+			h.Counters.Inc("interpose_drops", 1)
+			h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkIOErr})
+			return
+		}
+		// §4.4: aligned inner portions are zero-copied; edges are copied.
+		copied := copiedEdgeBytes(len(payload), h.p.SectorSize)
+		cost := h.p.BlockServiceCost + icost + sim.Time(h.p.CopyPenaltyPerByte*float64(copied))
+		if copied > 0 {
+			h.Counters.Inc("copy_bytes", uint64(copied))
+		}
+		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
+			dev.backend.Submit(blockdev.Request{Op: blockdev.OpWrite, Sector: bh.Sector, Data: payload}, func(resp blockdev.Response) {
+				status := byte(virtio.BlkOK)
+				if resp.Err != nil {
+					status = virtio.BlkIOErr
+				}
+				h.respondBlk(src, hdr, []byte{status})
+			})
+		})
+	case virtio.BlkIn:
+		// Read length travels as the body: a 4-byte little-endian sector
+		// count (the front-end convention; see the core package).
+		n := 0
+		if len(body) >= 4 {
+			n = int(uint32(body[0]) | uint32(body[1])<<8 | uint32(body[2])<<16 | uint32(body[3])<<24)
+		}
+		if n <= 0 {
+			h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkIOErr})
+			return
+		}
+		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
+			dev.backend.Submit(blockdev.Request{Op: blockdev.OpRead, Sector: bh.Sector, Sectors: n}, func(resp blockdev.Response) {
+				if resp.Err != nil {
+					h.respondBlk(src, hdr, []byte{virtio.BlkIOErr})
+					return
+				}
+				// §4.4: reads cannot zero-copy at the IOhost.
+				data, icost, err := dev.chain.Process(interpose.ToGuest, hdr.DeviceID, resp.Data)
+				if err != nil {
+					h.respondBlk(src, hdr, []byte{virtio.BlkIOErr})
+					return
+				}
+				copyCost := sim.Time(h.p.CopyPenaltyPerByte * float64(len(data)))
+				h.Counters.Inc("copy_bytes", uint64(len(data)))
+				h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost+copyCost, func() {
+					h.respondBlk(src, hdr, append([]byte{virtio.BlkOK}, data...))
+				})
+			})
+		})
+	case virtio.BlkFlush:
+		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
+			dev.backend.Submit(blockdev.Request{Op: blockdev.OpFlush}, func(resp blockdev.Response) {
+				status := byte(virtio.BlkOK)
+				if resp.Err != nil {
+					status = virtio.BlkIOErr
+				}
+				h.respondBlk(src, hdr, []byte{status})
+			})
+		})
+	default:
+		h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkUnsupp})
+	}
+}
+
+func (h *IOHypervisor) respondBlk(src ethernet.MAC, hdr transport.Header, resp []byte) {
+	if h.failed {
+		return // completions from a crashed host never leave it
+	}
+	h.endpoint.RespondBlk(src, hdr, resp)
+	h.txInterrupt()
+}
+
+// copiedEdgeBytes estimates the §4.4 edge copy for a write whose buffer
+// arrived at an arbitrary offset in DMA memory: the head and tail partial
+// sectors. A length that is an exact sector multiple still copies nothing
+// only if the offset is aligned; we model the common case where the
+// transport header shifts the payload off alignment.
+func copiedEdgeBytes(length, sectorSize int) int {
+	if length == 0 {
+		return 0
+	}
+	if length < 2*sectorSize {
+		return length
+	}
+	// Transport + virtio headers shift the payload by their combined size.
+	offset := (transport.HeaderSize + virtio.BlkHdrSize) % sectorSize
+	head := (sectorSize - offset) % sectorSize
+	tail := (offset + length) % sectorSize
+	return head + tail
+}
+
+func init() {
+	// Assert the assumption copiedEdgeBytes builds on: header sizes are
+	// stable. This breaks loudly if the wire format changes.
+	if transport.HeaderSize+virtio.BlkHdrSize != 44 {
+		panic(fmt.Sprintf("iohyp: unexpected header sizes: %d", transport.HeaderSize+virtio.BlkHdrSize))
+	}
+}

@@ -1,0 +1,156 @@
+// Package link models the rack's networking fabric: point-to-point wires
+// with bandwidth and propagation delay, and a store-and-forward switch with
+// MAC learning. Frames are real encoded Ethernet bytes (package ethernet);
+// the fabric only sees opaque frames, exactly like real cabling.
+package link
+
+import (
+	"vrio/internal/ethernet"
+	"vrio/internal/sim"
+)
+
+// Receiver consumes frames arriving at the end of a wire.
+type Receiver interface {
+	ReceiveFrame(frame []byte)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(frame []byte)
+
+// ReceiveFrame implements Receiver.
+func (f ReceiverFunc) ReceiveFrame(frame []byte) { f(frame) }
+
+// Wire is a unidirectional link. Frames serialize at the link's bandwidth
+// (FIFO — a wire cannot interleave frames) and then propagate with fixed
+// latency. A pair of Wires forms a full-duplex cable.
+type Wire struct {
+	eng  *sim.Engine
+	bps  float64  // bits per second
+	lat  sim.Time // propagation + PHY latency
+	dst  Receiver
+	busy sim.Time // when the transmitter frees up
+
+	// Bytes and Frames count traffic carried.
+	Bytes  uint64
+	Frames uint64
+}
+
+// NewWire builds a wire delivering to dst.
+func NewWire(eng *sim.Engine, bps float64, latency sim.Time, dst Receiver) *Wire {
+	if bps <= 0 {
+		panic("link: non-positive bandwidth")
+	}
+	if latency < 0 {
+		panic("link: negative latency")
+	}
+	return &Wire{eng: eng, bps: bps, lat: latency, dst: dst}
+}
+
+// SetReceiver rebinds the wire's destination (used while assembling
+// topologies).
+func (w *Wire) SetReceiver(dst Receiver) { w.dst = dst }
+
+// serialization returns the time to clock size bytes onto the wire.
+func (w *Wire) serialization(size int) sim.Time {
+	return sim.Time(float64(size*8) / w.bps * float64(sim.Second))
+}
+
+// Send transmits one encoded frame. Wire-level overhead (preamble/FCS/IFG)
+// is included via ethernet.Frame.WireSize's convention: callers pass encoded
+// frame bytes; 24 bytes of overhead are added here.
+func (w *Wire) Send(frame []byte) {
+	w.Frames++
+	w.Bytes += uint64(len(frame))
+	start := w.eng.Now()
+	if w.busy > start {
+		start = w.busy
+	}
+	depart := start + w.serialization(len(frame)+24)
+	w.busy = depart
+	deliverAt := depart + w.lat
+	msg := frame
+	w.eng.At(deliverAt, func() {
+		if w.dst != nil {
+			w.dst.ReceiveFrame(msg)
+		}
+	})
+}
+
+// Utilization reports the carried load in bits/s over elapsed time.
+func (w *Wire) Utilization() float64 {
+	now := w.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(w.Bytes*8) / now.Seconds() / w.bps
+}
+
+// Duplex is a full-duplex cable: two wires between endpoints A and B.
+type Duplex struct {
+	AtoB *Wire
+	BtoA *Wire
+}
+
+// NewDuplex builds a cable; receivers are attached later via SetReceiver.
+func NewDuplex(eng *sim.Engine, bps float64, latency sim.Time) *Duplex {
+	return &Duplex{
+		AtoB: NewWire(eng, bps, latency, nil),
+		BtoA: NewWire(eng, bps, latency, nil),
+	}
+}
+
+// Switch is a store-and-forward rack switch with MAC learning. Each port is
+// a Duplex cable; the switch owns the "B" side of every port.
+type Switch struct {
+	eng     *sim.Engine
+	latency sim.Time
+	ports   []*Duplex
+	fib     map[ethernet.MAC]int
+
+	// Forwarded and Flooded count frames by forwarding decision.
+	Forwarded uint64
+	Flooded   uint64
+}
+
+// NewSwitch builds a switch with the given store-and-forward latency.
+func NewSwitch(eng *sim.Engine, latency sim.Time) *Switch {
+	return &Switch{eng: eng, latency: latency, fib: make(map[ethernet.MAC]int)}
+}
+
+// AttachPort plugs a cable into the switch: frames arriving on cable.AtoB
+// enter the switch; the switch transmits to the device via cable.BtoA. It
+// returns the port index.
+func (s *Switch) AttachPort(cable *Duplex) int {
+	idx := len(s.ports)
+	s.ports = append(s.ports, cable)
+	cable.AtoB.SetReceiver(ReceiverFunc(func(frame []byte) { s.ingress(idx, frame) }))
+	return idx
+}
+
+func (s *Switch) ingress(port int, frame []byte) {
+	f, err := ethernet.Decode(frame)
+	if err != nil {
+		return // runt frame: dropped silently, as hardware would
+	}
+	s.fib[f.Src] = port
+	s.eng.After(s.latency, func() { s.egress(port, f.Dst, frame) })
+}
+
+func (s *Switch) egress(ingress int, dst ethernet.MAC, frame []byte) {
+	if dst != ethernet.Broadcast {
+		if out, ok := s.fib[dst]; ok {
+			if out != ingress {
+				s.Forwarded++
+				s.ports[out].BtoA.Send(frame)
+			}
+			return
+		}
+	}
+	// Unknown destination or broadcast: flood all ports but ingress.
+	s.Flooded++
+	for i, p := range s.ports {
+		if i != ingress {
+			p.BtoA.Send(frame)
+		}
+	}
+}

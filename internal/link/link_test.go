@@ -1,0 +1,218 @@
+package link
+
+import (
+	"testing"
+
+	"vrio/internal/ethernet"
+	"vrio/internal/sim"
+)
+
+func TestWireDeliversWithLatencyAndSerialization(t *testing.T) {
+	e := sim.NewEngine()
+	var arrived sim.Time
+	w := NewWire(e, 8e9, 100, ReceiverFunc(func(frame []byte) { arrived = e.Now() })) // 1 byte/ns
+	w.Send(make([]byte, 976))                                                         // +24 overhead = 1000 bytes = 1000ns
+	e.Run()
+	if arrived != 1100 {
+		t.Errorf("arrived at %v, want 1100 (1000 serialization + 100 latency)", arrived)
+	}
+	if w.Frames != 1 || w.Bytes != 976 {
+		t.Errorf("Frames=%d Bytes=%d", w.Frames, w.Bytes)
+	}
+}
+
+func TestWireSerializesBackToBack(t *testing.T) {
+	e := sim.NewEngine()
+	var arrivals []sim.Time
+	w := NewWire(e, 8e9, 0, ReceiverFunc(func([]byte) { arrivals = append(arrivals, e.Now()) }))
+	// Two frames sent at t=0: second must wait for the first's serialization.
+	w.Send(make([]byte, 976))
+	w.Send(make([]byte, 976))
+	e.Run()
+	if len(arrivals) != 2 || arrivals[0] != 1000 || arrivals[1] != 2000 {
+		t.Errorf("arrivals = %v, want [1000 2000]", arrivals)
+	}
+}
+
+func TestWireBandwidthMatters(t *testing.T) {
+	e := sim.NewEngine()
+	var slow, fast sim.Time
+	w10 := NewWire(e, 10e9, 0, ReceiverFunc(func([]byte) { slow = e.Now() }))
+	w40 := NewWire(e, 40e9, 0, ReceiverFunc(func([]byte) { fast = e.Now() }))
+	frame := make([]byte, 9976) // 10000 wire bytes
+	w10.Send(frame)
+	w40.Send(frame)
+	e.Run()
+	if slow != 4*fast {
+		t.Errorf("10G took %v, 40G took %v; want exactly 4x", slow, fast)
+	}
+}
+
+func TestWireValidation(t *testing.T) {
+	e := sim.NewEngine()
+	mustPanic := func(fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		fn()
+	}
+	mustPanic(func() { NewWire(e, 0, 0, nil) })
+	mustPanic(func() { NewWire(e, 1e9, -1, nil) })
+}
+
+func TestWireUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	w := NewWire(e, 8e9, 0, ReceiverFunc(func([]byte) {}))
+	w.Send(make([]byte, 976)) // 1000ns serialization at 1B/ns
+	e.At(2000, func() {})
+	e.Run()
+	// 976 bytes carried in 2000ns on an 8Gbps wire: 976*8/2000e-9/8e9.
+	want := float64(976*8) / (2000e-9) / 8e9
+	if got := w.Utilization(); got < want*0.99 || got > want*1.01 {
+		t.Errorf("Utilization = %v, want %v", got, want)
+	}
+}
+
+func frameBytes(t *testing.T, src, dst ethernet.MAC, payload string) []byte {
+	t.Helper()
+	f := ethernet.Frame{Dst: dst, Src: src, EtherType: ethernet.EtherTypePlain, Payload: []byte(payload)}
+	b, err := f.Encode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// endpoint collects frames for switch tests.
+type endpoint struct {
+	mac    ethernet.MAC
+	cable  *Duplex
+	frames []string
+}
+
+func attachEndpoint(t *testing.T, e *sim.Engine, sw *Switch, node uint32) *endpoint {
+	t.Helper()
+	ep := &endpoint{mac: ethernet.NewMAC(node)}
+	ep.cable = NewDuplex(e, 10e9, 10)
+	sw.AttachPort(ep.cable)
+	ep.cable.BtoA.SetReceiver(ReceiverFunc(func(frame []byte) {
+		f, err := ethernet.Decode(frame)
+		if err != nil {
+			t.Errorf("endpoint decode: %v", err)
+			return
+		}
+		ep.frames = append(ep.frames, string(f.Payload))
+	}))
+	return ep
+}
+
+func TestSwitchLearnsAndForwards(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, 50)
+	a := attachEndpoint(t, e, sw, 1)
+	b := attachEndpoint(t, e, sw, 2)
+	c := attachEndpoint(t, e, sw, 3)
+
+	// First frame to an unknown MAC floods.
+	a.cable.AtoB.Send(frameBytes(t, a.mac, b.mac, "hello"))
+	e.Run()
+	if len(b.frames) != 1 || b.frames[0] != "hello" {
+		t.Errorf("b got %v", b.frames)
+	}
+	if len(c.frames) != 1 {
+		t.Errorf("first frame should flood to c too, got %v", c.frames)
+	}
+	if sw.Flooded != 1 {
+		t.Errorf("Flooded = %d, want 1", sw.Flooded)
+	}
+
+	// b replies; switch has learned a's port, so c sees nothing new.
+	b.cable.AtoB.Send(frameBytes(t, b.mac, a.mac, "re:hello"))
+	e.Run()
+	if len(a.frames) != 1 || a.frames[0] != "re:hello" {
+		t.Errorf("a got %v", a.frames)
+	}
+	if len(c.frames) != 1 {
+		t.Errorf("reply leaked to c: %v", c.frames)
+	}
+	if sw.Forwarded != 1 {
+		t.Errorf("Forwarded = %d, want 1", sw.Forwarded)
+	}
+
+	// Now a->b is learned: no flooding.
+	a.cable.AtoB.Send(frameBytes(t, a.mac, b.mac, "again"))
+	e.Run()
+	if len(b.frames) != 2 {
+		t.Errorf("b got %v", b.frames)
+	}
+	if len(c.frames) != 1 {
+		t.Errorf("learned forward leaked to c: %v", c.frames)
+	}
+}
+
+func TestSwitchBroadcast(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, 0)
+	a := attachEndpoint(t, e, sw, 1)
+	b := attachEndpoint(t, e, sw, 2)
+	c := attachEndpoint(t, e, sw, 3)
+	a.cable.AtoB.Send(frameBytes(t, a.mac, ethernet.Broadcast, "bcast"))
+	e.Run()
+	if len(a.frames) != 0 {
+		t.Error("broadcast echoed to sender")
+	}
+	if len(b.frames) != 1 || len(c.frames) != 1 {
+		t.Errorf("broadcast not delivered: b=%v c=%v", b.frames, c.frames)
+	}
+}
+
+func TestSwitchHairpinSuppressed(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, 0)
+	a := attachEndpoint(t, e, sw, 1)
+	b := attachEndpoint(t, e, sw, 2)
+	// Learn both ports.
+	a.cable.AtoB.Send(frameBytes(t, a.mac, b.mac, "x"))
+	b.cable.AtoB.Send(frameBytes(t, b.mac, a.mac, "y"))
+	e.Run()
+	// A frame from a addressed to a's own learned port must not come back.
+	before := len(a.frames)
+	a.cable.AtoB.Send(frameBytes(t, a.mac, a.mac, "self"))
+	e.Run()
+	if len(a.frames) != before {
+		t.Error("switch hairpinned a frame back out its ingress port")
+	}
+}
+
+func TestSwitchDropsRuntFrames(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, 0)
+	a := attachEndpoint(t, e, sw, 1)
+	b := attachEndpoint(t, e, sw, 2)
+	a.cable.AtoB.Send([]byte{1, 2, 3}) // shorter than an Ethernet header
+	e.Run()
+	if len(b.frames) != 0 {
+		t.Error("runt frame forwarded")
+	}
+	if sw.Flooded != 0 && sw.Forwarded != 0 {
+		t.Error("runt frame counted")
+	}
+}
+
+func TestSwitchLatencyAddsUp(t *testing.T) {
+	e := sim.NewEngine()
+	sw := NewSwitch(e, 500)
+	a := attachEndpoint(t, e, sw, 1)
+	b := attachEndpoint(t, e, sw, 2)
+	var arrival sim.Time
+	b.cable.BtoA.SetReceiver(ReceiverFunc(func(frame []byte) { arrival = e.Now() }))
+	a.cable.AtoB.Send(frameBytes(t, a.mac, b.mac, "t"))
+	e.Run()
+	// serialization (tiny) + wire 10 + switch 500 + serialization + wire 10.
+	if arrival < 520 || arrival > 600 {
+		t.Errorf("arrival = %v, want ≈520-600", arrival)
+	}
+}

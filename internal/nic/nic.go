@@ -1,0 +1,226 @@
+// Package nic models network interface controllers: SRIOV physical
+// functions carved into virtual functions (VFs), receive rings that drop on
+// overflow (§4.5's Rx-ring experiment), interrupt delivery with coalescing,
+// poll-mode draining (the vRIO IOhost polls its NICs, §4.2), and TSO
+// transmission of vRIO messages.
+package nic
+
+import (
+	"fmt"
+
+	"vrio/internal/ethernet"
+	"vrio/internal/link"
+	"vrio/internal/sim"
+)
+
+// DeliveryMode selects how a VF hands received frames to software.
+type DeliveryMode int
+
+// Delivery modes.
+const (
+	// ModeInterrupt raises a (coalesced) interrupt per frame batch.
+	ModeInterrupt DeliveryMode = iota
+	// ModePoll enqueues silently; software drains with Poll.
+	ModePoll
+)
+
+// Config holds the NIC's hardware characteristics.
+type Config struct {
+	// ProcessCost is per-frame NIC latency (DMA + descriptor handling).
+	ProcessCost sim.Time
+	// CoalesceDelay batches interrupts: the IRQ fires this long after the
+	// first undelivered frame arrives.
+	CoalesceDelay sim.Time
+	// RxRingSize is the per-VF receive ring capacity in frames.
+	RxRingSize int
+}
+
+// NIC is one physical port. Its transmit side feeds one wire (to a switch
+// or a directly cabled peer); its receive side is the wire's receiver.
+// SRIOV instances are created with AddVF; a non-virtualized NIC is simply a
+// NIC with a single VF.
+type NIC struct {
+	eng  *sim.Engine
+	name string
+	cfg  Config
+	tx   *link.Wire
+	vfs  map[ethernet.MAC]*VF
+
+	// UnknownDst counts frames that matched no VF.
+	UnknownDst uint64
+
+	// Promiscuous, when set, receives frames that match no VF MAC — the
+	// IOhost's uplink port runs this way, since it terminates traffic for
+	// every front-end F address behind it.
+	Promiscuous *VF
+}
+
+// New builds a NIC transmitting into tx.
+func New(eng *sim.Engine, name string, cfg Config, tx *link.Wire) *NIC {
+	if cfg.RxRingSize <= 0 {
+		panic("nic: RxRingSize must be positive")
+	}
+	return &NIC{eng: eng, name: name, cfg: cfg, tx: tx, vfs: make(map[ethernet.MAC]*VF)}
+}
+
+// Name reports the NIC name.
+func (n *NIC) Name() string { return n.name }
+
+// AddVF carves out an SRIOV virtual function with its own MAC.
+func (n *NIC) AddVF(mac ethernet.MAC, mode DeliveryMode) *VF {
+	if _, dup := n.vfs[mac]; dup {
+		panic(fmt.Sprintf("nic %s: duplicate VF MAC %s", n.name, mac))
+	}
+	vf := &VF{nic: n, mac: mac, mode: mode}
+	n.vfs[mac] = vf
+	return vf
+}
+
+// ReceiveFrame implements link.Receiver: a frame arrives from the wire.
+func (n *NIC) ReceiveFrame(frame []byte) {
+	f, err := ethernet.Decode(frame)
+	if err != nil {
+		return
+	}
+	if f.Dst == ethernet.Broadcast {
+		for _, vf := range n.vfs {
+			vf.ingress(frame)
+		}
+		return
+	}
+	vf := n.vfs[f.Dst]
+	if vf == nil {
+		vf = n.Promiscuous
+	}
+	if vf == nil {
+		n.UnknownDst++
+		return
+	}
+	vf.ingress(frame)
+}
+
+// VF is one SRIOV virtual function (or the sole function of a plain NIC).
+type VF struct {
+	nic  *NIC
+	mac  ethernet.MAC
+	mode DeliveryMode
+
+	rxq       [][]byte
+	intrArmed bool
+	onIRQ     func(frames [][]byte)
+	nextMsgID uint32
+
+	// NotifyRx, if set, is invoked whenever a frame lands in the rx ring.
+	// Poll-mode consumers use it to avoid modelling literal busy-wait
+	// ticks: the poller reacts within its poll interval.
+	NotifyRx func()
+
+	// Drops counts frames lost to a full receive ring.
+	Drops uint64
+	// RxFrames / TxFrames count traffic.
+	RxFrames uint64
+	TxFrames uint64
+}
+
+// MAC reports the VF's address.
+func (v *VF) MAC() ethernet.MAC { return v.mac }
+
+// Mode reports the delivery mode.
+func (v *VF) Mode() DeliveryMode { return v.mode }
+
+// SetMode switches delivery mode (vRIO polls at the IOhost; the "w/o poll"
+// ablation runs the same NIC in interrupt mode).
+func (v *VF) SetMode(m DeliveryMode) { v.mode = m }
+
+// OnInterrupt registers the interrupt handler for ModeInterrupt delivery.
+// The handler receives the drained frame batch.
+func (v *VF) OnInterrupt(fn func(frames [][]byte)) { v.onIRQ = fn }
+
+// QueueLen reports frames waiting in the rx ring.
+func (v *VF) QueueLen() int { return len(v.rxq) }
+
+func (v *VF) ingress(frame []byte) {
+	n := v.nic
+	// NIC processing latency before the frame is visible to software.
+	n.eng.After(n.cfg.ProcessCost, func() {
+		if len(v.rxq) >= n.cfg.RxRingSize {
+			v.Drops++
+			return
+		}
+		v.rxq = append(v.rxq, frame)
+		v.RxFrames++
+		if v.mode == ModeInterrupt && !v.intrArmed {
+			v.intrArmed = true
+			n.eng.After(n.cfg.CoalesceDelay, v.fireIRQ)
+		}
+		if v.NotifyRx != nil {
+			v.NotifyRx()
+		}
+	})
+}
+
+func (v *VF) fireIRQ() {
+	v.intrArmed = false
+	if v.onIRQ == nil || len(v.rxq) == 0 {
+		return
+	}
+	batch := v.rxq
+	v.rxq = nil
+	v.onIRQ(batch)
+}
+
+// Poll drains up to max frames (all if max <= 0). Poll-mode software calls
+// this from its sidecore loop.
+func (v *VF) Poll(max int) [][]byte {
+	if max <= 0 || max >= len(v.rxq) {
+		batch := v.rxq
+		v.rxq = nil
+		return batch
+	}
+	batch := v.rxq[:max]
+	v.rxq = append([][]byte(nil), v.rxq[max:]...)
+	return batch
+}
+
+// SendFrame encodes and transmits one Ethernet frame after NIC processing.
+// A zero source address is filled with the VF's MAC; a caller-provided
+// source (e.g. a front-end F address on the IOhost uplink) is preserved.
+// Frames addressed to a sibling VF are switched inside the NIC, as SRIOV
+// hardware does, without touching the wire.
+func (v *VF) SendFrame(f ethernet.Frame) error {
+	if f.Src == (ethernet.MAC{}) {
+		f.Src = v.mac
+	}
+	b, err := f.Encode(0)
+	if err != nil {
+		return err
+	}
+	v.TxFrames++
+	if sibling, local := v.nic.vfs[f.Dst]; local && sibling != v {
+		v.nic.eng.After(v.nic.cfg.ProcessCost, func() { sibling.ingress(b) })
+		return nil
+	}
+	v.nic.eng.After(v.nic.cfg.ProcessCost, func() { v.nic.tx.Send(b) })
+	return nil
+}
+
+// SendMessage transmits a vRIO transport message of up to 64 KiB via TSO:
+// the NIC segments it into MTU-sized encapsulated fragments (§4.3) and
+// clocks each onto the wire.
+func (v *VF) SendMessage(dst ethernet.MAC, deviceID uint16, msg []byte, mtu int) error {
+	v.nextMsgID++
+	frags, err := ethernet.SegmentMessage(v.nextMsgID, deviceID, msg, mtu)
+	if err != nil {
+		return err
+	}
+	for _, p := range frags {
+		f := ethernet.Frame{Dst: dst, Src: v.mac, EtherType: ethernet.EtherTypeVRIO, Payload: p}
+		b, err := f.Encode(0)
+		if err != nil {
+			return err
+		}
+		v.TxFrames++
+		v.nic.eng.After(v.nic.cfg.ProcessCost, func() { v.nic.tx.Send(b) })
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that the whole vRIO reproduction runs on.
+//
+// The engine is single-threaded: events are callbacks ordered by simulated
+// time, with FIFO tie-breaking on equal timestamps. Given the same seed and
+// the same sequence of scheduling calls, a simulation is bit-reproducible,
+// which is what lets every figure in EXPERIMENTS.md regenerate identically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations, expressed in simulated nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulated time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts a simulated duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a simulated duration to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the time with an adaptive unit, e.g. "12.5µs".
+func (t Time) String() string {
+	switch {
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4fs", float64(t)/float64(Second))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	fn  func()
+
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+	running bool
+
+	// Stats
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled and not yet run or cancelled.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pq {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it is always a bug in the model, never a recoverable condition.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) EventID {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-run or
+// already-cancelled event is a harmless no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev == nil || id.ev.canceled || id.ev.index < 0 {
+		if id.ev != nil {
+			id.ev.canceled = true
+		}
+		return
+	}
+	id.ev.canceled = true
+	heap.Remove(&e.pq, id.ev.index)
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock
+// to each event's time. When it returns, the clock is at the last executed
+// event (or at deadline if that is smaller and events remain).
+func (e *Engine) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for len(e.pq) > 0 && !e.stopped {
+		next := e.pq[0]
+		if next.at > deadline {
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return
+		}
+		heap.Pop(&e.pq)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.executed++
+		next.fn()
+	}
+	if !e.stopped && e.now < deadline && deadline != MaxTime {
+		e.now = deadline
+	}
+}
+
+// Stop halts Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Ticker invokes fn every period until the returned stop function is called.
+// The first tick fires one period from now.
+func (e *Engine) Ticker(period Time, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		e.After(period, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}

@@ -1,0 +1,177 @@
+// Package stats provides the measurement primitives used across the vRIO
+// reproduction: streaming moments, log-bucketed latency histograms with
+// percentile queries (Table 4), named counters (Table 3), and time-series
+// samplers (Figure 15).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-linear latency histogram, HDR-style: values are bucketed
+// with bounded relative error (~1/32) so tail percentiles up to 100% stay
+// accurate without storing every sample. Values are int64 (the reproduction
+// records nanoseconds). The zero value is ready to use.
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+	sum    float64
+	min    int64
+	max    int64
+}
+
+const histSubBuckets = 32 // per power of two; relative error <= 1/32
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubBuckets {
+		return int(v)
+	}
+	// Position of the highest set bit.
+	exp := 63 - leadingZeros(uint64(v))
+	// Top 5 bits below the leading bit select the sub-bucket.
+	sub := int((uint64(v) >> (uint(exp) - 5)) & (histSubBuckets - 1))
+	return (exp-4)*histSubBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i (inverse of
+// bucketIndex, used to report percentile values).
+func bucketLow(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	exp := i/histSubBuckets + 4
+	sub := i % histSubBuckets
+	return (1 << uint(exp)) | (int64(sub) << uint(exp-5))
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	if v == 0 {
+		return 64
+	}
+	for v&(1<<63) == 0 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds one observation. Negative values are clamped to zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+		h.min = v
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += float64(v)
+}
+
+// Count reports the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min reports the smallest observation, or 0 with none.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Max reports the largest observation, or 0 with none.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile reports the value at percentile p in [0,100]. p=100 returns the
+// exact maximum. With no observations it returns 0.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	if p < 0 {
+		p = 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	idxs := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	var cum uint64
+	for _, i := range idxs {
+		cum += h.counts[i]
+		if cum >= rank {
+			v := bucketLow(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.counts = nil
+	h.total = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+}
+
+// Merge folds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]uint64)
+		h.min = other.min
+		h.max = other.max
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%d p99=%d p999=%d max=%d",
+		h.total, h.Mean(), h.Percentile(50), h.Percentile(99), h.Percentile(99.9), h.max)
+}

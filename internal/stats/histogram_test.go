@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	var h Histogram
+	h.Record(12345)
+	if h.Count() != 1 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != 12345 || h.Max() != 12345 {
+		t.Errorf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Mean() != 12345 {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		v := h.Percentile(p)
+		if v != 12345 {
+			t.Errorf("Percentile(%v) = %d, want 12345", p, v)
+		}
+	}
+}
+
+func TestHistogramExactMaxAtP100(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 977)
+	}
+	if got := h.Percentile(100); got != 977000 {
+		t.Errorf("P100 = %d, want exact max 977000", got)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	var h Histogram
+	values := make([]int64, 0, 10000)
+	// A spread of values across several orders of magnitude.
+	for i := int64(0); i < 10000; i++ {
+		v := (i * i) % 900001
+		values = append(values, v)
+		h.Record(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		want := values[int(math.Ceil(p/100*float64(len(values))))-1]
+		got := h.Percentile(p)
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("P%v = %d, want 0", p, got)
+			}
+			continue
+		}
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.05 {
+			t.Errorf("P%v = %d, want ≈%d (rel err %.3f)", p, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Errorf("Min = %d, want clamped 0", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Errorf("merged Count = %d, want 200", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 1099 {
+		t.Errorf("merged Min/Max = %d/%d", a.Min(), a.Max())
+	}
+	// Merging nil or empty is a no-op.
+	a.Merge(nil)
+	a.Merge(&Histogram{})
+	if a.Count() != 200 {
+		t.Errorf("no-op merges changed Count to %d", a.Count())
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Record(7)
+	b.Record(9)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Min() != 7 || a.Max() != 9 {
+		t.Errorf("merge into empty: n=%d min=%d max=%d", a.Count(), a.Min(), a.Max())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset did not clear histogram")
+	}
+}
+
+// Property: bucketLow(bucketIndex(v)) <= v and relative error bounded.
+func TestHistogramBucketRelativeError(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		low := bucketLow(bucketIndex(v))
+		if low > v {
+			return false
+		}
+		if v >= histSubBuckets {
+			// Bucket width <= v/32 so error bounded by ~6.25% of v.
+			if float64(v-low) > float64(v)/16 {
+				return false
+			}
+		} else if low != v {
+			return false // exact below 32
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestHistogramPercentileMonotone(t *testing.T) {
+	var h Histogram
+	for i := int64(0); i < 5000; i++ {
+		h.Record((i * 7919) % 123457)
+	}
+	prev := int64(-1)
+	for p := 0.0; p <= 100.0; p += 0.5 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("Percentile not monotone: P%v=%d < %d", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Record(100)
+	if s := h.String(); s == "" {
+		t.Error("String() empty")
+	}
+}

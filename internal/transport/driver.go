@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"vrio/internal/ethernet"
+	"vrio/internal/sim"
+	"vrio/internal/stats"
+)
+
+// Port is the channel the transport driver sends messages through: an SRIOV
+// VF in the normal configuration, or a traditional virtio NIC during live
+// migration (§4.6 shows both work; "Our vRIO implementation correctly runs
+// using Tvirtio, Tsriov, and any other NIC"). Send carries one complete
+// transport message; frame-level segmentation (TSO) happens inside the NIC
+// model on its way to the wire.
+type Port interface {
+	// Send transmits one message to dst. It must not fail synchronously;
+	// loss is a property of the channel, handled by retransmission.
+	Send(dst ethernet.MAC, payload []byte)
+	// LocalMAC reports this port's address (the T interface's MAC).
+	LocalMAC() ethernet.MAC
+}
+
+// Config holds the reliability knobs (§4.5).
+type Config struct {
+	// InitialTimeout is the first block-request retransmission timeout
+	// (the paper uses 10 ms), doubled on every expiry.
+	InitialTimeout sim.Time
+	// MaxRetransmits is how many retransmissions are attempted before the
+	// request is failed with a device error.
+	MaxRetransmits int
+	// MaxChunk caps the payload per transport message; block requests
+	// larger than this are chunked (the 64 KiB TSO ceiling minus headers).
+	MaxChunk int
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		InitialTimeout: 10 * sim.Millisecond,
+		MaxRetransmits: 6,
+		MaxChunk:       ethernet.MaxMessage - HeaderSize,
+	}
+}
+
+// ErrDeviceError is reported when a block request exhausts its
+// retransmission budget (§4.5: "vRIO concludes that the request cannot be
+// served and raises a device error").
+var ErrDeviceError = errors.New("transport: device error (retransmission budget exhausted)")
+
+// BlkCallback receives a block response or a device error.
+type BlkCallback func(resp []byte, err error)
+
+// Driver is the IOclient-side transport driver. It is the second driver
+// layer of §4.1: front-ends hand it requests; it encapsulates, segments,
+// retransmits, reassembles, and calls front-end handlers on completion.
+type Driver struct {
+	eng    *sim.Engine
+	port   Port
+	iohost ethernet.MAC
+	cfg    Config
+
+	nextID  uint64
+	pending map[uint64]*pendingBlk // keyed by OrigID
+
+	respAsm map[uint64]*chunkAsm // block responses being reassembled, by OrigID
+
+	// NetRx is invoked for every frame the IOhost delivers to a net
+	// front-end.
+	NetRx func(deviceID uint16, frame []byte)
+	// CreateDev / DestroyDev are invoked for I/O-hypervisor control
+	// commands (§4.1: "receiving commands from the I/O hypervisor to
+	// create and destroy paravirtual devices").
+	CreateDev  func(devType uint8, deviceID uint16)
+	DestroyDev func(deviceID uint16)
+
+	// Counters: "blk_sent", "blk_completed", "retransmits", "stale",
+	// "device_errors", "net_tx", "net_rx", "ctrl".
+	Counters stats.Counters
+}
+
+type pendingBlk struct {
+	origID   uint64
+	curReqID uint64
+	deviceID uint16
+	devType  uint8
+	chunks   [][]byte // raw payload chunks for retransmission
+	timeout  sim.Time
+	retries  int
+	timer    sim.EventID
+	done     BlkCallback
+}
+
+type chunkAsm struct {
+	chunks [][]byte
+	got    int
+	seq    uint64 // insertion order, for endpoint-side eviction
+}
+
+// NewDriver builds a transport driver bound to its IOhost's MAC.
+func NewDriver(eng *sim.Engine, port Port, iohost ethernet.MAC, cfg Config) *Driver {
+	if cfg.InitialTimeout <= 0 {
+		cfg.InitialTimeout = DefaultConfig().InitialTimeout
+	}
+	if cfg.MaxRetransmits <= 0 {
+		cfg.MaxRetransmits = DefaultConfig().MaxRetransmits
+	}
+	if cfg.MaxChunk <= 0 {
+		cfg.MaxChunk = DefaultConfig().MaxChunk
+	}
+	return &Driver{
+		eng:     eng,
+		port:    port,
+		iohost:  iohost,
+		cfg:     cfg,
+		pending: make(map[uint64]*pendingBlk),
+		respAsm: make(map[uint64]*chunkAsm),
+	}
+}
+
+// InFlightBlk reports how many block requests await completion.
+func (d *Driver) InFlightBlk() int { return len(d.pending) }
+
+// SetPort switches the channel the driver transmits through — the §4.6
+// live-migration mechanism ("F can dynamically switch between channeling
+// traffic via Tsriov and Tvirtio"). In-flight block requests keep their
+// timers and simply retransmit through the new port.
+func (d *Driver) SetPort(port Port) { d.port = port }
+
+// Port reports the current channel.
+func (d *Driver) Port() Port { return d.port }
+
+// SetRemote points the driver at a different IOhost channel address (the
+// destination VMhost's cable lands on a different IOhost NIC).
+func (d *Driver) SetRemote(iohost ethernet.MAC) { d.iohost = iohost }
+
+func (d *Driver) allocID() uint64 {
+	d.nextID++
+	return d.nextID
+}
+
+// SendNet transmits a guest network frame to the IOhost. Net traffic is
+// deliberately unreliable (§4.5: TCP above retransmits; UDP may lose
+// anyhow).
+func (d *Driver) SendNet(devType uint8, deviceID uint16, frame []byte) {
+	d.Counters.Inc("net_tx", 1)
+	msg := Encode(Header{
+		Type:       MsgNetTx,
+		DeviceType: devType,
+		DeviceID:   deviceID,
+		ReqID:      d.allocID(),
+		ChunkCount: 1,
+	}, frame)
+	d.port.Send(d.iohost, msg)
+}
+
+// SendBlk transmits a block request reliably. done is invoked exactly once,
+// with the response payload or ErrDeviceError.
+func (d *Driver) SendBlk(devType uint8, deviceID uint16, req []byte, done BlkCallback) {
+	if done == nil {
+		panic("transport: SendBlk requires a completion callback")
+	}
+	d.Counters.Inc("blk_sent", 1)
+	p := &pendingBlk{
+		origID:   d.allocID(),
+		deviceID: deviceID,
+		devType:  devType,
+		timeout:  d.cfg.InitialTimeout,
+		done:     done,
+	}
+	for off := 0; off == 0 || off < len(req); off += d.cfg.MaxChunk {
+		end := off + d.cfg.MaxChunk
+		if end > len(req) {
+			end = len(req)
+		}
+		p.chunks = append(p.chunks, req[off:end])
+	}
+	d.pending[p.origID] = p
+	d.transmit(p)
+}
+
+// transmit sends all chunks of p under a fresh ReqID and arms the timer.
+func (d *Driver) transmit(p *pendingBlk) {
+	p.curReqID = d.allocID()
+	// Chunks collected from a superseded attempt are discarded: the
+	// response must reassemble from a single ReqID generation.
+	delete(d.respAsm, p.origID)
+	for i, chunk := range p.chunks {
+		msg := Encode(Header{
+			Type:       MsgBlkReq,
+			DeviceType: p.devType,
+			DeviceID:   p.deviceID,
+			ReqID:      p.curReqID,
+			OrigID:     p.origID,
+			Chunk:      uint16(i),
+			ChunkCount: uint16(len(p.chunks)),
+		}, chunk)
+		d.port.Send(d.iohost, msg)
+	}
+	p.timer = d.eng.After(p.timeout, func() { d.expire(p) })
+}
+
+func (d *Driver) expire(p *pendingBlk) {
+	if d.pending[p.origID] != p {
+		return // completed in the meantime
+	}
+	if p.retries >= d.cfg.MaxRetransmits {
+		delete(d.pending, p.origID)
+		delete(d.respAsm, p.origID)
+		d.Counters.Inc("device_errors", 1)
+		p.done(nil, fmt.Errorf("%w: request %d after %d attempts",
+			ErrDeviceError, p.origID, p.retries+1))
+		return
+	}
+	p.retries++
+	p.timeout *= 2 // §4.5: doubled upon each subsequent expiration
+	d.Counters.Inc("retransmits", 1)
+	d.transmit(p)
+}
+
+// Deliver ingests one transport message arriving from the channel. The NIC
+// model calls this once a full message is reassembled from wire fragments.
+func (d *Driver) Deliver(payload []byte) error {
+	h, body, err := Decode(payload)
+	if err != nil {
+		return err
+	}
+	switch h.Type {
+	case MsgNetRx:
+		d.Counters.Inc("net_rx", 1)
+		if d.NetRx != nil {
+			d.NetRx(h.DeviceID, body)
+		}
+	case MsgBlkResp:
+		d.deliverBlkResp(h, body)
+	case MsgCtrlCreateDev:
+		d.Counters.Inc("ctrl", 1)
+		if d.CreateDev != nil {
+			d.CreateDev(h.DeviceType, h.DeviceID)
+		}
+		d.port.Send(d.iohost, Encode(Header{Type: MsgCtrlAck, ReqID: h.ReqID, ChunkCount: 1}, nil))
+	case MsgCtrlDestroyDev:
+		d.Counters.Inc("ctrl", 1)
+		if d.DestroyDev != nil {
+			d.DestroyDev(h.DeviceID)
+		}
+		d.port.Send(d.iohost, Encode(Header{Type: MsgCtrlAck, ReqID: h.ReqID, ChunkCount: 1}, nil))
+	default:
+		return fmt.Errorf("transport: client received unexpected %v", h.Type)
+	}
+	return nil
+}
+
+func (d *Driver) deliverBlkResp(h Header, body []byte) {
+	p := d.pending[h.OrigID]
+	if p == nil {
+		d.Counters.Inc("stale", 1) // response to an already-completed request
+		return
+	}
+	if h.ReqID != p.curReqID {
+		// §4.5: a response to a superseded transmission is stale; a fresh
+		// response for the current ReqID will (or did) arrive.
+		d.Counters.Inc("stale", 1)
+		return
+	}
+	asm := d.respAsm[h.OrigID]
+	if asm == nil {
+		asm = &chunkAsm{chunks: make([][]byte, h.ChunkCount)}
+		d.respAsm[h.OrigID] = asm
+	}
+	if int(h.Chunk) >= len(asm.chunks) {
+		d.Counters.Inc("stale", 1)
+		return
+	}
+	if asm.chunks[h.Chunk] == nil {
+		asm.chunks[h.Chunk] = append([]byte{}, body...)
+		asm.got++
+	}
+	if asm.got < len(asm.chunks) {
+		return
+	}
+	delete(d.pending, h.OrigID)
+	delete(d.respAsm, h.OrigID)
+	d.eng.Cancel(p.timer)
+	d.Counters.Inc("blk_completed", 1)
+	var resp []byte
+	for _, c := range asm.chunks {
+		resp = append(resp, c...)
+	}
+	p.done(resp, nil)
+}

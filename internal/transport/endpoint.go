@@ -1,0 +1,265 @@
+package transport
+
+import (
+	"fmt"
+
+	"vrio/internal/ethernet"
+	"vrio/internal/sim"
+	"vrio/internal/stats"
+)
+
+// Endpoint is the IOhost-side transport peer: it reassembles chunked block
+// requests, dispatches messages to the I/O hypervisor, sends (possibly
+// chunked) responses, and pushes control commands to IOclients with a small
+// ack/retry protocol.
+type Endpoint struct {
+	eng  *sim.Engine
+	port Port
+	cfg  Config
+
+	reqAsm map[endpointKey]*chunkAsm
+	// asmSeq orders partial assemblies for eviction: a retransmission uses
+	// a fresh ReqID, so a superseded attempt's partial assembly would
+	// otherwise linger forever.
+	asmSeq uint64
+	maxAsm int
+	// Evictions counts abandoned partial assemblies.
+	Evictions uint64
+
+	// NetTx is invoked when an IOclient's net front-end transmits a frame.
+	NetTx func(src ethernet.MAC, deviceID uint16, frame []byte)
+	// BlkReq is invoked with a fully reassembled block request. The I/O
+	// hypervisor responds via RespondBlk with the same header. Duplicate
+	// executions due to retransmission are safe by §4.5's argument (the
+	// guest disk scheduler guarantees one outstanding request per block).
+	BlkReq func(src ethernet.MAC, h Header, req []byte)
+
+	nextID  uint64
+	ctrl    map[uint64]*pendingCtrl
+	noRetry bool // tests can disable control retries
+
+	// Counters: "net_tx", "blk_req", "blk_resp", "ctrl_sent", "ctrl_acked",
+	// "ctrl_retries", "bad_msgs".
+	Counters stats.Counters
+}
+
+type endpointKey struct {
+	src   ethernet.MAC
+	reqID uint64
+}
+
+type pendingCtrl struct {
+	reqID   uint64
+	msg     []byte
+	dst     ethernet.MAC
+	timeout sim.Time
+	retries int
+	timer   sim.EventID
+	done    func(acked bool)
+}
+
+// NewEndpoint builds the IOhost transport peer.
+func NewEndpoint(eng *sim.Engine, port Port, cfg Config) *Endpoint {
+	if cfg.InitialTimeout <= 0 {
+		cfg.InitialTimeout = DefaultConfig().InitialTimeout
+	}
+	if cfg.MaxRetransmits <= 0 {
+		cfg.MaxRetransmits = DefaultConfig().MaxRetransmits
+	}
+	if cfg.MaxChunk <= 0 {
+		cfg.MaxChunk = DefaultConfig().MaxChunk
+	}
+	return &Endpoint{
+		eng:    eng,
+		port:   port,
+		cfg:    cfg,
+		reqAsm: make(map[endpointKey]*chunkAsm),
+		maxAsm: 1024,
+		ctrl:   make(map[uint64]*pendingCtrl),
+	}
+}
+
+// Deliver ingests one transport message arriving from an IOclient.
+func (e *Endpoint) Deliver(src ethernet.MAC, payload []byte) error {
+	h, body, err := Decode(payload)
+	if err != nil {
+		e.Counters.Inc("bad_msgs", 1)
+		return err
+	}
+	switch h.Type {
+	case MsgNetTx:
+		e.Counters.Inc("net_tx", 1)
+		if e.NetTx != nil {
+			e.NetTx(src, h.DeviceID, body)
+		}
+	case MsgBlkReq:
+		e.deliverBlkReq(src, h, body)
+	case MsgCtrlAck:
+		e.ackCtrl(h.ReqID)
+	default:
+		e.Counters.Inc("bad_msgs", 1)
+		return fmt.Errorf("transport: endpoint received unexpected %v", h.Type)
+	}
+	return nil
+}
+
+func (e *Endpoint) deliverBlkReq(src ethernet.MAC, h Header, body []byte) {
+	if h.ChunkCount <= 1 {
+		e.Counters.Inc("blk_req", 1)
+		if e.BlkReq != nil {
+			e.BlkReq(src, h, body)
+		}
+		return
+	}
+	key := endpointKey{src, h.ReqID}
+	asm := e.reqAsm[key]
+	if asm == nil {
+		if len(e.reqAsm) >= e.maxAsm {
+			e.evictOldestAsm()
+		}
+		e.asmSeq++
+		asm = &chunkAsm{chunks: make([][]byte, h.ChunkCount), seq: e.asmSeq}
+		e.reqAsm[key] = asm
+	}
+	if int(h.Chunk) >= len(asm.chunks) {
+		e.Counters.Inc("bad_msgs", 1)
+		return
+	}
+	if asm.chunks[h.Chunk] == nil {
+		asm.chunks[h.Chunk] = append([]byte{}, body...)
+		asm.got++
+	}
+	if asm.got < len(asm.chunks) {
+		return
+	}
+	delete(e.reqAsm, key)
+	var req []byte
+	for _, c := range asm.chunks {
+		req = append(req, c...)
+	}
+	e.Counters.Inc("blk_req", 1)
+	if e.BlkReq != nil {
+		e.BlkReq(src, h, req)
+	}
+}
+
+// PendingRequests reports block requests still being reassembled.
+func (e *Endpoint) PendingRequests() int { return len(e.reqAsm) }
+
+func (e *Endpoint) evictOldestAsm() {
+	var oldestKey endpointKey
+	var oldest *chunkAsm
+	for k, a := range e.reqAsm {
+		if oldest == nil || a.seq < oldest.seq {
+			oldest = a
+			oldestKey = k
+		}
+	}
+	if oldest != nil {
+		delete(e.reqAsm, oldestKey)
+		e.Evictions++
+	}
+}
+
+// SendNetRx delivers a network frame to an IOclient front-end.
+func (e *Endpoint) SendNetRx(dst ethernet.MAC, deviceID uint16, frame []byte) {
+	e.nextID++
+	e.port.Send(dst, Encode(Header{
+		Type:       MsgNetRx,
+		DeviceID:   deviceID,
+		ReqID:      e.nextID,
+		ChunkCount: 1,
+	}, frame))
+}
+
+// RespondBlk sends a (possibly chunked) block response, echoing the
+// request's ReqID/OrigID so the client can match and de-duplicate it.
+func (e *Endpoint) RespondBlk(dst ethernet.MAC, req Header, resp []byte) {
+	e.Counters.Inc("blk_resp", 1)
+	var chunks [][]byte
+	for off := 0; off == 0 || off < len(resp); off += e.cfg.MaxChunk {
+		end := off + e.cfg.MaxChunk
+		if end > len(resp) {
+			end = len(resp)
+		}
+		chunks = append(chunks, resp[off:end])
+	}
+	for i, c := range chunks {
+		e.port.Send(dst, Encode(Header{
+			Type:       MsgBlkResp,
+			DeviceType: req.DeviceType,
+			DeviceID:   req.DeviceID,
+			ReqID:      req.ReqID,
+			OrigID:     req.OrigID,
+			Chunk:      uint16(i),
+			ChunkCount: uint16(len(chunks)),
+		}, c))
+	}
+}
+
+// CreateDevice instructs an IOclient to instantiate a paravirtual front-end
+// (§4.1: device creation is done via the I/O hypervisor). done, if non-nil,
+// reports whether the client acked within the retry budget.
+func (e *Endpoint) CreateDevice(dst ethernet.MAC, devType uint8, deviceID uint16, done func(acked bool)) {
+	e.sendCtrl(dst, MsgCtrlCreateDev, devType, deviceID, done)
+}
+
+// DestroyDevice instructs an IOclient to tear a front-end down.
+func (e *Endpoint) DestroyDevice(dst ethernet.MAC, deviceID uint16, done func(acked bool)) {
+	e.sendCtrl(dst, MsgCtrlDestroyDev, 0, deviceID, done)
+}
+
+func (e *Endpoint) sendCtrl(dst ethernet.MAC, t MsgType, devType uint8, deviceID uint16, done func(acked bool)) {
+	e.nextID++
+	p := &pendingCtrl{
+		reqID: e.nextID,
+		msg: Encode(Header{
+			Type:       t,
+			DeviceType: devType,
+			DeviceID:   deviceID,
+			ReqID:      e.nextID,
+			ChunkCount: 1,
+		}, nil),
+		dst:     dst,
+		timeout: e.cfg.InitialTimeout,
+		done:    done,
+	}
+	e.ctrl[p.reqID] = p
+	e.Counters.Inc("ctrl_sent", 1)
+	e.transmitCtrl(p)
+}
+
+func (e *Endpoint) transmitCtrl(p *pendingCtrl) {
+	e.port.Send(p.dst, p.msg)
+	p.timer = e.eng.After(p.timeout, func() { e.expireCtrl(p) })
+}
+
+func (e *Endpoint) expireCtrl(p *pendingCtrl) {
+	if e.ctrl[p.reqID] != p {
+		return
+	}
+	if p.retries >= e.cfg.MaxRetransmits {
+		delete(e.ctrl, p.reqID)
+		if p.done != nil {
+			p.done(false)
+		}
+		return
+	}
+	p.retries++
+	p.timeout *= 2
+	e.Counters.Inc("ctrl_retries", 1)
+	e.transmitCtrl(p)
+}
+
+func (e *Endpoint) ackCtrl(reqID uint64) {
+	p := e.ctrl[reqID]
+	if p == nil {
+		return // duplicate ack
+	}
+	delete(e.ctrl, reqID)
+	e.eng.Cancel(p.timer)
+	e.Counters.Inc("ctrl_acked", 1)
+	if p.done != nil {
+		p.done(true)
+	}
+}

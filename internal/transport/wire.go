@@ -1,0 +1,114 @@
+// Package transport implements vRIO's transport driver (§4.1) and its wire
+// protocol: the encapsulation that carries virtio requests between IOclients
+// and the I/O hypervisor over the dedicated Ethernet channel, the block-I/O
+// chunking for messages above the 64 KiB TSO limit (§4.3), and the
+// retransmission machinery that makes block traffic reliable over lossy
+// Ethernet (§4.5).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgType discriminates transport messages.
+type MsgType uint8
+
+// Message types. Net traffic is fire-and-forget (TCP/UDP above recover);
+// block traffic is reliable via ReqID + retransmission.
+const (
+	MsgNetTx MsgType = iota + 1 // IOclient -> IOhost: guest transmitted a frame
+	MsgNetRx                    // IOhost -> IOclient: frame destined for the guest
+	MsgBlkReq
+	MsgBlkResp
+	MsgCtrlCreateDev // IOhost -> IOclient: create a paravirtual front-end
+	MsgCtrlDestroyDev
+	MsgCtrlAck // IOclient -> IOhost: control acknowledgement
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgNetTx:
+		return "net-tx"
+	case MsgNetRx:
+		return "net-rx"
+	case MsgBlkReq:
+		return "blk-req"
+	case MsgBlkResp:
+		return "blk-resp"
+	case MsgCtrlCreateDev:
+		return "ctrl-create"
+	case MsgCtrlDestroyDev:
+		return "ctrl-destroy"
+	case MsgCtrlAck:
+		return "ctrl-ack"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Header is the transport header prepended to every message. ReqID is the
+// §4.5 unique identifier: a fresh one is assigned per block transmission
+// *and per retransmission*, so stale responses are recognizable. Chunk
+// fields split block payloads larger than the 64 KiB TSO ceiling.
+type Header struct {
+	Type       MsgType
+	DeviceType uint8 // virtio.DeviceType of the front-end
+	DeviceID   uint16
+	ReqID      uint64
+	OrigID     uint64 // stable id across retransmissions (ReqID changes)
+	Chunk      uint16
+	ChunkCount uint16
+	Length     uint32 // payload bytes in this message
+}
+
+// HeaderSize is the encoded header length.
+const HeaderSize = 28
+
+// Errors returned by the codec.
+var (
+	ErrShort   = errors.New("transport: message shorter than header")
+	ErrBadType = errors.New("transport: unknown message type")
+	ErrBadLen  = errors.New("transport: header length disagrees with payload")
+)
+
+// Encode serializes the header followed by payload.
+func Encode(h Header, payload []byte) []byte {
+	b := make([]byte, HeaderSize+len(payload))
+	b[0] = uint8(h.Type)
+	b[1] = h.DeviceType
+	binary.LittleEndian.PutUint16(b[2:], h.DeviceID)
+	binary.LittleEndian.PutUint64(b[4:], h.ReqID)
+	binary.LittleEndian.PutUint64(b[12:], h.OrigID)
+	binary.LittleEndian.PutUint16(b[20:], h.Chunk)
+	binary.LittleEndian.PutUint16(b[22:], h.ChunkCount)
+	binary.LittleEndian.PutUint32(b[24:], uint32(len(payload)))
+	copy(b[HeaderSize:], payload)
+	return b
+}
+
+// Decode parses a transport message. The returned payload aliases b.
+func Decode(b []byte) (Header, []byte, error) {
+	if len(b) < HeaderSize {
+		return Header{}, nil, ErrShort
+	}
+	h := Header{
+		Type:       MsgType(b[0]),
+		DeviceType: b[1],
+		DeviceID:   binary.LittleEndian.Uint16(b[2:]),
+		ReqID:      binary.LittleEndian.Uint64(b[4:]),
+		OrigID:     binary.LittleEndian.Uint64(b[12:]),
+		Chunk:      binary.LittleEndian.Uint16(b[20:]),
+		ChunkCount: binary.LittleEndian.Uint16(b[22:]),
+		Length:     binary.LittleEndian.Uint32(b[24:]),
+	}
+	if h.Type < MsgNetTx || h.Type > MsgCtrlAck {
+		return Header{}, nil, fmt.Errorf("%w: %d", ErrBadType, b[0])
+	}
+	if int(h.Length) != len(b)-HeaderSize {
+		return Header{}, nil, fmt.Errorf("%w: header %d, actual %d", ErrBadLen, h.Length, len(b)-HeaderSize)
+	}
+	return h, b[HeaderSize:], nil
+}

@@ -1,0 +1,130 @@
+package virtio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Device types carried in vRIO metadata (§4.1: "the front-end device
+// identifier, type of request, and request size").
+type DeviceType uint8
+
+const (
+	// DeviceNet is a paravirtual network device front-end.
+	DeviceNet DeviceType = 1
+	// DeviceBlk is a paravirtual block device front-end.
+	DeviceBlk DeviceType = 2
+)
+
+// String implements fmt.Stringer.
+func (d DeviceType) String() string {
+	switch d {
+	case DeviceNet:
+		return "net"
+	case DeviceBlk:
+		return "blk"
+	default:
+		return fmt.Sprintf("DeviceType(%d)", uint8(d))
+	}
+}
+
+// NetHdr is the virtio-net per-packet header (virtio_net_hdr), 12 bytes on
+// the wire. GSO fields are what the vRIO transport reuses to drive TSO.
+type NetHdr struct {
+	Flags      uint8
+	GSOType    uint8
+	HdrLen     uint16
+	GSOSize    uint16
+	CsumStart  uint16
+	CsumOffset uint16
+	NumBuffers uint16
+}
+
+// NetHdrSize is the encoded size of NetHdr.
+const NetHdrSize = 12
+
+// GSO types from the virtio spec.
+const (
+	GSONone  = 0
+	GSOTcpv4 = 1
+)
+
+// Encode appends the wire form of h to dst and returns the result.
+func (h NetHdr) Encode(dst []byte) []byte {
+	var b [NetHdrSize]byte
+	b[0] = h.Flags
+	b[1] = h.GSOType
+	binary.LittleEndian.PutUint16(b[2:], h.HdrLen)
+	binary.LittleEndian.PutUint16(b[4:], h.GSOSize)
+	binary.LittleEndian.PutUint16(b[6:], h.CsumStart)
+	binary.LittleEndian.PutUint16(b[8:], h.CsumOffset)
+	binary.LittleEndian.PutUint16(b[10:], h.NumBuffers)
+	return append(dst, b[:]...)
+}
+
+// ErrShortHeader reports a truncated header buffer.
+var ErrShortHeader = errors.New("virtio: short header")
+
+// DecodeNetHdr parses a NetHdr from b, returning the header and the
+// remaining payload.
+func DecodeNetHdr(b []byte) (NetHdr, []byte, error) {
+	if len(b) < NetHdrSize {
+		return NetHdr{}, nil, ErrShortHeader
+	}
+	h := NetHdr{
+		Flags:      b[0],
+		GSOType:    b[1],
+		HdrLen:     binary.LittleEndian.Uint16(b[2:]),
+		GSOSize:    binary.LittleEndian.Uint16(b[4:]),
+		CsumStart:  binary.LittleEndian.Uint16(b[6:]),
+		CsumOffset: binary.LittleEndian.Uint16(b[8:]),
+		NumBuffers: binary.LittleEndian.Uint16(b[10:]),
+	}
+	return h, b[NetHdrSize:], nil
+}
+
+// Block request types (virtio_blk_req.type).
+const (
+	BlkIn    = 0 // read
+	BlkOut   = 1 // write
+	BlkFlush = 4
+)
+
+// Block request status bytes.
+const (
+	BlkOK     = 0
+	BlkIOErr  = 1
+	BlkUnsupp = 2
+)
+
+// BlkHdr is the virtio-blk request header (type, reserved, sector).
+type BlkHdr struct {
+	Type   uint32
+	Sector uint64
+}
+
+// BlkHdrSize is the encoded size of BlkHdr.
+const BlkHdrSize = 16
+
+// Encode appends the wire form of h to dst and returns the result.
+func (h BlkHdr) Encode(dst []byte) []byte {
+	var b [BlkHdrSize]byte
+	binary.LittleEndian.PutUint32(b[0:], h.Type)
+	// bytes 4..8 reserved
+	binary.LittleEndian.PutUint64(b[8:], h.Sector)
+	return append(dst, b[:]...)
+}
+
+// DecodeBlkHdr parses a BlkHdr from b, returning the header and remaining
+// payload.
+func DecodeBlkHdr(b []byte) (BlkHdr, []byte, error) {
+	if len(b) < BlkHdrSize {
+		return BlkHdr{}, nil, ErrShortHeader
+	}
+	h := BlkHdr{
+		Type:   binary.LittleEndian.Uint32(b[0:]),
+		Sector: binary.LittleEndian.Uint64(b[8:]),
+	}
+	return h, b[BlkHdrSize:], nil
+}

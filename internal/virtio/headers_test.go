@@ -1,0 +1,83 @@
+package virtio
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNetHdrRoundTrip(t *testing.T) {
+	f := func(flags, gso uint8, hdrLen, gsoSize, cs, co, nb uint16) bool {
+		h := NetHdr{flags, gso, hdrLen, gsoSize, cs, co, nb}
+		enc := h.Encode(nil)
+		if len(enc) != NetHdrSize {
+			return false
+		}
+		dec, rest, err := DecodeNetHdr(enc)
+		return err == nil && len(rest) == 0 && dec == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetHdrDecodeLeavesPayload(t *testing.T) {
+	h := NetHdr{GSOType: GSOTcpv4, GSOSize: 1448}
+	buf := h.Encode(nil)
+	buf = append(buf, []byte("payload")...)
+	dec, rest, err := DecodeNetHdr(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.GSOType != GSOTcpv4 || dec.GSOSize != 1448 {
+		t.Errorf("decoded %+v", dec)
+	}
+	if string(rest) != "payload" {
+		t.Errorf("rest = %q", rest)
+	}
+}
+
+func TestNetHdrShort(t *testing.T) {
+	if _, _, err := DecodeNetHdr(make([]byte, NetHdrSize-1)); err != ErrShortHeader {
+		t.Errorf("err = %v, want ErrShortHeader", err)
+	}
+}
+
+func TestBlkHdrRoundTrip(t *testing.T) {
+	f := func(typ uint32, sector uint64) bool {
+		h := BlkHdr{Type: typ, Sector: sector}
+		enc := h.Encode(nil)
+		if len(enc) != BlkHdrSize {
+			return false
+		}
+		dec, rest, err := DecodeBlkHdr(enc)
+		return err == nil && len(rest) == 0 && dec == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlkHdrEncodeAppends(t *testing.T) {
+	prefix := []byte("pre")
+	h := BlkHdr{Type: BlkOut, Sector: 99}
+	out := h.Encode(append([]byte{}, prefix...))
+	if !bytes.HasPrefix(out, prefix) || len(out) != len(prefix)+BlkHdrSize {
+		t.Errorf("Encode did not append: len=%d", len(out))
+	}
+}
+
+func TestBlkHdrShort(t *testing.T) {
+	if _, _, err := DecodeBlkHdr(make([]byte, 3)); err != ErrShortHeader {
+		t.Errorf("err = %v, want ErrShortHeader", err)
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	if DeviceNet.String() != "net" || DeviceBlk.String() != "blk" {
+		t.Error("known device types misprinted")
+	}
+	if DeviceType(9).String() != "DeviceType(9)" {
+		t.Errorf("unknown device type printed as %q", DeviceType(9).String())
+	}
+}

@@ -1,0 +1,142 @@
+package vrio_test
+
+import (
+	"testing"
+	"time"
+
+	"vrio"
+)
+
+func TestFacadeAllModelsRR(t *testing.T) {
+	for _, m := range []vrio.Model{
+		vrio.ModelOptimum, vrio.ModelElvis, vrio.ModelVRIO,
+		vrio.ModelVRIONoPoll, vrio.ModelBaseline,
+	} {
+		tb := vrio.NewTestbed(vrio.Config{Model: m, VMs: 2, Seed: 1})
+		res := tb.RunNetperfRR(10 * time.Millisecond)
+		if res.Ops == 0 {
+			t.Errorf("%s: no transactions", m)
+		}
+		if res.MeanLatencyMicros <= 0 || res.MeanLatencyMicros > 500 {
+			t.Errorf("%s: implausible latency %.1fµs", m, res.MeanLatencyMicros)
+		}
+		if res.P99Micros < res.MeanLatencyMicros {
+			t.Errorf("%s: p99 %.1f below mean %.1f", m, res.P99Micros, res.MeanLatencyMicros)
+		}
+		if len(res.PerVM) != 2 {
+			t.Errorf("%s: PerVM = %v", m, res.PerVM)
+		}
+	}
+}
+
+func TestFacadeDeterministicAcrossRuns(t *testing.T) {
+	run := func() vrio.NetResult {
+		tb := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 3, Seed: 99})
+		return tb.RunNetperfRR(10 * time.Millisecond)
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.MeanLatencyMicros != b.MeanLatencyMicros {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFacadeSeedChangesRun(t *testing.T) {
+	mk := func(seed uint64) uint64 {
+		tb := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 3, Seed: seed})
+		return tb.RunNetperfRR(10 * time.Millisecond).Ops
+	}
+	if mk(1) == mk(2) {
+		// Two seeds agreeing exactly on ops over thousands of jittered
+		// transactions would be a failure of the jitter plumbing.
+		t.Error("different seeds produced identical transaction counts")
+	}
+}
+
+func TestFacadeStreamAndMacros(t *testing.T) {
+	tb := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 2, Seed: 5})
+	st := tb.RunNetperfStream(10 * time.Millisecond)
+	if st.ThroughputGbps <= 0.5 {
+		t.Errorf("stream throughput %.2f Gbps", st.ThroughputGbps)
+	}
+	tb2 := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 2, Seed: 5})
+	mc := tb2.RunMacro(vrio.Memcached, 10*time.Millisecond)
+	if mc.Ops == 0 {
+		t.Error("memcached: no transactions")
+	}
+	tb3 := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 2, Seed: 5})
+	ap := tb3.RunMacro(vrio.Apache, 10*time.Millisecond)
+	if ap.Ops == 0 {
+		t.Error("apache: no transactions")
+	}
+}
+
+func TestFacadeBlockWorkloads(t *testing.T) {
+	tb := vrio.NewTestbed(vrio.Config{
+		Model: vrio.ModelVRIO, VMs: 2, WithBlock: true, WithThreads: true, Seed: 6,
+	})
+	fb := tb.RunFilebench(1, 1, 10*time.Millisecond)
+	if fb.Ops == 0 {
+		t.Error("filebench: no ops")
+	}
+	tb2 := vrio.NewTestbed(vrio.Config{
+		Model: vrio.ModelElvis, VMs: 2, WithBlock: true, WithThreads: true, Seed: 6,
+	})
+	ws := tb2.RunWebserver(10 * time.Millisecond)
+	if ws.Ops == 0 || ws.ThroughputMbps <= 0 {
+		t.Errorf("webserver: ops=%d mbps=%.1f", ws.Ops, ws.ThroughputMbps)
+	}
+}
+
+func TestFacadeEventCounts(t *testing.T) {
+	tb := vrio.NewTestbed(vrio.Config{Model: vrio.ModelBaseline, VMs: 1, Seed: 7})
+	res := tb.RunNetperfRR(10 * time.Millisecond)
+	ev := tb.EventCounts(0)
+	if ev["exits"] == 0 || ev["guest_irqs"] == 0 {
+		t.Errorf("baseline events missing: %v (ops=%d)", ev, res.Ops)
+	}
+}
+
+func TestFacadeSidecoreUtilization(t *testing.T) {
+	tb := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 2, Seed: 8})
+	tb.RunNetperfRR(10 * time.Millisecond)
+	busy, poll := tb.SidecoreUtilization()
+	if len(busy) != 1 || len(poll) != 1 {
+		t.Fatalf("sidecore counts: %d/%d", len(busy), len(poll))
+	}
+	if busy[0] <= 0 || busy[0] > 1 {
+		t.Errorf("busy = %v", busy[0])
+	}
+	if total := busy[0] + poll[0]; total < 0.9 || total > 1.05 {
+		t.Errorf("busy+poll = %v, want ≈1 (a sidecore never idles)", total)
+	}
+}
+
+func TestFacadeParamsOverride(t *testing.T) {
+	p := vrio.DefaultParams()
+	p.WireLatency *= 20 // a terrible cable
+	slowTB := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 1, Seed: 9, Params: &p})
+	slow := slowTB.RunNetperfRR(10 * time.Millisecond)
+	fastTB := vrio.NewTestbed(vrio.Config{Model: vrio.ModelVRIO, VMs: 1, Seed: 9})
+	fast := fastTB.RunNetperfRR(10 * time.Millisecond)
+	if slow.MeanLatencyMicros <= fast.MeanLatencyMicros+10 {
+		t.Errorf("wire latency override had no effect: slow=%.1f fast=%.1f",
+			slow.MeanLatencyMicros, fast.MeanLatencyMicros)
+	}
+}
+
+func TestFacadeMigration(t *testing.T) {
+	tb := vrio.NewTestbed(vrio.Config{
+		Model: vrio.ModelVRIO, VMHosts: 2, VMs: 1, WithBlock: true, Seed: 10,
+	})
+	migrated := false
+	tb.Raw().Eng.At(1_000_000, func() { // 1ms in
+		tb.MigrateVM(0, 1, func() { migrated = true })
+	})
+	res := tb.RunNetperfRR(150 * time.Millisecond)
+	if !migrated {
+		t.Fatal("migration callback never fired")
+	}
+	if res.Ops == 0 {
+		t.Fatal("no transactions across the migration")
+	}
+}

@@ -1,0 +1,35 @@
+# Developer targets. `make check` is the full gate: build, vet, tests, and
+# the race detector — the parallel experiment scheduler must stay race-clean.
+
+GO ?= go
+
+.PHONY: build test vet race bench bench-engine benchjson check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiment scheduler fans simulation cells across goroutines; any
+# shared mutable state a future experiment sneaks in must fail here.
+race:
+	$(GO) test -race ./...
+
+# Full evaluation benchmarks (quick mode), serial vs parallel.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkRunAll' -benchmem .
+
+# Engine hot-path microbenchmarks (schedule/cancel/pending).
+bench-engine:
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim/
+
+# Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
+# events/sec for serial vs parallel RunAll.
+benchjson:
+	$(GO) run ./cmd/vrio-experiments -quick -benchjson
+
+check: build vet test race

@@ -112,6 +112,33 @@ func BenchmarkAblationRxRing(b *testing.B)     { runExperiment(b, "ablation-rxri
 func BenchmarkAblationRetransmit(b *testing.B) { runExperiment(b, "ablation-retransmit") }
 func BenchmarkAblationSteering(b *testing.B)   { runExperiment(b, "ablation-steering") }
 
+// --- full-evaluation benchmarks: serial vs parallel scheduler ---
+
+// BenchmarkRunAllSerial regenerates the entire evaluation (quick mode)
+// on one goroutine, experiment by experiment.
+func BenchmarkRunAllSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAll(true)
+		if len(res) == 0 {
+			b.Fatal("RunAll produced no results")
+		}
+	}
+}
+
+// BenchmarkRunAllParallel regenerates the entire evaluation with every
+// experiment's independent cells fanned out across GOMAXPROCS workers.
+// Output is byte-identical to the serial run (see
+// experiments.TestParallelMatchesSerialByteIdentical); only wall clock
+// changes.
+func BenchmarkRunAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunAllParallel(true, 0)
+		if len(res) == 0 {
+			b.Fatal("RunAllParallel produced no results")
+		}
+	}
+}
+
 // --- raw datapath benchmarks (simulation engine throughput) ---
 
 // BenchmarkSimulatedRR measures how fast the simulator itself executes one

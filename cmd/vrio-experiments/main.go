@@ -4,45 +4,193 @@
 //
 //	vrio-experiments -list
 //	vrio-experiments -run fig7
-//	vrio-experiments -run all [-quick]
+//	vrio-experiments -run all [-quick] [-parallel] [-workers N]
+//	vrio-experiments -benchjson [-quick]            # emit BENCH_<date>.json
+//	vrio-experiments -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"vrio/internal/experiments"
+	"vrio/internal/sim"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	run := flag.String("run", "all", "experiment id to run, or 'all', or a comma-separated list")
 	quick := flag.Bool("quick", false, "shorter runs (lower precision)")
+	parallel := flag.Bool("parallel", false, "fan independent simulation cells out across worker goroutines")
+	workers := flag.Int("workers", 0, "worker pool size for -parallel (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchjson := flag.Bool("benchjson", false, "time serial vs parallel runs and write BENCH_<date>.json")
+	benchout := flag.String("benchout", "", "override the -benchjson output path")
 	flag.Parse()
 
-	if *list {
+	if err := realMain(*list, *run, *quick, *parallel, *workers, *cpuprofile, *memprofile, *benchjson, *benchout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+func realMain(list bool, run string, quick, parallel bool, workers int, cpuprofile, memprofile string, benchjson bool, benchout string) error {
+	if list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return nil
+	}
+
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if memprofile == "" {
+			return
+		}
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		}
+	}()
+
+	if benchjson {
+		return writeBenchJSON(quick, workers, benchout)
 	}
 
 	var ids []string
-	if *run == "all" {
+	if run == "all" {
 		ids = experiments.IDs()
 	} else {
-		ids = strings.Split(*run, ",")
+		for _, id := range strings.Split(run, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
 	}
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		r := experiments.Get(id)
-		if r == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", id)
-			os.Exit(2)
+		if experiments.Get(id) == nil {
+			return fmt.Errorf("unknown experiment %q; use -list", id)
 		}
-		fmt.Print(experiments.Format(r(*quick)))
+	}
+
+	var results []experiments.Result
+	if parallel {
+		results = experiments.RunParallel(ids, quick, workers)
+	} else {
+		for _, id := range ids {
+			results = append(results, experiments.Get(id)(quick))
+		}
+	}
+	for _, r := range results {
+		fmt.Print(experiments.Format(r))
 		fmt.Println()
 	}
+	return nil
+}
+
+// benchRun is one timed RunAll pass for BENCH_<date>.json.
+type benchRun struct {
+	Workers      int     `json:"workers"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchReport is the benchmark-trajectory record: one file per run date, so
+// successive perf PRs leave a comparable trail.
+type benchReport struct {
+	Date            string   `json:"date"`
+	Quick           bool     `json:"quick"`
+	NumCPU          int      `json:"num_cpu"`
+	GoMaxProcs      int      `json:"go_max_procs"`
+	GoVersion       string   `json:"go_version"`
+	Experiments     int      `json:"experiments"`
+	Serial          benchRun `json:"serial"`
+	Parallel        benchRun `json:"parallel"`
+	Speedup         float64  `json:"speedup"`
+	IdenticalOutput bool     `json:"identical_output"`
+}
+
+func writeBenchJSON(quick bool, workers int, outPath string) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	timeRun := func(f func() []experiments.Result) ([]experiments.Result, benchRun) {
+		ev0 := sim.TotalExecuted()
+		t0 := time.Now()
+		res := f()
+		wall := time.Since(t0).Seconds()
+		events := sim.TotalExecuted() - ev0
+		return res, benchRun{
+			WallSeconds:  wall,
+			Events:       events,
+			EventsPerSec: float64(events) / wall,
+		}
+	}
+	serialRes, serial := timeRun(func() []experiments.Result { return experiments.RunAll(quick) })
+	serial.Workers = 1
+	parallelRes, par := timeRun(func() []experiments.Result { return experiments.RunAllParallel(quick, workers) })
+	par.Workers = workers
+
+	identical := len(serialRes) == len(parallelRes)
+	if identical {
+		for i := range serialRes {
+			if experiments.Format(serialRes[i]) != experiments.Format(parallelRes[i]) {
+				identical = false
+				break
+			}
+		}
+	}
+
+	report := benchReport{
+		Date:            time.Now().Format("2006-01-02"),
+		Quick:           quick,
+		NumCPU:          runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		GoVersion:       runtime.Version(),
+		Experiments:     len(serialRes),
+		Serial:          serial,
+		Parallel:        par,
+		Speedup:         serial.WallSeconds / par.WallSeconds,
+		IdenticalOutput: identical,
+	}
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", report.Date)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serial   %.2fs  %d events  %.0f events/sec\n", serial.WallSeconds, serial.Events, serial.EventsPerSec)
+	fmt.Printf("parallel %.2fs  %d events  %.0f events/sec  (%d workers)\n", par.WallSeconds, par.Events, par.EventsPerSec, par.Workers)
+	fmt.Printf("speedup  %.2fx  identical=%v  -> %s\n", report.Speedup, identical, outPath)
+	if !identical {
+		return fmt.Errorf("parallel output diverged from serial")
+	}
+	return nil
 }

@@ -13,10 +13,10 @@ import (
 )
 
 func init() {
-	register("fig14", fig14)
-	register("fig15", fig15)
-	register("fig16a", fig16a)
-	register("fig16b", fig16b)
+	register("fig14", fig14Plan)
+	register("fig15", fig15Plan)
+	register("fig16a", fig16aPlan)
+	register("fig16b", fig16bPlan)
 }
 
 // blockModels is the Figure 14/16 model set (no SRIOV ramdisk exists).
@@ -56,14 +56,10 @@ func filebenchOn(tb *cluster.Testbed, readers, writers int, warm, dur sim.Time) 
 	return total
 }
 
-// fig14 runs Filebench on a per-VM ramdisk with growing concurrency.
-func fig14(quick bool) Result {
+// fig14 runs Filebench on a per-VM ramdisk with growing concurrency. One
+// cell per (thread mix, N, model).
+func fig14Plan(quick bool) Plan {
 	warm, dur := durations(quick, 4*sim.Millisecond, 40*sim.Millisecond)
-	res := Result{
-		ID:     "fig14",
-		Title:  "Filebench/ramdisk aggregate ops/sec vs number of VMs",
-		Header: []string{"VMs", "mix", "elvis", "vrio", "baseline"},
-	}
 	ns := []int{1, 3, 5, 7}
 	if quick {
 		ns = []int{1, 2}
@@ -76,18 +72,38 @@ func fig14(quick bool) Result {
 		{"1 pair", 1, 1},
 		{"2 pairs", 2, 2},
 	}
+	var cells []Cell
 	for _, mix := range mixes {
 		for _, n := range ns {
-			row := []string{fmt.Sprintf("%d", n), mix.name}
 			for _, m := range blockModels {
-				row = append(row, fmt.Sprintf("%.0f", filebenchRun(m, n, mix.readers, mix.writers, warm, dur)))
+				mix, n, m := mix, n, m
+				cells = append(cells, func() any {
+					return filebenchRun(m, n, mix.readers, mix.writers, warm, dur)
+				})
 			}
-			res.Rows = append(res.Rows, row)
 		}
 	}
-	res.Notes = append(res.Notes,
-		"paper shape: 1 reader: elvis > vrio (the 2.2x latency cost), vrio scales better than baseline; with 2 pairs vRIO counterintuitively overtakes elvis (involuntary context switches)")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig14",
+			Title:  "Filebench/ramdisk aggregate ops/sec vs number of VMs",
+			Header: []string{"VMs", "mix", "elvis", "vrio", "baseline"},
+		}
+		next := cursor(outs)
+		for _, mix := range mixes {
+			for _, n := range ns {
+				row := []string{fmt.Sprintf("%d", n), mix.name}
+				for range blockModels {
+					row = append(row, fmt.Sprintf("%.0f", next().(float64)))
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+		res.Notes = append(res.Notes,
+			"paper shape: 1 reader: elvis > vrio (the 2.2x latency cost), vrio scales better than baseline; with 2 pairs vRIO counterintuitively overtakes elvis (involuntary context switches)")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // webserverSetup builds the §5 "Improving Utilization" testbed: two
@@ -133,91 +149,112 @@ func aggMbps(wss []*workload.Webserver, dur sim.Time) float64 {
 	return total / 1e6
 }
 
-// fig15 samples sidecore utilization over the webserver run.
-func fig15(quick bool) Result {
+// fig15 samples sidecore utilization over the webserver run. One cell per
+// configuration, each returning its table rows.
+func fig15Plan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 100*sim.Millisecond)
-	res := Result{
-		ID:     "fig15",
-		Title:  "Sidecore CPU utilization under the Webserver personality (2 VMhosts x 5 VMs)",
-		Header: []string{"config", "sidecore", "useful busy [%]", "wasted poll [%]"},
-	}
 	type cfg struct {
 		name  string
 		model core.ModelName
 		side  int
 		iosc  int
 	}
-	for _, c := range []cfg{
+	cfgs := []cfg{
 		{"elvis (1 sidecore/host)", core.ModelElvis, 1, 0},
 		{"vrio (1 consolidated sidecore)", core.ModelVRIO, 0, 1},
-	} {
-		tb, _, cs := webserverSetup(c.model, c.side, c.iosc, nil, 2, 211)
-		var samplers []*cpu.Sampler
-		for _, sc := range tb.Sidecores {
-			samplers = append(samplers, cpu.NewSampler(tb.Eng, sc, sim.Millisecond))
-		}
-		tb.RunMeasured(warm, dur, cs...)
-		for i, sc := range tb.Sidecores {
-			elapsed := tb.Eng.Now()
-			busy := float64(sc.BusyTime()) / float64(elapsed) * 100
-			poll := float64(sc.Accounted(cpu.KindPoll)) / float64(elapsed) * 100
-			res.Rows = append(res.Rows, []string{
-				c.name, fmt.Sprintf("%d (samples=%d)", i, samplers[i].Series.Len()),
-				f1(busy), f1(poll),
-			})
-		}
 	}
-	res.Notes = append(res.Notes,
-		"paper: the two Elvis sidecores together burn ≈150% CPU on useless polling; the consolidated vRIO sidecore is busier and wastes less")
-	return res
+	var cells []Cell
+	for _, c := range cfgs {
+		c := c
+		cells = append(cells, func() any {
+			tb, _, cs := webserverSetup(c.model, c.side, c.iosc, nil, 2, 211)
+			var samplers []*cpu.Sampler
+			for _, sc := range tb.Sidecores {
+				samplers = append(samplers, cpu.NewSampler(tb.Eng, sc, sim.Millisecond))
+			}
+			tb.RunMeasured(warm, dur, cs...)
+			var rows [][]string
+			for i, sc := range tb.Sidecores {
+				elapsed := tb.Eng.Now()
+				busy := float64(sc.BusyTime()) / float64(elapsed) * 100
+				poll := float64(sc.Accounted(cpu.KindPoll)) / float64(elapsed) * 100
+				rows = append(rows, []string{
+					c.name, fmt.Sprintf("%d (samples=%d)", i, samplers[i].Series.Len()),
+					f1(busy), f1(poll),
+				})
+			}
+			return rows
+		})
+	}
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig15",
+			Title:  "Sidecore CPU utilization under the Webserver personality (2 VMhosts x 5 VMs)",
+			Header: []string{"config", "sidecore", "useful busy [%]", "wasted poll [%]"},
+		}
+		for _, o := range outs {
+			res.Rows = append(res.Rows, o.([][]string)...)
+		}
+		res.Notes = append(res.Notes,
+			"paper: the two Elvis sidecores together burn ≈150% CPU on useless polling; the consolidated vRIO sidecore is busier and wastes less")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // fig16a is the consolidation tradeoff: same workload, half the sidecores
-// for vRIO.
-func fig16a(quick bool) Result {
+// for vRIO. One cell per configuration; the vs-elvis baseline is computed
+// at assembly.
+func fig16aPlan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 100*sim.Millisecond)
-	res := Result{
-		ID:     "fig16a",
-		Title:  "Webserver throughput [Mbps], sidecore consolidation 2=>1",
-		Header: []string{"config", "Mbps", "vs elvis"},
-	}
 	type cfg struct {
 		name  string
 		model core.ModelName
 		side  int
 		iosc  int
 	}
-	base := 0.0
-	for _, c := range []cfg{
+	cfgs := []cfg{
 		{"elvis (2 sidecores)", core.ModelElvis, 1, 0},
 		{"vrio (1 sidecore)", core.ModelVRIO, 0, 1},
 		{"baseline (N+1 cores)", core.ModelBaseline, 0, 0},
-	} {
-		tb, wss, cs := webserverSetup(c.model, c.side, c.iosc, nil, 2, 221)
-		tb.RunMeasured(warm, dur, cs...)
-		mbps := aggMbps(wss, dur)
-		rel := "0%"
-		if base == 0 {
-			base = mbps
-		} else {
-			rel = pct(mbps/base - 1)
-		}
-		res.Rows = append(res.Rows, []string{c.name, f1(mbps), rel})
 	}
-	res.Notes = append(res.Notes,
-		"paper: vrio -8% vs elvis with HALF the sidecores; baseline -51%")
-	return res
+	var cells []Cell
+	for _, c := range cfgs {
+		c := c
+		cells = append(cells, func() any {
+			tb, wss, cs := webserverSetup(c.model, c.side, c.iosc, nil, 2, 221)
+			tb.RunMeasured(warm, dur, cs...)
+			return aggMbps(wss, dur)
+		})
+	}
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig16a",
+			Title:  "Webserver throughput [Mbps], sidecore consolidation 2=>1",
+			Header: []string{"config", "Mbps", "vs elvis"},
+		}
+		base := 0.0
+		for i, c := range cfgs {
+			mbps := outs[i].(float64)
+			rel := "0%"
+			if base == 0 {
+				base = mbps
+			} else {
+				rel = pct(mbps/base - 1)
+			}
+			res.Rows = append(res.Rows, []string{c.name, f1(mbps), rel})
+		}
+		res.Notes = append(res.Notes,
+			"paper: vrio -8% vs elvis with HALF the sidecores; baseline -51%")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // fig16b is the load-imbalance experiment: only one VMhost is active, its
 // I/O interposed with AES-256; both systems get a budget of two sidecores.
-func fig16b(quick bool) Result {
+func fig16bPlan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 100*sim.Millisecond)
-	res := Result{
-		ID:     "fig16b",
-		Title:  "Webserver+AES throughput [Mbps] under load imbalance, 2=>2 sidecores",
-		Header: []string{"config", "Mbps", "vs elvis"},
-	}
 	aesChain := func(p sim.Time) func(host, vm int) *interpose.Chain {
 		return func(host, vm int) *interpose.Chain {
 			aes, err := interpose.NewAES([]byte("0123456789abcdef0123456789abcdef"), p)
@@ -233,26 +270,42 @@ func fig16b(quick bool) Result {
 		side  int
 		iosc  int
 	}
-	base := 0.0
-	for _, c := range []cfg{
+	cfgs := []cfg{
 		// Elvis: one sidecore per VMhost; the active host can only use its
 		// own. vRIO: both sidecores consolidated at the IOhost serve the
 		// active host.
 		{"elvis (1 local sidecore usable)", core.ModelElvis, 1, 0},
 		{"vrio (2 consolidated sidecores)", core.ModelVRIO, 0, 2},
-	} {
-		tb, wss, cs := webserverSetup(c.model, c.side, c.iosc, aesChain(params.Default().AESPerByteCost), 1, 231)
-		tb.RunMeasured(warm, dur, cs...)
-		mbps := aggMbps(wss, dur)
-		rel := "0%"
-		if base == 0 {
-			base = mbps
-		} else {
-			rel = pct(mbps/base - 1)
-		}
-		res.Rows = append(res.Rows, []string{c.name, f1(mbps), rel})
 	}
-	res.Notes = append(res.Notes,
-		"paper: with the same two-sidecore budget, vRIO's consolidation gives the loaded host both sidecores: +82% over Elvis")
-	return res
+	var cells []Cell
+	for _, c := range cfgs {
+		c := c
+		cells = append(cells, func() any {
+			tb, wss, cs := webserverSetup(c.model, c.side, c.iosc, aesChain(params.Default().AESPerByteCost), 1, 231)
+			tb.RunMeasured(warm, dur, cs...)
+			return aggMbps(wss, dur)
+		})
+	}
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig16b",
+			Title:  "Webserver+AES throughput [Mbps] under load imbalance, 2=>2 sidecores",
+			Header: []string{"config", "Mbps", "vs elvis"},
+		}
+		base := 0.0
+		for i, c := range cfgs {
+			mbps := outs[i].(float64)
+			rel := "0%"
+			if base == 0 {
+				base = mbps
+			} else {
+				rel = pct(mbps/base - 1)
+			}
+			res.Rows = append(res.Rows, []string{c.name, f1(mbps), rel})
+		}
+		res.Notes = append(res.Notes,
+			"paper: with the same two-sidecore budget, vRIO's consolidation gives the loaded host both sidecores: +82% over Elvis")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }

@@ -7,10 +7,12 @@ import (
 )
 
 func init() {
-	register("fig1", fig1)
-	register("table1", table1)
-	register("table2", table2)
-	register("fig3", fig3)
+	// The cost experiments are pure arithmetic over embedded price data —
+	// each is one cheap cell.
+	register("fig1", single(fig1))
+	register("table1", single(table1))
+	register("table2", single(table2))
+	register("fig3", single(fig3))
 }
 
 // fig1 reproduces the CPU-vs-NIC upgrade scatter.

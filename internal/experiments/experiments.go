@@ -27,15 +27,66 @@ type Result struct {
 // reports.
 type Runner func(quick bool) Result
 
-var registry = map[string]Runner{}
+// Cell is one independent simulation unit of an experiment: it builds its
+// own Testbed (and therefore its own sim.Engine and RNGs) internally,
+// shares no mutable state with any other cell, and returns a value for the
+// experiment's Assemble step. Cells of all experiments may execute
+// concurrently; each cell is internally single-threaded and deterministic.
+type Cell func() any
+
+// Plan is an experiment decomposed for the scheduler: a list of
+// independent Cells plus an Assemble step that folds their outputs —
+// indexed in declaration order — into the final Result. Assemble must be
+// pure: row ordering and relative-percentage baselines are computed there,
+// never from cell execution order.
+type Plan struct {
+	Cells    []Cell
+	Assemble func(out []any) Result
+}
+
+// Planner builds a Plan for one quick/full configuration.
+type Planner func(quick bool) Plan
+
+var registry = map[string]Planner{}
 var order []string
 
-func register(id string, r Runner) {
+func register(id string, p Planner) {
 	if _, dup := registry[id]; dup {
 		panic("experiments: duplicate id " + id)
 	}
-	registry[id] = r
+	registry[id] = p
 	order = append(order, id)
+}
+
+// single adapts a classic Runner — an experiment that is one indivisible
+// simulation or pure computation — into a one-cell Plan.
+func single(r Runner) Planner {
+	return func(quick bool) Plan {
+		return Plan{
+			Cells:    []Cell{func() any { return r(quick) }},
+			Assemble: func(out []any) Result { return out[0].(Result) },
+		}
+	}
+}
+
+// runPlan executes a plan's cells serially, in declaration order.
+func runPlan(p Plan) Result {
+	out := make([]any, len(p.Cells))
+	for i, c := range p.Cells {
+		out[i] = c()
+	}
+	return p.Assemble(out)
+}
+
+// cursor yields successive cell outputs, letting Assemble mirror the loop
+// structure that declared the cells instead of doing index arithmetic.
+func cursor(out []any) func() any {
+	i := 0
+	return func() any {
+		v := out[i]
+		i++
+		return v
+	}
 }
 
 // IDs lists experiment ids in registration (paper) order.
@@ -44,14 +95,20 @@ func IDs() []string {
 	return out
 }
 
-// Get returns the runner for id, or nil.
-func Get(id string) Runner { return registry[id] }
+// Get returns a serial runner for id, or nil.
+func Get(id string) Runner {
+	p := registry[id]
+	if p == nil {
+		return nil
+	}
+	return func(quick bool) Result { return runPlan(p(quick)) }
+}
 
-// RunAll executes every experiment.
+// RunAll executes every experiment serially.
 func RunAll(quick bool) []Result {
 	var out []Result
 	for _, id := range IDs() {
-		out = append(out, registry[id](quick))
+		out = append(out, runPlan(registry[id](quick)))
 	}
 	return out
 }

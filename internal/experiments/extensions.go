@@ -11,9 +11,11 @@ import (
 )
 
 func init() {
-	register("migration", migration)
-	register("failover", failover)
-	register("energy", energy)
+	// migration and failover are single indivisible timelines (one testbed
+	// with mid-run topology changes), so they stay one cell each.
+	register("migration", single(migration))
+	register("failover", single(failover))
+	register("energy", energyPlan)
 }
 
 // migration exercises the §4.6 live-migration design that the paper
@@ -140,16 +142,12 @@ func failover(quick bool) Result {
 	return res
 }
 
-// energy quantifies §4.6's "Energy" paragraph: spinning sidecores burn full
-// power even when idle; consolidating them (vRIO) and/or waiting with
-// monitor/mwait reduces the burn, mwait at a small latency cost.
-func energy(quick bool) Result {
+// energyPlan quantifies §4.6's "Energy" paragraph: spinning sidecores burn
+// full power even when idle; consolidating them (vRIO) and/or waiting with
+// monitor/mwait reduces the burn, mwait at a small latency cost. One cell
+// per configuration.
+func energyPlan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 80*sim.Millisecond)
-	res := Result{
-		ID:     "energy",
-		Title:  "Sidecore energy under the Webserver load (§4.6 extension; core-seconds at full power per second)",
-		Header: []string{"config", "sidecores", "energy [cores]", "Mbps"},
-	}
 	type cfg struct {
 		name  string
 		model core.ModelName
@@ -157,55 +155,71 @@ func energy(quick bool) Result {
 		iosc  int
 		mwait bool
 	}
-	for _, c := range []cfg{
+	cfgs := []cfg{
 		{"elvis spinning", core.ModelElvis, 1, 0, false},
 		{"elvis mwait", core.ModelElvis, 1, 0, true},
 		{"vrio spinning", core.ModelVRIO, 0, 1, false},
 		{"vrio mwait", core.ModelVRIO, 0, 1, true},
-	} {
-		p := params.Default()
-		p.MwaitEnabled = c.mwait
-		tb := cluster.Build(cluster.Spec{
-			Model: c.model, VMHosts: 2, VMsPerHost: 5,
-			SidecoresPerHost: c.side, IOhostSidecores: c.iosc,
-			WithBlock: true, WithThreads: true, Params: &p, Seed: 411,
-		})
-		var wss []*workload.Webserver
-		var cs []cluster.Measurable
-		for i, g := range tb.Guests {
-			ws := workload.NewWebserver(tb.Eng, g.Threads, g, workload.WebserverConfig{
-				Threads: p.WebserverThreads, Files: p.WebserverFileCount,
-				MeanFileSize: p.WebserverMeanFileSize, ChunkSize: p.FilebenchIOSize,
-				OpCost: p.WebserverOpCost, OpenCost: p.WebserverOpenCost,
-				LogWrite:        p.WebserverLogWrite,
-				CapacitySectors: tb.BlockDevices[i].Store().Capacity(),
-				SectorSize:      p.SectorSize, Seed: uint64(420 + i),
+	}
+	var cells []Cell
+	for _, c := range cfgs {
+		c := c
+		cells = append(cells, func() any {
+			p := params.Default()
+			p.MwaitEnabled = c.mwait
+			tb := cluster.Build(cluster.Spec{
+				Model: c.model, VMHosts: 2, VMsPerHost: 5,
+				SidecoresPerHost: c.side, IOhostSidecores: c.iosc,
+				WithBlock: true, WithThreads: true, Params: &p, Seed: 411,
 			})
-			ws.Start()
-			wss = append(wss, ws)
-			cs = append(cs, &ws.Results)
-		}
-		tb.RunMeasured(warm, dur, cs...)
-		pollW := p.PowerPoll
-		if c.mwait {
-			pollW = p.PowerMwait
-		}
-		var energyUnits float64
-		for _, sc := range tb.Sidecores {
-			energyUnits += sc.Energy(p.PowerBusy, pollW, p.PowerIdle)
-		}
-		// Normalize to cores of continuous full-power burn.
-		energyUnits /= tb.Eng.Now().Seconds()
-		var bytes uint64
-		for _, ws := range wss {
-			bytes += ws.Results.Bytes
-		}
-		mbps := float64(bytes*8) / dur.Seconds() / 1e6
-		res.Rows = append(res.Rows, []string{
-			c.name, fmt.Sprintf("%d", len(tb.Sidecores)), f2(energyUnits), f1(mbps),
+			var wss []*workload.Webserver
+			var cs []cluster.Measurable
+			for i, g := range tb.Guests {
+				ws := workload.NewWebserver(tb.Eng, g.Threads, g, workload.WebserverConfig{
+					Threads: p.WebserverThreads, Files: p.WebserverFileCount,
+					MeanFileSize: p.WebserverMeanFileSize, ChunkSize: p.FilebenchIOSize,
+					OpCost: p.WebserverOpCost, OpenCost: p.WebserverOpenCost,
+					LogWrite:        p.WebserverLogWrite,
+					CapacitySectors: tb.BlockDevices[i].Store().Capacity(),
+					SectorSize:      p.SectorSize, Seed: uint64(420 + i),
+				})
+				ws.Start()
+				wss = append(wss, ws)
+				cs = append(cs, &ws.Results)
+			}
+			tb.RunMeasured(warm, dur, cs...)
+			pollW := p.PowerPoll
+			if c.mwait {
+				pollW = p.PowerMwait
+			}
+			var energyUnits float64
+			for _, sc := range tb.Sidecores {
+				energyUnits += sc.Energy(p.PowerBusy, pollW, p.PowerIdle)
+			}
+			// Normalize to cores of continuous full-power burn.
+			energyUnits /= tb.Eng.Now().Seconds()
+			var bytes uint64
+			for _, ws := range wss {
+				bytes += ws.Results.Bytes
+			}
+			mbps := float64(bytes*8) / dur.Seconds() / 1e6
+			return []string{
+				c.name, fmt.Sprintf("%d", len(tb.Sidecores)), f2(energyUnits), f1(mbps),
+			}
 		})
 	}
-	res.Notes = append(res.Notes,
-		"the paper notes monitor/mwait as a latency-for-energy tradeoff outside its scope; consolidation (2 sidecores -> 1) already halves the spin burn, mwait cuts the rest")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "energy",
+			Title:  "Sidecore energy under the Webserver load (§4.6 extension; core-seconds at full power per second)",
+			Header: []string{"config", "sidecores", "energy [cores]", "Mbps"},
+		}
+		for _, o := range outs {
+			res.Rows = append(res.Rows, o.([]string))
+		}
+		res.Notes = append(res.Notes,
+			"the paper notes monitor/mwait as a latency-for-energy tradeoff outside its scope; consolidation (2 sidecores -> 1) already halves the spin burn, mwait cuts the rest")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }

@@ -11,214 +11,311 @@ import (
 )
 
 func init() {
-	register("table3", table3)
-	register("fig5", fig5)
-	register("fig7", fig7)
-	register("fig8", fig8)
-	register("fig9", fig9)
-	register("fig10", fig10)
-	register("fig11", fig11)
-	register("table4", table4)
-	register("fig12", fig12)
-	register("fig13", fig13)
-	register("heterogeneity", heterogeneity)
+	register("table3", table3Plan)
+	register("fig5", fig5Plan)
+	register("fig7", fig7Plan)
+	register("fig8", fig8Plan)
+	register("fig9", fig9Plan)
+	register("fig10", fig10Plan)
+	register("fig11", fig11Plan)
+	register("table4", table4Plan)
+	register("fig12", fig12Plan)
+	register("fig13", fig13Plan)
+	register("heterogeneity", heterogeneityPlan)
 }
 
 // table3 measures (not assumes) the per-request-response virtualization
-// events of every model.
-func table3(quick bool) Result {
+// events of every model. One cell per model.
+func table3(quick bool) Result { return runPlan(table3Plan(quick)) }
+
+func table3Plan(quick bool) Plan {
 	warm, dur := durations(quick, 2*sim.Millisecond, 50*sim.Millisecond)
-	res := Result{
-		ID:     "table3",
-		Title:  "Exits and interrupts per request-response (measured)",
-		Header: []string{"model", "sync exits", "guest intrpts", "intrpt injection", "host intrpts", "IOhost intrpts", "sum"},
+	type out struct {
+		row  []string
+		note string
 	}
+	var cells []Cell
 	for _, m := range fig5Models {
-		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, Seed: 11})
-		rrs := rrRun(tb, warm, dur)
-		ops := float64(totalOps(rrs))
-		if ops == 0 {
-			res.Notes = append(res.Notes, string(m)+": no transactions")
-			continue
-		}
-		g := tb.Guests[0]
-		per := func(name string) float64 { return float64(g.VM.Counters.Get(name)) / ops }
-		ioirq := 0.0
-		if tb.IOHyp != nil {
-			ioirq = float64(tb.IOHyp.Counters.Get("iohost_irqs")) / ops
-		}
-		sum := per("exits") + per("guest_irqs") + per("irq_injections") + per("host_irqs") + ioirq
-		res.Rows = append(res.Rows, []string{
-			string(m), f1(per("exits")), f1(per("guest_irqs")),
-			f1(per("irq_injections")), f1(per("host_irqs")), f1(ioirq), f1(sum),
+		m := m
+		cells = append(cells, func() any {
+			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, Seed: 11})
+			rrs := rrRun(tb, warm, dur)
+			ops := float64(totalOps(rrs))
+			if ops == 0 {
+				return out{note: string(m) + ": no transactions"}
+			}
+			g := tb.Guests[0]
+			per := func(name string) float64 { return float64(g.VM.Counters.Get(name)) / ops }
+			ioirq := 0.0
+			if tb.IOHyp != nil {
+				ioirq = float64(tb.IOHyp.Counters.Get("iohost_irqs")) / ops
+			}
+			sum := per("exits") + per("guest_irqs") + per("irq_injections") + per("host_irqs") + ioirq
+			return out{row: []string{
+				string(m), f1(per("exits")), f1(per("guest_irqs")),
+				f1(per("irq_injections")), f1(per("host_irqs")), f1(ioirq), f1(sum),
+			}}
 		})
 	}
-	res.Notes = append(res.Notes,
-		"paper: optimum 0/2/0/0/- (2), vrio 0/2/0/0/0 (2), elvis 0/2/0/2/- (4), vrio-nopoll 0/2/0/0/4 (6), baseline 3/2/2/2/- (9)")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "table3",
+			Title:  "Exits and interrupts per request-response (measured)",
+			Header: []string{"model", "sync exits", "guest intrpts", "intrpt injection", "host intrpts", "IOhost intrpts", "sum"},
+		}
+		for _, o := range outs {
+			c := o.(out)
+			if c.note != "" {
+				res.Notes = append(res.Notes, c.note)
+				continue
+			}
+			res.Rows = append(res.Rows, c.row)
+		}
+		res.Notes = append(res.Notes,
+			"paper: optimum 0/2/0/0/- (2), vrio 0/2/0/0/0 (2), elvis 0/2/0/2/- (4), vrio-nopoll 0/2/0/0/4 (6), baseline 3/2/2/2/- (9)")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
-// fig5 runs ApacheBench on the five configurations.
-func fig5(quick bool) Result {
+// fig5 runs ApacheBench on the five configurations. One cell per (N, model).
+func fig5Plan(quick bool) Plan {
 	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
-	res := Result{
-		ID:     "fig5",
-		Title:  "ApacheBench aggregate requests/sec vs number of VMs",
-		Header: []string{"VMs"},
-	}
-	for _, m := range fig5Models {
-		res.Header = append(res.Header, string(m))
-	}
 	maxN := 7
 	if quick {
 		maxN = 3
 	}
+	var cells []Cell
 	for n := 1; n <= maxN; n++ {
-		row := []string{fmt.Sprintf("%d", n)}
 		for _, m := range fig5Models {
-			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, StationPerVM: true, Seed: 21})
-			var ms []*workload.Macro
-			var cs []cluster.Measurable
-			for i, g := range tb.Guests {
-				workload.InstallMacroServer(g, tb.P.ApacheRequestCost, workload.ApacheConfig().RespSize)
-				mac := workload.NewMacro(tb.StationFor(i), g.MAC(), workload.ApacheConfig())
-				mac.Start()
-				ms = append(ms, mac)
-				cs = append(cs, &mac.Results)
-			}
-			tb.RunMeasured(warm, dur, cs...)
-			var total float64
-			for _, mac := range ms {
-				total += mac.Results.OpsPerSec(dur)
-			}
-			row = append(row, fmt.Sprintf("%.0f", total))
+			n, m := n, m
+			cells = append(cells, func() any {
+				tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, StationPerVM: true, Seed: 21})
+				var ms []*workload.Macro
+				var cs []cluster.Measurable
+				for i, g := range tb.Guests {
+					workload.InstallMacroServer(g, tb.P.ApacheRequestCost, workload.ApacheConfig().RespSize)
+					mac := workload.NewMacro(tb.StationFor(i), g.MAC(), workload.ApacheConfig())
+					mac.Start()
+					ms = append(ms, mac)
+					cs = append(cs, &mac.Results)
+				}
+				tb.RunMeasured(warm, dur, cs...)
+				var total float64
+				for _, mac := range ms {
+					total += mac.Results.OpsPerSec(dur)
+				}
+				return total
+			})
 		}
-		res.Rows = append(res.Rows, row)
 	}
-	res.Notes = append(res.Notes,
-		"paper shape: throughput inversely ordered by Table 3's event sum: optimum≈vrio > elvis > vrio-nopoll > baseline")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig5",
+			Title:  "ApacheBench aggregate requests/sec vs number of VMs",
+			Header: []string{"VMs"},
+		}
+		for _, m := range fig5Models {
+			res.Header = append(res.Header, string(m))
+		}
+		next := cursor(outs)
+		for n := 1; n <= maxN; n++ {
+			row := []string{fmt.Sprintf("%d", n)}
+			for range fig5Models {
+				row = append(row, fmt.Sprintf("%.0f", next().(float64)))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		res.Notes = append(res.Notes,
+			"paper shape: throughput inversely ordered by Table 3's event sum: optimum≈vrio > elvis > vrio-nopoll > baseline")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
-// fig7 measures Netperf RR mean latency vs N for the four models.
-func fig7(quick bool) Result {
+// fig7 measures Netperf RR mean latency vs N for the four models. One cell
+// per (N, model).
+func fig7(quick bool) Result { return runPlan(fig7Plan(quick)) }
+
+func fig7Plan(quick bool) Plan {
 	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
-	res := Result{
-		ID:     "fig7",
-		Title:  "Netperf RR average latency [µs] vs number of VMs (N+1 cores; optimum N)",
-		Header: []string{"VMs", "baseline", "vrio", "elvis", "optimum"},
-	}
 	maxN := 7
 	if quick {
 		maxN = 3
 	}
+	var cells []Cell
 	for n := 1; n <= maxN; n++ {
-		lat := map[core.ModelName]float64{}
 		for _, m := range netModels {
-			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, Seed: 31})
-			lat[m] = meanLatencyMicros(rrRun(tb, warm, dur))
+			n, m := n, m
+			cells = append(cells, func() any {
+				tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, Seed: 31})
+				return meanLatencyMicros(rrRun(tb, warm, dur))
+			})
 		}
-		res.Rows = append(res.Rows, []string{
-			fmt.Sprintf("%d", n),
-			f1(lat[core.ModelBaseline]), f1(lat[core.ModelVRIO]),
-			f1(lat[core.ModelElvis]), f1(lat[core.ModelOptimum]),
-		})
 	}
-	res.Notes = append(res.Notes,
-		"paper shape: optimum ≈30-32µs near-flat; vrio ≈ optimum+12-13µs; elvis starts 8µs under vrio, crosses above near N=6; baseline worst")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig7",
+			Title:  "Netperf RR average latency [µs] vs number of VMs (N+1 cores; optimum N)",
+			Header: []string{"VMs", "baseline", "vrio", "elvis", "optimum"},
+		}
+		next := cursor(outs)
+		for n := 1; n <= maxN; n++ {
+			lat := map[core.ModelName]float64{}
+			for _, m := range netModels {
+				lat[m] = next().(float64)
+			}
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%d", n),
+				f1(lat[core.ModelBaseline]), f1(lat[core.ModelVRIO]),
+				f1(lat[core.ModelElvis]), f1(lat[core.ModelOptimum]),
+			})
+		}
+		res.Notes = append(res.Notes,
+			"paper shape: optimum ≈30-32µs near-flat; vrio ≈ optimum+12-13µs; elvis starts 8µs under vrio, crosses above near N=6; baseline worst")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // fig8 reports the vRIO-minus-optimum latency gap and the IOhost sidecore
-// contention (fraction of work that queued).
-func fig8(quick bool) Result {
+// contention. Two cells per N: the optimum run and the vRIO run.
+func fig8Plan(quick bool) Plan {
 	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
-	res := Result{
-		ID:     "fig8",
-		Title:  "Netperf RR vRIO: latency gap vs optimum [µs] and sidecore contention [%]",
-		Header: []string{"VMs", "gap [µs]", "contention [%]"},
-	}
 	maxN := 7
 	if quick {
 		maxN = 3
 	}
+	type vrioOut struct {
+		lat        float64
+		contention float64
+	}
+	var cells []Cell
 	for n := 1; n <= maxN; n++ {
-		tbO := cluster.Build(cluster.Spec{Model: core.ModelOptimum, VMsPerHost: n, Seed: 41})
-		opt := meanLatencyMicros(rrRun(tbO, warm, dur))
-		tbV := cluster.Build(cluster.Spec{Model: core.ModelVRIO, VMsPerHost: n, Seed: 41})
-		vr := meanLatencyMicros(rrRun(tbV, warm, dur))
-		contention := 0.0
-		for _, sc := range tbV.Sidecores {
-			contention += sc.WaitFraction()
-		}
-		contention /= float64(len(tbV.Sidecores))
-		res.Rows = append(res.Rows, []string{
-			fmt.Sprintf("%d", n), f1(vr - opt), f1(contention * 100),
+		n := n
+		cells = append(cells, func() any {
+			tb := cluster.Build(cluster.Spec{Model: core.ModelOptimum, VMsPerHost: n, Seed: 41})
+			return meanLatencyMicros(rrRun(tb, warm, dur))
+		})
+		cells = append(cells, func() any {
+			tb := cluster.Build(cluster.Spec{Model: core.ModelVRIO, VMsPerHost: n, Seed: 41})
+			lat := meanLatencyMicros(rrRun(tb, warm, dur))
+			contention := 0.0
+			for _, sc := range tb.Sidecores {
+				contention += sc.WaitFraction()
+			}
+			contention /= float64(len(tb.Sidecores))
+			return vrioOut{lat: lat, contention: contention}
 		})
 	}
-	res.Notes = append(res.Notes,
-		"paper shape: gap grows slowly from ≈12 to ≈13µs; contention grows from ≈5% to ≈20%")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig8",
+			Title:  "Netperf RR vRIO: latency gap vs optimum [µs] and sidecore contention [%]",
+			Header: []string{"VMs", "gap [µs]", "contention [%]"},
+		}
+		next := cursor(outs)
+		for n := 1; n <= maxN; n++ {
+			opt := next().(float64)
+			v := next().(vrioOut)
+			res.Rows = append(res.Rows, []string{
+				fmt.Sprintf("%d", n), f1(v.lat - opt), f1(v.contention * 100),
+			})
+		}
+		res.Notes = append(res.Notes,
+			"paper shape: gap grows slowly from ≈12 to ≈13µs; contention grows from ≈5% to ≈20%")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
-// fig9 measures Netperf stream throughput vs N.
-func fig9(quick bool) Result {
+// fig9 measures Netperf stream throughput vs N. One cell per (N, model).
+func fig9Plan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 80*sim.Millisecond)
-	res := Result{
-		ID:     "fig9",
-		Title:  "Netperf stream aggregate throughput [Gbps] vs number of VMs",
-		Header: []string{"VMs", "optimum", "elvis", "vrio", "baseline"},
-	}
 	maxN := 7
 	if quick {
 		maxN = 3
 	}
+	models := []core.ModelName{core.ModelOptimum, core.ModelElvis, core.ModelVRIO, core.ModelBaseline}
+	var cells []Cell
 	for n := 1; n <= maxN; n++ {
-		row := []string{fmt.Sprintf("%d", n)}
-		for _, m := range []core.ModelName{core.ModelOptimum, core.ModelElvis, core.ModelVRIO, core.ModelBaseline} {
-			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, Seed: 51})
-			row = append(row, f2(aggGbps(streamRun(tb, warm, dur), dur)))
+		for _, m := range models {
+			n, m := n, m
+			cells = append(cells, func() any {
+				tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, Seed: 51})
+				return aggGbps(streamRun(tb, warm, dur), dur)
+			})
 		}
-		res.Rows = append(res.Rows, row)
 	}
-	res.Notes = append(res.Notes,
-		"paper shape: elvis ≈ optimum; vrio 5-8% lower; baseline clearly lowest and flattening")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig9",
+			Title:  "Netperf stream aggregate throughput [Gbps] vs number of VMs",
+			Header: []string{"VMs", "optimum", "elvis", "vrio", "baseline"},
+		}
+		next := cursor(outs)
+		for n := 1; n <= maxN; n++ {
+			row := []string{fmt.Sprintf("%d", n)}
+			for range models {
+				row = append(row, f2(next().(float64)))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		res.Notes = append(res.Notes,
+			"paper shape: elvis ≈ optimum; vrio 5-8% lower; baseline clearly lowest and flattening")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // fig10 measures VMhost-side cycles (ns of busy CPU) per stream chunk, N=1.
-func fig10(quick bool) Result {
+// One cell per model; the vs-optimum baseline is computed at assembly.
+func fig10Plan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 80*sim.Millisecond)
-	res := Result{
-		ID:     "fig10",
-		Title:  "Per-packet processing [ns of VMhost CPU per 64KB chunk], N=1",
-		Header: []string{"model", "ns/chunk", "vs optimum"},
+	models := []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline}
+	var cells []Cell
+	for _, m := range models {
+		m := m
+		cells = append(cells, func() any {
+			// NoJitter: background interference would smear the per-chunk
+			// cycle accounting (models with more local cores absorb more
+			// jitter, which is not what Figure 10 measures).
+			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, NoJitter: true, Seed: 61})
+			sts := streamRun(tb, warm, dur)
+			chunks := sts[0].Results.Ops
+			if chunks == 0 {
+				return -1.0
+			}
+			// VMhost busy fraction over the run, scaled to the measured
+			// window's chunk count: ns of VMhost CPU per chunk.
+			return float64(vmhostBusy(tb)) / float64(tb.Eng.Now()) * float64(dur) / float64(chunks)
+		})
 	}
-	base := 0.0
-	for _, m := range []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline} {
-		// NoJitter: background interference would smear the per-chunk
-		// cycle accounting (models with more local cores absorb more
-		// jitter, which is not what Figure 10 measures).
-		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, NoJitter: true, Seed: 61})
-		sts := streamRun(tb, warm, dur)
-		chunks := sts[0].Results.Ops
-		if chunks == 0 {
-			continue
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig10",
+			Title:  "Per-packet processing [ns of VMhost CPU per 64KB chunk], N=1",
+			Header: []string{"model", "ns/chunk", "vs optimum"},
 		}
-		// VMhost busy fraction over the run, scaled to the measured
-		// window's chunk count: ns of VMhost CPU per chunk.
-		perChunk := float64(vmhostBusy(tb)) / float64(tb.Eng.Now()) * float64(dur) / float64(chunks)
-		rel := "+0%"
-		if base == 0 {
-			base = perChunk
-		} else {
-			rel = pct(perChunk/base - 1)
+		base := 0.0
+		for i, m := range models {
+			perChunk := outs[i].(float64)
+			if perChunk < 0 {
+				continue
+			}
+			rel := "+0%"
+			if base == 0 {
+				base = perChunk
+			} else {
+				rel = pct(perChunk/base - 1)
+			}
+			res.Rows = append(res.Rows, []string{string(m), fmt.Sprintf("%.0f", perChunk), rel})
 		}
-		res.Rows = append(res.Rows, []string{string(m), fmt.Sprintf("%.0f", perChunk), rel})
+		res.Notes = append(res.Notes,
+			"paper: optimum +0%, vrio +9%, elvis +1%, baseline +40% (per-packet cycles on the VMhost)")
+		return res
 	}
-	res.Notes = append(res.Notes,
-		"paper: optimum +0%, vrio +9%, elvis +1%, baseline +40% (per-packet cycles on the VMhost)")
-	return res
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // vmhostBusy sums busy time across VM cores and local host cores (vRIO's
@@ -240,14 +337,9 @@ func vmhostBusy(tb *cluster.Testbed) sim.Time {
 }
 
 // fig11 equalizes core counts: the optimum gets N+1=8 cores (8 VMs) and is
-// compared against the other models at N=7.
-func fig11(quick bool) Result {
+// compared against the other models at N=7. One cell per configuration.
+func fig11Plan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 80*sim.Millisecond)
-	res := Result{
-		ID:     "fig11",
-		Title:  "Stream throughput [Gbps] with equal cores: optimum 8 VMs vs others at N=7",
-		Header: []string{"config", "Gbps", "vs optimum-8vms"},
-	}
 	n := 7
 	if quick {
 		n = 3
@@ -264,158 +356,235 @@ func fig11(quick bool) Result {
 		{"vrio", core.ModelVRIO, n},
 		{"baseline", core.ModelBaseline, n},
 	}
-	base := 0.0
+	var cells []Cell
 	for _, c := range cfgs {
-		tb := cluster.Build(cluster.Spec{Model: c.model, VMsPerHost: c.vms, Seed: 71})
-		g := aggGbps(streamRun(tb, warm, dur), dur)
-		rel := "0%"
-		if base == 0 {
-			base = g
-		} else {
-			rel = pct(g/base - 1)
-		}
-		res.Rows = append(res.Rows, []string{c.name, f2(g), rel})
-	}
-	res.Notes = append(res.Notes,
-		"paper: with a core parity the optimum wins by 11-18% over elvis/vrio and 54% over baseline — the price of interposition")
-	return res
-}
-
-// table4 reports RR tail latency percentiles for one VM.
-func table4(quick bool) Result {
-	warm, dur := durations(quick, 5*sim.Millisecond, 2000*sim.Millisecond)
-	res := Result{
-		ID:     "table4",
-		Title:  "Tail latency [µs] for one VM (Netperf RR)",
-		Header: []string{"percentile", "optimum", "elvis", "vrio"},
-	}
-	percentiles := []float64{99.9, 99.99, 99.999, 100}
-	vals := map[core.ModelName][]float64{}
-	for _, m := range []core.ModelName{core.ModelOptimum, core.ModelElvis, core.ModelVRIO} {
-		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, Seed: 81})
-		rrs := rrRun(tb, warm, dur)
-		for _, p := range percentiles {
-			vals[m] = append(vals[m], float64(rrs[0].Results.Latency.Percentile(p))/1000)
-		}
-	}
-	names := []string{"99.9%", "99.99%", "99.999%", "100%"}
-	for i, name := range names {
-		res.Rows = append(res.Rows, []string{
-			name,
-			f1(vals[core.ModelOptimum][i]),
-			f1(vals[core.ModelElvis][i]),
-			f1(vals[core.ModelVRIO][i]),
+		c := c
+		cells = append(cells, func() any {
+			tb := cluster.Build(cluster.Spec{Model: c.model, VMsPerHost: c.vms, Seed: 71})
+			return aggGbps(streamRun(tb, warm, dur), dur)
 		})
 	}
-	res.Notes = append(res.Notes,
-		"paper: optimum 35/42/214/227, elvis 53/71/466/480, vrio 60/156/258/274 — mixed tails: elvis better at 99.9/99.99, vrio better at 99.999/max")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig11",
+			Title:  "Stream throughput [Gbps] with equal cores: optimum 8 VMs vs others at N=7",
+			Header: []string{"config", "Gbps", "vs optimum-8vms"},
+		}
+		base := 0.0
+		for i, c := range cfgs {
+			g := outs[i].(float64)
+			rel := "0%"
+			if base == 0 {
+				base = g
+			} else {
+				rel = pct(g/base - 1)
+			}
+			res.Rows = append(res.Rows, []string{c.name, f2(g), rel})
+		}
+		res.Notes = append(res.Notes,
+			"paper: with a core parity the optimum wins by 11-18% over elvis/vrio and 54% over baseline — the price of interposition")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
-// fig12 runs the memcached and apache macrobenchmarks across N.
-func fig12(quick bool) Result {
-	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
-	res := Result{
-		ID:     "fig12",
-		Title:  "Macrobenchmarks [K transactions/sec] vs number of VMs",
-		Header: []string{"VMs", "mc-optimum", "mc-vrio", "mc-elvis", "mc-base", "ap-optimum", "ap-vrio", "ap-elvis", "ap-base"},
+// table4 reports RR tail latency percentiles for one VM. One cell per model,
+// each returning the four percentile values.
+func table4Plan(quick bool) Plan {
+	warm, dur := durations(quick, 5*sim.Millisecond, 2000*sim.Millisecond)
+	percentiles := []float64{99.9, 99.99, 99.999, 100}
+	models := []core.ModelName{core.ModelOptimum, core.ModelElvis, core.ModelVRIO}
+	var cells []Cell
+	for _, m := range models {
+		m := m
+		cells = append(cells, func() any {
+			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: 1, Seed: 81})
+			rrs := rrRun(tb, warm, dur)
+			var vals []float64
+			for _, p := range percentiles {
+				vals = append(vals, float64(rrs[0].Results.Latency.Percentile(p))/1000)
+			}
+			return vals
+		})
 	}
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "table4",
+			Title:  "Tail latency [µs] for one VM (Netperf RR)",
+			Header: []string{"percentile", "optimum", "elvis", "vrio"},
+		}
+		vals := map[core.ModelName][]float64{}
+		for i, m := range models {
+			vals[m] = outs[i].([]float64)
+		}
+		names := []string{"99.9%", "99.99%", "99.999%", "100%"}
+		for i, name := range names {
+			res.Rows = append(res.Rows, []string{
+				name,
+				f1(vals[core.ModelOptimum][i]),
+				f1(vals[core.ModelElvis][i]),
+				f1(vals[core.ModelVRIO][i]),
+			})
+		}
+		res.Notes = append(res.Notes,
+			"paper: optimum 35/42/214/227, elvis 53/71/466/480, vrio 60/156/258/274 — mixed tails: elvis better at 99.9/99.99, vrio better at 99.999/max")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
+}
+
+// fig12 runs the memcached and apache macrobenchmarks across N. One cell
+// per (N, workload, model).
+func fig12Plan(quick bool) Plan {
+	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
 	maxN := 7
 	if quick {
 		maxN = 3
 	}
-	run := func(m core.ModelName, n int, cfg workload.MacroConfig, cost sim.Time) float64 {
-		tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, StationPerVM: true, Seed: 91})
-		var ms []*workload.Macro
-		var cs []cluster.Measurable
-		for i, g := range tb.Guests {
-			workload.InstallMacroServer(g, cost, cfg.RespSize)
-			mac := workload.NewMacro(tb.StationFor(i), g.MAC(), cfg)
-			mac.Start()
-			ms = append(ms, mac)
-			cs = append(cs, &mac.Results)
-		}
-		tb.RunMeasured(warm, dur, cs...)
-		var total float64
-		for _, mac := range ms {
-			total += mac.Results.OpsPerSec(dur)
-		}
-		return total / 1000
-	}
+	models := []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline}
 	p := params.Default()
-	for n := 1; n <= maxN; n++ {
-		row := []string{fmt.Sprintf("%d", n)}
-		for _, m := range []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline} {
-			row = append(row, f1(run(m, n, workload.MemcachedConfig(), p.MemcachedRequestCost)))
+	macroCell := func(m core.ModelName, n int, cfg workload.MacroConfig, cost sim.Time) Cell {
+		return func() any {
+			tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, StationPerVM: true, Seed: 91})
+			var ms []*workload.Macro
+			var cs []cluster.Measurable
+			for i, g := range tb.Guests {
+				workload.InstallMacroServer(g, cost, cfg.RespSize)
+				mac := workload.NewMacro(tb.StationFor(i), g.MAC(), cfg)
+				mac.Start()
+				ms = append(ms, mac)
+				cs = append(cs, &mac.Results)
+			}
+			tb.RunMeasured(warm, dur, cs...)
+			var total float64
+			for _, mac := range ms {
+				total += mac.Results.OpsPerSec(dur)
+			}
+			return total / 1000
 		}
-		for _, m := range []core.ModelName{core.ModelOptimum, core.ModelVRIO, core.ModelElvis, core.ModelBaseline} {
-			row = append(row, f1(run(m, n, workload.ApacheConfig(), p.ApacheRequestCost)))
-		}
-		res.Rows = append(res.Rows, row)
 	}
-	res.Notes = append(res.Notes,
-		"paper shape: vrio approaches the optimum while elvis falls behind at higher N (interrupt cost); baseline lowest")
-	return res
+	var cells []Cell
+	for n := 1; n <= maxN; n++ {
+		for _, m := range models {
+			cells = append(cells, macroCell(m, n, workload.MemcachedConfig(), p.MemcachedRequestCost))
+		}
+		for _, m := range models {
+			cells = append(cells, macroCell(m, n, workload.ApacheConfig(), p.ApacheRequestCost))
+		}
+	}
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig12",
+			Title:  "Macrobenchmarks [K transactions/sec] vs number of VMs",
+			Header: []string{"VMs", "mc-optimum", "mc-vrio", "mc-elvis", "mc-base", "ap-optimum", "ap-vrio", "ap-elvis", "ap-base"},
+		}
+		next := cursor(outs)
+		for n := 1; n <= maxN; n++ {
+			row := []string{fmt.Sprintf("%d", n)}
+			for range models {
+				row = append(row, f1(next().(float64)))
+			}
+			for range models {
+				row = append(row, f1(next().(float64)))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		res.Notes = append(res.Notes,
+			"paper shape: vrio approaches the optimum while elvis falls behind at higher N (interrupt cost); baseline lowest")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // fig13 serves four VMhosts from one IOhost with 1, 2, and 4 sidecores.
-func fig13(quick bool) Result {
+// One cell per (total VMs, sidecore count, metric).
+func fig13Plan(quick bool) Plan {
 	warm, dur := durations(quick, 4*sim.Millisecond, 40*sim.Millisecond)
-	res := Result{
-		ID:     "fig13",
-		Title:  "vRIO IOhost scalability: 4 VMhosts, RR latency [µs] and stream throughput [Gbps]",
-		Header: []string{"VMs", "lat 1sc", "lat 2sc", "lat 4sc", "tput 1sc", "tput 2sc", "tput 4sc"},
-	}
 	steps := []int{4, 8, 12, 16, 20, 24, 28}
 	if quick {
 		steps = []int{4, 8}
 	}
+	sidecores := []int{1, 2, 4}
+	var cells []Cell
 	for _, total := range steps {
-		row := []string{fmt.Sprintf("%d", total)}
 		perHost := total / 4
-		for _, sc := range []int{1, 2, 4} {
-			tb := cluster.Build(cluster.Spec{
-				Model: core.ModelVRIO, VMHosts: 4, VMsPerHost: perHost,
-				IOhostSidecores: sc, Seed: 101,
+		for _, sc := range sidecores {
+			perHost, sc := perHost, sc
+			cells = append(cells, func() any {
+				tb := cluster.Build(cluster.Spec{
+					Model: core.ModelVRIO, VMHosts: 4, VMsPerHost: perHost,
+					IOhostSidecores: sc, Seed: 101,
+				})
+				return meanLatencyMicros(rrRun(tb, warm, dur))
 			})
-			row = append(row, f1(meanLatencyMicros(rrRun(tb, warm, dur))))
 		}
-		for _, sc := range []int{1, 2, 4} {
-			tb := cluster.Build(cluster.Spec{
-				Model: core.ModelVRIO, VMHosts: 4, VMsPerHost: perHost,
-				IOhostSidecores: sc, Seed: 101,
+		for _, sc := range sidecores {
+			perHost, sc := perHost, sc
+			cells = append(cells, func() any {
+				tb := cluster.Build(cluster.Spec{
+					Model: core.ModelVRIO, VMHosts: 4, VMsPerHost: perHost,
+					IOhostSidecores: sc, Seed: 101,
+				})
+				return aggGbps(streamRun(tb, warm, dur), dur)
 			})
-			row = append(row, f2(aggGbps(streamRun(tb, warm, dur), dur)))
 		}
-		res.Rows = append(res.Rows, row)
 	}
-	res.Notes = append(res.Notes,
-		"paper shape: more sidecores reduce latency; one sidecore saturates near 13 VMs ≈ 13 Gbps; VM placement across hosts is irrelevant")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "fig13",
+			Title:  "vRIO IOhost scalability: 4 VMhosts, RR latency [µs] and stream throughput [Gbps]",
+			Header: []string{"VMs", "lat 1sc", "lat 2sc", "lat 4sc", "tput 1sc", "tput 2sc", "tput 4sc"},
+		}
+		next := cursor(outs)
+		for _, total := range steps {
+			row := []string{fmt.Sprintf("%d", total)}
+			for range sidecores {
+				row = append(row, f1(next().(float64)))
+			}
+			for range sidecores {
+				row = append(row, f2(next().(float64)))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		res.Notes = append(res.Notes,
+			"paper shape: more sidecores reduce latency; one sidecore saturates near 13 VMs ≈ 13 Gbps; VM placement across hosts is irrelevant")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }
 
 // heterogeneity runs vRIO stream clients of different kinds (VM and bare
 // metal) and shows both attain the same service (§5 "Heterogeneity").
-func heterogeneity(quick bool) Result {
+func heterogeneityPlan(quick bool) Plan {
 	warm, dur := durations(quick, 4*sim.Millisecond, 60*sim.Millisecond)
-	res := Result{
-		ID:     "heterogeneity",
-		Title:  "vRIO with heterogeneous IOclients: per-client stream throughput [Gbps]",
-		Header: []string{"client kind", "Gbps", "VM-core util [%]"},
-	}
+	var cells []Cell
 	for _, bare := range []bool{false, true} {
-		tb := cluster.Build(cluster.Spec{
-			Model: core.ModelVRIO, VMsPerHost: 1, BareClients: bare, Seed: 111,
+		bare := bare
+		cells = append(cells, func() any {
+			tb := cluster.Build(cluster.Spec{
+				Model: core.ModelVRIO, VMsPerHost: 1, BareClients: bare, Seed: 111,
+			})
+			sts := streamRun(tb, warm, dur)
+			kind := "KVM guest"
+			if bare {
+				kind = "bare metal"
+			}
+			util := tb.VMCores[0].Utilization() * 100
+			return []string{kind, f2(aggGbps(sts, dur)), f1(util)}
 		})
-		sts := streamRun(tb, warm, dur)
-		kind := "KVM guest"
-		if bare {
-			kind = "bare metal"
-		}
-		util := tb.VMCores[0].Utilization() * 100
-		res.Rows = append(res.Rows, []string{kind, f2(aggGbps(sts, dur)), f1(util)})
 	}
-	res.Notes = append(res.Notes,
-		"paper: ESXi guests, KVM guests, bare-metal x86 and POWER clients all attain line rate with comparable CPU; the vRIO datapath is hypervisor-agnostic by construction (the IOhost never inspects the client kind)")
-	return res
+	assemble := func(outs []any) Result {
+		res := Result{
+			ID:     "heterogeneity",
+			Title:  "vRIO with heterogeneous IOclients: per-client stream throughput [Gbps]",
+			Header: []string{"client kind", "Gbps", "VM-core util [%]"},
+		}
+		for _, o := range outs {
+			res.Rows = append(res.Rows, o.([]string))
+		}
+		res.Notes = append(res.Notes,
+			"paper: ESXi guests, KVM guests, bare-metal x86 and POWER clients all attain line rate with comparable CPU; the vRIO datapath is hypervisor-agnostic by construction (the IOhost never inspects the client kind)")
+		return res
+	}
+	return Plan{Cells: cells, Assemble: assemble}
 }

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunAllParallel executes every experiment with cells fanned out across a
+// bounded worker pool, and returns Results byte-identical to RunAll's, in
+// the same registration order. workers <= 0 means GOMAXPROCS.
+func RunAllParallel(quick bool, workers int) []Result {
+	return RunParallel(IDs(), quick, workers)
+}
+
+// RunParallel executes the named experiments (unknown ids are skipped),
+// scheduling the independent cells of ALL of them onto one shared pool of
+// workers. Each cell owns a private Testbed and engine, so cells never
+// share mutable state; determinism is per cell, which makes the combined
+// output independent of scheduling order. Results are assembled in the
+// order ids were given.
+func RunParallel(ids []string, quick bool, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Plan every experiment up front so the pool sees one flat job list:
+	// cells from cheap and expensive experiments interleave, keeping
+	// workers busy through the tail of the schedule.
+	type job struct{ exp, cell int }
+	var plans []Plan
+	var outs [][]any
+	var jobs []job
+	var kept []int // index into plans per requested id, -1 if unknown
+	for _, id := range ids {
+		planner := registry[id]
+		if planner == nil {
+			kept = append(kept, -1)
+			continue
+		}
+		p := planner(quick)
+		e := len(plans)
+		plans = append(plans, p)
+		outs = append(outs, make([]any, len(p.Cells)))
+		for c := range p.Cells {
+			jobs = append(jobs, job{e, c})
+		}
+		kept = append(kept, e)
+	}
+
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				outs[j.exp][j.cell] = plans[j.exp].Cells[j.cell]()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+
+	var res []Result
+	for _, e := range kept {
+		if e < 0 {
+			continue
+		}
+		res = append(res, plans[e].Assemble(outs[e]))
+	}
+	return res
+}

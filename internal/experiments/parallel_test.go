@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// RunParallel must preserve requested order, skip unknown ids, and tolerate
+// more workers than cells. The cost experiments make this fast.
+func TestRunParallelOrderAndUnknownIDs(t *testing.T) {
+	got := RunParallel([]string{"table1", "nope", "fig1"}, true, 16)
+	if len(got) != 2 {
+		t.Fatalf("got %d results, want 2", len(got))
+	}
+	if got[0].ID != "table1" || got[1].ID != "fig1" {
+		t.Errorf("result order = %s, %s; want table1, fig1", got[0].ID, got[1].ID)
+	}
+}
+
+// Every experiment's cells must be genuinely independent: running them on 8
+// goroutines in arbitrary order must produce byte-identical formatted
+// Results to the serial run, for every experiment id. This is the
+// regression gate for any future cell that sneaks in shared mutable state.
+func TestParallelMatchesSerialByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	serial := RunAll(true)
+	parallel := RunAllParallel(true, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial produced %d results, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID {
+			t.Fatalf("result %d: serial id %q, parallel id %q", i, serial[i].ID, parallel[i].ID)
+		}
+		s, p := Format(serial[i]), Format(parallel[i])
+		if s != p {
+			t.Errorf("experiment %s: parallel output differs from serial\n--- serial ---\n%s--- parallel ---\n%s",
+				serial[i].ID, s, p)
+		}
+	}
+}

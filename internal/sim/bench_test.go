@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the engine's hottest path: schedule one
+// event and run it. This is the cost every simulated packet, interrupt, and
+// timer pays at least once.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+// BenchmarkEngineScheduleDepth measures schedule+pop with a standing queue
+// of 1024 events, which is where heap arity and comparison cost show up.
+func BenchmarkEngineScheduleDepth(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.At(Time(1_000_000+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+// BenchmarkEngineCancel measures the schedule-then-cancel pattern used by
+// every retransmission timer and interrupt-coalescing timeout in the repo.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 256; i++ {
+		e.At(Time(1_000_000+i), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.After(1000, fn)
+		e.Cancel(id)
+	}
+}
+
+// BenchmarkEnginePending measures the queue-depth probe that pollers and
+// schedulers call while deciding whether to spin.
+func BenchmarkEnginePending(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		e.At(Time(1_000_000+i), fn)
+	}
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = e.Pending()
+	}
+	_ = n
+}

@@ -1,16 +1,18 @@
 // Package sim provides the deterministic discrete-event simulation engine
 // that the whole vRIO reproduction runs on.
 //
-// The engine is single-threaded: events are callbacks ordered by simulated
+// Each engine is single-threaded: events are callbacks ordered by simulated
 // time, with FIFO tie-breaking on equal timestamps. Given the same seed and
 // the same sequence of scheduling calls, a simulation is bit-reproducible,
 // which is what lets every figure in EXPERIMENTS.md regenerate identically.
+// Distinct engines share no state, so independent simulations may run on
+// concurrent goroutines (see experiments.RunAllParallel).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Time is simulated time in nanoseconds since the start of the run.
@@ -47,55 +49,52 @@ func (t Time) String() string {
 	}
 }
 
-type event struct {
-	at  Time
-	seq uint64 // FIFO tie-break for events at the same instant
-	fn  func()
+// totalExecuted counts events executed across every engine in the process.
+// It exists only for throughput reporting (events/sec in BENCH_*.json); the
+// engines themselves never read it. Updated once per Run, not per event.
+var totalExecuted atomic.Uint64
 
-	index    int // heap index, -1 once popped or cancelled
+// TotalExecuted reports how many events all engines in this process have
+// executed so far. Safe to call concurrently with running engines; the
+// count lags each engine's in-progress Run until that Run returns.
+func TotalExecuted() uint64 { return totalExecuted.Load() }
+
+// event is a pooled heap entry. gen distinguishes incarnations of the same
+// struct across free-list reuse, so a stale EventID can never cancel an
+// unrelated later event.
+type event struct {
+	at       Time
+	seq      uint64 // FIFO tie-break for events at the same instant
+	fn       func()
+	gen      uint64
 	canceled bool
 }
 
 // EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+type EventID struct {
+	ev  *event
+	gen uint64
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	pq      eventHeap
-	stopped bool
-	running bool
+	now Time
+	seq uint64
+	// heap is a monomorphic 4-ary min-heap on (at, seq). Four-way fan-out
+	// halves the tree depth of a binary heap, and sift operations compare
+	// siblings that sit in the same cache line; with no interface
+	// boundary the comparisons inline.
+	heap []*event
+	// free recycles popped/compacted event structs so steady-state
+	// scheduling does not allocate.
+	free []*event
+	// pending counts live (scheduled, not yet run or cancelled) events;
+	// tombstones counts cancelled entries still parked in the heap.
+	pending    int
+	tombstones int
+	stopped    bool
+	running    bool
 
 	// Stats
 	executed uint64
@@ -112,15 +111,86 @@ func (e *Engine) Now() Time { return e.now }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are scheduled and not yet run or cancelled.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.pq {
-		if !ev.canceled {
-			n++
-		}
+// Pending reports how many events are scheduled and not yet run or
+// cancelled. It is a live counter: O(1), never a queue scan.
+func (e *Engine) Pending() int { return e.pending }
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return n
+	return a.seq < b.seq
+}
+
+// siftUp moves heap[i] toward the root until its parent is not larger.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// siftDown re-seats ev starting at slot i, descending toward the smallest
+// of up to four children.
+func (e *Engine) siftDown(ev *event, i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !eventLess(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
+}
+
+func (e *Engine) heapPush(ev *event) {
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPop removes and returns the minimum element.
+func (e *Engine) heapPop() *event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last, 0)
+	}
+	return top
+}
+
+// recycle retires an event struct to the free list. Bumping gen invalidates
+// every outstanding EventID for this incarnation.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
@@ -132,10 +202,19 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn, ev.canceled = t, e.seq, fn, false
 	e.seq++
-	heap.Push(&e.pq, ev)
-	return EventID{ev}
+	e.pending++
+	e.heapPush(ev)
+	return EventID{ev, ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now. Negative d panics.
@@ -144,16 +223,42 @@ func (e *Engine) After(d Time, fn func()) EventID {
 }
 
 // Cancel removes a scheduled event. Cancelling an already-run or
-// already-cancelled event is a harmless no-op.
+// already-cancelled event is a harmless no-op. The entry is tombstoned in
+// place — O(1) — and discarded when it surfaces at the top of the queue (or
+// when tombstones pile up enough to warrant a compaction).
 func (e *Engine) Cancel(id EventID) {
-	if id.ev == nil || id.ev.canceled || id.ev.index < 0 {
-		if id.ev != nil {
-			id.ev.canceled = true
-		}
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.canceled {
 		return
 	}
-	id.ev.canceled = true
-	heap.Remove(&e.pq, id.ev.index)
+	ev.canceled = true
+	ev.fn = nil // release the closure now; the shell stays in the heap
+	e.pending--
+	e.tombstones++
+	if e.tombstones > 64 && e.tombstones > len(e.heap)/2 {
+		e.compact()
+	}
+}
+
+// compact rebuilds the heap without its tombstones. Runs only when more
+// than half the queue is dead, so its amortized cost per Cancel is O(1).
+func (e *Engine) compact() {
+	live := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.canceled {
+			e.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < len(live)+e.tombstones && i < cap(live); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = live
+	e.tombstones = 0
+	for i := (len(live) - 2) >> 2; i >= 0; i-- {
+		e.siftDown(e.heap[i], i)
+	}
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -170,22 +275,32 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 	e.running = true
 	e.stopped = false
-	defer func() { e.running = false }()
-	for len(e.pq) > 0 && !e.stopped {
-		next := e.pq[0]
+	startExecuted := e.executed
+	defer func() {
+		e.running = false
+		totalExecuted.Add(e.executed - startExecuted)
+	}()
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if next.canceled {
+			e.heapPop()
+			e.tombstones--
+			e.recycle(next)
+			continue
+		}
 		if next.at > deadline {
 			if e.now < deadline {
 				e.now = deadline
 			}
 			return
 		}
-		heap.Pop(&e.pq)
-		if next.canceled {
-			continue
-		}
+		e.heapPop()
 		e.now = next.at
+		e.pending--
 		e.executed++
-		next.fn()
+		fn := next.fn
+		e.recycle(next)
+		fn()
 	}
 	if !e.stopped && e.now < deadline && deadline != MaxTime {
 		e.now = deadline

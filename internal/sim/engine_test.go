@@ -188,6 +188,99 @@ func TestEnginePendingCount(t *testing.T) {
 	}
 }
 
+// A stale EventID — one whose event already ran and whose struct has been
+// recycled for a new event — must not cancel the new incarnation.
+func TestEngineStaleCancelDoesNotHitRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	var stale EventID
+	stale = e.At(10, func() {})
+	e.Run() // runs and recycles the event struct
+	ran := false
+	fresh := e.At(20, func() { ran = true }) // reuses the pooled struct
+	if fresh.ev != stale.ev {
+		t.Skip("free list did not reuse the struct; nothing to test")
+	}
+	e.Cancel(stale) // must be a no-op: generation differs
+	e.Run()
+	if !ran {
+		t.Error("stale Cancel killed a recycled event")
+	}
+}
+
+// Cancelling most of a large queue triggers compaction; the survivors must
+// still run, in order, exactly once.
+func TestEngineCancelHeavyCompaction(t *testing.T) {
+	e := NewEngine()
+	const n = 1000
+	var ids []EventID
+	var got []Time
+	for i := 0; i < n; i++ {
+		at := Time(10 + i)
+		ids = append(ids, e.At(at, func() { got = append(got, at) }))
+	}
+	// Cancel all but every 10th event.
+	for i, id := range ids {
+		if i%10 != 0 {
+			e.Cancel(id)
+		}
+	}
+	if want := n / 10; e.Pending() != want {
+		t.Fatalf("Pending() = %d after cancels, want %d", e.Pending(), want)
+	}
+	e.Run()
+	if len(got) != n/10 {
+		t.Fatalf("ran %d events, want %d", len(got), n/10)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order after compaction: %v then %v", got[i-1], got[i])
+		}
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain, want 0", e.Pending())
+	}
+}
+
+// Pending must track schedule, cancel, and execution, including cancels of
+// already-cancelled and already-run events (no double decrement).
+func TestEnginePendingLiveCounter(t *testing.T) {
+	e := NewEngine()
+	a := e.At(10, func() {})
+	b := e.At(20, func() {})
+	_ = b
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	e.Cancel(a) // double cancel: no second decrement
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d after double cancel, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after run, want 0", e.Pending())
+	}
+	e.Cancel(b) // cancel after execution: no underflow
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after post-run cancel, want 0", e.Pending())
+	}
+}
+
+// The process-wide executed counter must accumulate across engines.
+func TestTotalExecutedAccumulates(t *testing.T) {
+	before := TotalExecuted()
+	e1, e2 := NewEngine(), NewEngine()
+	for i := 0; i < 5; i++ {
+		e1.At(Time(i), func() {})
+		e2.At(Time(i), func() {})
+	}
+	e1.Run()
+	e2.Run()
+	if got := TotalExecuted() - before; got < 10 {
+		t.Errorf("TotalExecuted advanced by %d, want >= 10", got)
+	}
+}
+
 // Property: however events are scheduled, they execute in nondecreasing time
 // order.
 func TestEngineOrderProperty(t *testing.T) {

@@ -7,6 +7,7 @@
 //	vrio-experiments -run all [-quick] [-parallel] [-workers N]
 //	vrio-experiments -benchjson [-quick]            # emit BENCH_<date>.json
 //	vrio-experiments -run all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	vrio-experiments -trace [-trace-out out.json] [-metrics-interval 500us]
 package main
 
 import (
@@ -17,10 +18,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	"vrio/internal/experiments"
 	"vrio/internal/sim"
+	"vrio/internal/trace"
 )
 
 func main() {
@@ -33,20 +36,29 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchjson := flag.Bool("benchjson", false, "time serial vs parallel runs and write BENCH_<date>.json")
 	benchout := flag.String("benchout", "", "override the -benchjson output path")
+	doTrace := flag.Bool("trace", false, "run a traced vRIO netperf+block run and export span/metric artifacts")
+	traceOut := flag.String("trace-out", "trace.json", "Chrome trace-event output path for -trace (spans/metrics written alongside)")
+	traceSeed := flag.Uint64("trace-seed", 1, "simulation seed for -trace (same seed => byte-identical output)")
+	metricsInterval := flag.Duration("metrics-interval", 500*time.Microsecond, "sim-time metrics sampling interval for -trace")
 	flag.Parse()
 
-	if err := realMain(*list, *run, *quick, *parallel, *workers, *cpuprofile, *memprofile, *benchjson, *benchout); err != nil {
+	if err := realMain(*list, *run, *quick, *parallel, *workers, *cpuprofile, *memprofile, *benchjson, *benchout,
+		*doTrace, *traceOut, *traceSeed, *metricsInterval); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
-func realMain(list bool, run string, quick, parallel bool, workers int, cpuprofile, memprofile string, benchjson bool, benchout string) error {
+func realMain(list bool, run string, quick, parallel bool, workers int, cpuprofile, memprofile string, benchjson bool, benchout string,
+	doTrace bool, traceOut string, traceSeed uint64, metricsInterval time.Duration) error {
 	if list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 		return nil
+	}
+	if doTrace {
+		return writeTrace(traceOut, traceSeed, metricsInterval)
 	}
 
 	if cpuprofile != "" {
@@ -109,6 +121,33 @@ func realMain(list bool, run string, quick, parallel bool, workers int, cpuprofi
 	return nil
 }
 
+// writeTrace runs the traced vRIO scenario and writes the three artifacts:
+// the Chrome trace-event file at outPath, plus the raw span log and the
+// metrics timeseries next to it.
+func writeTrace(outPath string, seed uint64, interval time.Duration) error {
+	res, err := experiments.TraceRun(seed, sim.Time(interval.Nanoseconds()))
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(outPath, ".json")
+	spansPath := base + ".spans.jsonl"
+	metricsPath := base + ".metrics.jsonl"
+	if err := os.WriteFile(outPath, res.Chrome, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(spansPath, res.Spans, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(metricsPath, res.Metrics, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d spans, %d still open) — load it in chrome://tracing or ui.perfetto.dev\n",
+		outPath, res.Tracer.NumSpans(), res.Tracer.OpenSpans())
+	fmt.Printf("wrote %s (raw span log)\n", spansPath)
+	fmt.Printf("wrote %s (metrics every %v of sim time)\n", metricsPath, interval)
+	return nil
+}
+
 // benchRun is one timed RunAll pass for BENCH_<date>.json.
 type benchRun struct {
 	Workers      int     `json:"workers"`
@@ -130,6 +169,33 @@ type benchReport struct {
 	Parallel        benchRun `json:"parallel"`
 	Speedup         float64  `json:"speedup"`
 	IdenticalOutput bool     `json:"identical_output"`
+	// Engine hot-path microbenchmarks (see internal/sim's benchmarks):
+	// schedule+run cost per event, bare and with a disabled tracer guard in
+	// the loop. The two should be within noise of each other — that is the
+	// zero-overhead-when-disabled contract.
+	EngineScheduleNsOp int64 `json:"engine_schedule_ns_op"`
+	TraceDisabledNsOp  int64 `json:"trace_disabled_ns_op"`
+}
+
+// benchEngine mirrors internal/sim BenchmarkEngineSchedule: one After + one
+// RunUntil per iteration.
+func benchEngine(withTracer bool) int64 {
+	var tr *trace.Tracer // nil: the disabled tracer
+	res := testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine()
+		fn := func() {}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if withTracer && tr.Enabled() {
+				id := tr.BeginArg(trace.CatWorker, "bench", 0, uint64(i))
+				tr.End(id)
+			}
+			e.After(1, fn)
+			e.RunUntil(e.Now() + 1)
+		}
+	})
+	return res.NsPerOp()
 }
 
 func writeBenchJSON(quick bool, workers int, outPath string) error {
@@ -164,16 +230,18 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 	}
 
 	report := benchReport{
-		Date:            time.Now().Format("2006-01-02"),
-		Quick:           quick,
-		NumCPU:          runtime.NumCPU(),
-		GoMaxProcs:      runtime.GOMAXPROCS(0),
-		GoVersion:       runtime.Version(),
-		Experiments:     len(serialRes),
-		Serial:          serial,
-		Parallel:        par,
-		Speedup:         serial.WallSeconds / par.WallSeconds,
-		IdenticalOutput: identical,
+		Date:               time.Now().Format("2006-01-02"),
+		Quick:              quick,
+		NumCPU:             runtime.NumCPU(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		GoVersion:          runtime.Version(),
+		Experiments:        len(serialRes),
+		Serial:             serial,
+		Parallel:           par,
+		Speedup:            serial.WallSeconds / par.WallSeconds,
+		IdenticalOutput:    identical,
+		EngineScheduleNsOp: benchEngine(false),
+		TraceDisabledNsOp:  benchEngine(true),
 	}
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", report.Date)

@@ -18,6 +18,7 @@ import (
 	"vrio/internal/nic"
 	"vrio/internal/params"
 	"vrio/internal/sim"
+	"vrio/internal/trace"
 	"vrio/internal/workload"
 )
 
@@ -61,6 +62,10 @@ type Spec struct {
 	// NoJitter disables the per-core OS-interference process (used by
 	// tests that assert exact deterministic timings).
 	NoJitter bool
+	// Trace enables datapath span tracing: Build creates a Tracer on the
+	// testbed's engine and threads it through the transport drivers and the
+	// I/O hypervisor. Off (the default) costs the datapath nothing.
+	Trace bool
 	// SecondaryIOhost cables every VMhost to a fallback IOhost as well
 	// (§4.6 "Fault Tolerance": "connecting VMhosts to a secondary fallback
 	// IOhost ... requires additional cables and matching ports"). The
@@ -104,6 +109,14 @@ type Testbed struct {
 
 	// SecondaryIOHyp is the fallback I/O hypervisor (when configured).
 	SecondaryIOHyp *iohyp.IOHypervisor
+
+	// Tracer records datapath spans when Spec.Trace is set (nil otherwise —
+	// the zero-cost disabled tracer).
+	Tracer *trace.Tracer
+	// Metrics is the per-component metrics registry, populated at Build
+	// time for every testbed. Experiments read component counters through
+	// it, and StartMetricsSampling snapshots it at sim-time intervals.
+	Metrics *trace.Registry
 
 	// vRIO channel plumbing per VMhost, for live migration.
 	vrioChannels []vrioChannel
@@ -150,9 +163,13 @@ func Build(spec Spec) *Testbed {
 	}
 
 	tb := &Testbed{
-		Eng:  sim.NewEngine(),
-		P:    p,
-		Spec: spec,
+		Eng:     sim.NewEngine(),
+		P:       p,
+		Spec:    spec,
+		Metrics: trace.NewRegistry(),
+	}
+	if spec.Trace {
+		tb.Tracer = trace.New(tb.Eng)
 	}
 	tb.Switch = link.NewSwitch(tb.Eng, p.SwitchLatency)
 	nicCfg := nic.Config{
@@ -211,6 +228,7 @@ func Build(spec Spec) *Testbed {
 	default:
 		panic(fmt.Sprintf("cluster: unknown model %q", spec.Model))
 	}
+	tb.registerMetrics()
 	return tb
 }
 
@@ -273,6 +291,7 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 	}
 	tb.IOHyp = iohyp.New(tb.Eng, iohyp.Config{
 		Params: p, Mode: mode, Sidecores: sides, Seed: spec.Seed,
+		Tracer: tb.Tracer,
 	})
 	if spec.SecondaryIOhost {
 		var sides2 []*cpu.Core
@@ -282,6 +301,7 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 		}
 		tb.SecondaryIOHyp = iohyp.New(tb.Eng, iohyp.Config{
 			Params: p, Mode: mode, Sidecores: sides2, Seed: spec.Seed ^ 0xfa11,
+			Tracer: tb.Tracer,
 		})
 		up2 := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
 		tb.Switch.AttachPort(up2)
@@ -329,6 +349,7 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 		}
 
 		host := core.NewVRIOHost(tb.Eng, p, fmt.Sprintf("vmhost%d", hostIdx), vmhostNIC, iohostVF.MAC())
+		host.Tracer = tb.Tracer
 		for v := 0; v < spec.VMsPerHost; v++ {
 			vmCore := cpu.New(tb.Eng, fmt.Sprintf("vm%d-core", vmID), p.ContextSwitchCost)
 			tb.VMCores = append(tb.VMCores, vmCore)

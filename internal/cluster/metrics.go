@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"fmt"
+
+	"vrio/internal/cpu"
+	"vrio/internal/sim"
+	"vrio/internal/trace"
+)
+
+// vmCounterNames are the per-VM virtualization-event counters every model
+// maintains (the Table 3 columns).
+var vmCounterNames = []string{"exits", "guest_irqs", "irq_injections", "host_irqs"}
+
+// iohypCounterNames are the I/O hypervisor counters worth sampling.
+var iohypCounterNames = []string{
+	"msgs", "net_fwd_local", "net_fwd_uplink", "net_in",
+	"blk_reqs", "iohost_irqs", "interpose_drops", "copy_bytes",
+}
+
+// registerMetrics populates the testbed's registry from the components Build
+// just assembled. Everything is registered as a gauge (or an observed
+// histogram) over state the components already maintain, so instrumentation
+// adds no work to any hot path — cost is paid only when a snapshot reads the
+// closures.
+func (tb *Testbed) registerMetrics() {
+	r := tb.Metrics
+	for i, g := range tb.Guests {
+		comp := fmt.Sprintf("vm%d", i)
+		vm := g.VM
+		for _, name := range vmCounterNames {
+			r.Gauge(comp, name, func() float64 { return float64(vm.Counters.Get(name)) })
+		}
+	}
+	for i, sc := range tb.Sidecores {
+		comp := fmt.Sprintf("sidecore%d", i)
+		r.Gauge(comp, "busy_ns", func() float64 { return float64(sc.BusyTime()) })
+		r.Gauge(comp, "poll_ns", func() float64 { return float64(sc.Accounted(cpu.KindPoll)) })
+		r.ObserveHistogram(comp, "wait_ns", &sc.Wait)
+	}
+	r.Gauge("switch", "forwarded", func() float64 { return float64(tb.Switch.Forwarded) })
+	r.Gauge("switch", "flooded", func() float64 { return float64(tb.Switch.Flooded) })
+	if h := tb.IOHyp; h != nil {
+		for _, name := range iohypCounterNames {
+			r.Gauge("iohyp", name, func() float64 { return float64(h.Counters.Get(name)) })
+		}
+		r.Gauge("iohyp", "channel_drops", func() float64 { return float64(h.ChannelDrops()) })
+	}
+	for i, dev := range tb.BlockDevices {
+		comp := fmt.Sprintf("blkdev%d", i)
+		r.Gauge(comp, "served", func() float64 { return float64(dev.Served) })
+		r.Gauge(comp, "queue", func() float64 { return float64(dev.QueueLen()) })
+	}
+	for i, c := range tb.VRIOClients {
+		comp := fmt.Sprintf("vm%d-vf", i)
+		// Read through the client: migration swaps the port, and the gauge
+		// should follow the VF the client currently transmits on.
+		r.Gauge(comp, "rx_frames", func() float64 { return float64(c.Port.VF().RxFrames) })
+		r.Gauge(comp, "tx_frames", func() float64 { return float64(c.Port.VF().TxFrames) })
+		r.Gauge(comp, "drops", func() float64 { return float64(c.Port.VF().Drops) })
+	}
+}
+
+// StartMetricsSampling snapshots every registered metric each interval of
+// sim time via the engine's ticker and returns the accumulating series.
+// Sampling is driven by the same deterministic event loop as the workload,
+// so the series is byte-identical across same-seed runs.
+func (tb *Testbed) StartMetricsSampling(interval sim.Time) *trace.Timeseries {
+	ts := tb.Metrics.NewTimeseries()
+	tb.Eng.Ticker(interval, func() { ts.Sample(tb.Eng.Now()) })
+	return ts
+}

@@ -9,6 +9,7 @@ import (
 	"vrio/internal/nic"
 	"vrio/internal/params"
 	"vrio/internal/sim"
+	"vrio/internal/trace"
 	"vrio/internal/transport"
 	"vrio/internal/virtio"
 )
@@ -25,6 +26,11 @@ type VRIOHost struct {
 	name   string
 	chNIC  *nic.NIC
 	iohost ethernet.MAC
+
+	// Tracer, when non-nil, is handed to every client's transport driver so
+	// requests carry trace context from submission to completion. Set it
+	// before AddClient.
+	Tracer *trace.Tracer
 }
 
 // NewVRIOHost builds a VMhost whose channel NIC is cabled toward the
@@ -138,6 +144,7 @@ func (h *VRIOHost) AddClient(cfg VMConfig) *VRIOClient {
 		InitialTimeout: h.p.RetransmitTimeout,
 		MaxRetransmits: h.p.MaxRetransmits,
 	})
+	c.Driver.Tracer = h.Tracer
 
 	// Receive: the channel VF interrupts the guest exitless (SRIOV+ELI,
 	// §4.2); the guest's transport driver decapsulates and calls the

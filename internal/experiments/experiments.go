@@ -10,6 +10,7 @@ import (
 	"vrio/internal/cluster"
 	"vrio/internal/core"
 	"vrio/internal/sim"
+	"vrio/internal/stats"
 	"vrio/internal/workload"
 )
 
@@ -197,6 +198,21 @@ func meanLatencyMicros(rrs []*workload.RR) float64 {
 		return 0
 	}
 	return weighted / float64(ops) / 1000
+}
+
+// latencyPercentilesMicros merges every RR's latency histogram and reads
+// p50/p95/p99 in µs. Merging into a scratch histogram leaves the per-RR
+// results untouched.
+func latencyPercentilesMicros(rrs []*workload.RR) [3]float64 {
+	var merged stats.Histogram
+	for _, rr := range rrs {
+		merged.Merge(&rr.Results.Latency)
+	}
+	var out [3]float64
+	for i, p := range []float64{50, 95, 99} {
+		out[i] = float64(merged.Percentile(p)) / 1000
+	}
+	return out
 }
 
 // totalOps sums completed transactions.

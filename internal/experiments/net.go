@@ -44,12 +44,11 @@ func table3Plan(quick bool) Plan {
 			if ops == 0 {
 				return out{note: string(m) + ": no transactions"}
 			}
-			g := tb.Guests[0]
-			per := func(name string) float64 { return float64(g.VM.Counters.Get(name)) / ops }
-			ioirq := 0.0
-			if tb.IOHyp != nil {
-				ioirq = float64(tb.IOHyp.Counters.Get("iohost_irqs")) / ops
-			}
+			// Event counts come through the metrics registry — the same
+			// counters the components maintain, read by component/name
+			// instead of reaching into their fields.
+			per := func(name string) float64 { return tb.Metrics.Value("vm0", name) / ops }
+			ioirq := tb.Metrics.Value("iohyp", "iohost_irqs") / ops
 			sum := per("exits") + per("guest_irqs") + per("irq_injections") + per("host_irqs") + ioirq
 			return out{row: []string{
 				string(m), f1(per("exits")), f1(per("guest_irqs")),
@@ -149,7 +148,9 @@ func fig7Plan(quick bool) Plan {
 			n, m := n, m
 			cells = append(cells, func() any {
 				tb := cluster.Build(cluster.Spec{Model: m, VMsPerHost: n, Seed: 31})
-				return meanLatencyMicros(rrRun(tb, warm, dur))
+				rrs := rrRun(tb, warm, dur)
+				pcts := latencyPercentilesMicros(rrs)
+				return [4]float64{meanLatencyMicros(rrs), pcts[0], pcts[1], pcts[2]}
 			})
 		}
 	}
@@ -159,17 +160,29 @@ func fig7Plan(quick bool) Plan {
 			Title:  "Netperf RR average latency [µs] vs number of VMs (N+1 cores; optimum N)",
 			Header: []string{"VMs", "baseline", "vrio", "elvis", "optimum"},
 		}
+		// Percentile columns follow the four means, same model order.
+		colModels := []core.ModelName{
+			core.ModelBaseline, core.ModelVRIO, core.ModelElvis, core.ModelOptimum,
+		}
+		for _, m := range colModels {
+			for _, p := range []string{"p50", "p95", "p99"} {
+				res.Header = append(res.Header, string(m)+"-"+p)
+			}
+		}
 		next := cursor(outs)
 		for n := 1; n <= maxN; n++ {
-			lat := map[core.ModelName]float64{}
+			lat := map[core.ModelName][4]float64{}
 			for _, m := range netModels {
-				lat[m] = next().(float64)
+				lat[m] = next().([4]float64)
 			}
-			res.Rows = append(res.Rows, []string{
-				fmt.Sprintf("%d", n),
-				f1(lat[core.ModelBaseline]), f1(lat[core.ModelVRIO]),
-				f1(lat[core.ModelElvis]), f1(lat[core.ModelOptimum]),
-			})
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, m := range colModels {
+				row = append(row, f1(lat[m][0]))
+			}
+			for _, m := range colModels {
+				row = append(row, f1(lat[m][1]), f1(lat[m][2]), f1(lat[m][3]))
+			}
+			res.Rows = append(res.Rows, row)
 		}
 		res.Notes = append(res.Notes,
 			"paper shape: optimum ≈30-32µs near-flat; vrio ≈ optimum+12-13µs; elvis starts 8µs under vrio, crosses above near N=6; baseline worst")
@@ -392,7 +405,7 @@ func fig11Plan(quick bool) Plan {
 // each returning the four percentile values.
 func table4Plan(quick bool) Plan {
 	warm, dur := durations(quick, 5*sim.Millisecond, 2000*sim.Millisecond)
-	percentiles := []float64{99.9, 99.99, 99.999, 100}
+	percentiles := []float64{50, 95, 99, 99.9, 99.99, 99.999, 100}
 	models := []core.ModelName{core.ModelOptimum, core.ModelElvis, core.ModelVRIO}
 	var cells []Cell
 	for _, m := range models {
@@ -417,7 +430,7 @@ func table4Plan(quick bool) Plan {
 		for i, m := range models {
 			vals[m] = outs[i].([]float64)
 		}
-		names := []string{"99.9%", "99.99%", "99.999%", "100%"}
+		names := []string{"50%", "95%", "99%", "99.9%", "99.99%", "99.999%", "100%"}
 		for i, name := range names {
 			res.Rows = append(res.Rows, []string{
 				name,

@@ -19,6 +19,7 @@ import (
 	"vrio/internal/params"
 	"vrio/internal/sim"
 	"vrio/internal/stats"
+	"vrio/internal/trace"
 	"vrio/internal/transport"
 	"vrio/internal/virtio"
 )
@@ -93,6 +94,10 @@ type IOHypervisor struct {
 	// Counters: "msgs", "net_fwd_local", "net_fwd_uplink", "net_in",
 	// "blk_reqs", "iohost_irqs", "interpose_drops", "copy_bytes".
 	Counters stats.Counters
+
+	// Tracer records iohyp_worker and blockdev spans, picking up the flow
+	// keys the client driver linked. Nil is the zero-cost disabled tracer.
+	Tracer *trace.Tracer
 }
 
 // Worker is one sidecore worker.
@@ -113,6 +118,9 @@ type Config struct {
 	Sidecores []*cpu.Core
 	// Seed feeds poll-delay jitter.
 	Seed uint64
+	// Tracer, when non-nil, records datapath spans (shared with the
+	// testbed's clients so flow keys hand spans across components).
+	Tracer *trace.Tracer
 }
 
 // New builds the I/O hypervisor. Channel NICs and devices are attached
@@ -133,6 +141,7 @@ func New(eng *sim.Engine, cfg Config) *IOHypervisor {
 		devOwner:   make(map[devKey]*Worker),
 		devPending: make(map[devKey]int),
 		defaultCh:  interpose.NewChain(),
+		Tracer:     cfg.Tracer,
 	}
 	for _, core := range cfg.Sidecores {
 		if cfg.Mode == ModePolling {
@@ -146,6 +155,7 @@ func New(eng *sim.Engine, cfg Config) *IOHypervisor {
 		InitialTimeout: cfg.Params.RetransmitTimeout,
 		MaxRetransmits: cfg.Params.MaxRetransmits,
 	})
+	h.endpoint.Tracer = cfg.Tracer
 	h.endpoint.NetTx = h.handleNetTx
 	h.endpoint.BlkReq = h.handleBlkReq
 	return h
@@ -429,10 +439,32 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 	if err == nil {
 		key.id = hdr.DeviceID
 	}
-	h.steer(key, cost, func() {
+	// Pick up the trace context the client driver linked: the wire span ends
+	// here (message picked up off the channel); the worker span the steered
+	// work item opens is parented under the request's guest_ring root. Net-tx
+	// roots measure submission-to-forwarded, so the root is taken and ended
+	// once the worker is done with the frame.
+	var parent, netRoot trace.SpanID
+	name := "msg"
+	if h.Tracer.Enabled() && err == nil {
+		mac := trace.Key48(src)
+		switch hdr.Type {
+		case transport.MsgBlkReq:
+			h.Tracer.End(h.Tracer.Take(trace.FlowKey{Kind: transport.FlowBlkWire, A: mac, B: hdr.ReqID}))
+			parent = h.Tracer.Lookup(trace.FlowKey{Kind: transport.FlowBlkRoot, A: mac, B: hdr.OrigID})
+			name = "blk-req"
+		case transport.MsgNetTx:
+			h.Tracer.End(h.Tracer.Take(trace.FlowKey{Kind: transport.FlowNetWire, A: mac, B: hdr.ReqID}))
+			netRoot = h.Tracer.Take(trace.FlowKey{Kind: transport.FlowNetRoot, A: mac, B: hdr.ReqID})
+			parent = netRoot
+			name = "net-tx"
+		}
+	}
+	h.steer(key, cost, parent, name, func() {
 		if err := h.endpoint.Deliver(src, msg); err != nil {
 			h.Counters.Inc("bad_msgs", 1)
 		}
+		h.Tracer.End(netRoot)
 	})
 }
 
@@ -460,7 +492,7 @@ func (h *IOHypervisor) ingressPlain(frame []byte) {
 	inner := ethernet.Frame{Dst: f.Dst, Src: f.Src, EtherType: f.EtherType, Payload: payload}
 	raw, _ := inner.Encode(0)
 	cost := h.p.WorkerServiceCost + h.p.EncapCost + icost
-	h.steer(dev.key, cost, func() {
+	h.steer(dev.key, cost, 0, "net-in", func() {
 		h.endpoint.SendNetRx(dev.key.client, dev.key.id, raw)
 		h.txInterrupt()
 	})
@@ -478,8 +510,11 @@ func (h *IOHypervisor) txInterrupt() {
 
 // steer assigns work for a device to its owning worker, or to the least
 // loaded worker when unowned, holding ownership until the device's queue
-// drains (§4.1: order-preserving steering).
-func (h *IOHypervisor) steer(key devKey, cost sim.Time, fn func()) {
+// drains (§4.1: order-preserving steering). parent/name describe the
+// iohyp_worker span recorded around the work item when tracing is on; the
+// span is backdated by cost from inside the completion callback, so it
+// covers exactly the service window (queueing excluded).
+func (h *IOHypervisor) steer(key devKey, cost sim.Time, parent trace.SpanID, name string, fn func()) {
 	w := h.devOwner[key]
 	if w == nil {
 		w = h.pickWorker()
@@ -487,6 +522,10 @@ func (h *IOHypervisor) steer(key devKey, cost sim.Time, fn func()) {
 	}
 	h.devPending[key]++
 	w.Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
+		if h.Tracer.Enabled() {
+			span := h.Tracer.BeginAt(trace.CatWorker, name, parent, uint64(key.id), h.eng.Now()-cost)
+			defer h.Tracer.End(span)
+		}
 		w.Processed++
 		h.devPending[key]--
 		if h.devPending[key] == 0 {
@@ -580,6 +619,12 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 		return
 	}
 	h.Counters.Inc("blk_reqs", 1)
+	// Blockdev spans cover handoff-to-backend through backend completion,
+	// parented under the request's guest_ring root (left linked until the
+	// driver consumes the completion).
+	root := h.Tracer.Lookup(trace.FlowKey{
+		Kind: transport.FlowBlkRoot, A: trace.Key48(src), B: hdr.OrigID,
+	})
 
 	switch bh.Type {
 	case virtio.BlkOut: // write
@@ -595,8 +640,10 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 		if copied > 0 {
 			h.Counters.Inc("copy_bytes", uint64(copied))
 		}
+		bd := h.Tracer.BeginArg(trace.CatBlockdev, "write", root, hdr.OrigID)
 		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpWrite, Sector: bh.Sector, Data: payload}, func(resp blockdev.Response) {
+				h.Tracer.End(bd)
 				status := byte(virtio.BlkOK)
 				if resp.Err != nil {
 					status = virtio.BlkIOErr
@@ -615,8 +662,10 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 			h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkIOErr})
 			return
 		}
+		bd := h.Tracer.BeginArg(trace.CatBlockdev, "read", root, hdr.OrigID)
 		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpRead, Sector: bh.Sector, Sectors: n}, func(resp blockdev.Response) {
+				h.Tracer.End(bd)
 				if resp.Err != nil {
 					h.respondBlk(src, hdr, []byte{virtio.BlkIOErr})
 					return
@@ -635,8 +684,10 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 			})
 		})
 	case virtio.BlkFlush:
+		bd := h.Tracer.BeginArg(trace.CatBlockdev, "flush", root, hdr.OrigID)
 		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpFlush}, func(resp blockdev.Response) {
+				h.Tracer.End(bd)
 				status := byte(virtio.BlkOK)
 				if resp.Err != nil {
 					status = virtio.BlkIOErr

@@ -1,0 +1,68 @@
+// External test package: trace imports sim, so benchmarking the two
+// together must live outside package sim.
+package sim_test
+
+import (
+	"testing"
+
+	"vrio/internal/sim"
+	"vrio/internal/trace"
+)
+
+// BenchmarkTraceDisabled is BenchmarkEngineSchedule with a disabled-tracer
+// instrumentation block in the loop — the exact pattern the transport driver
+// and IOhyp workers run per event. The contract (see package trace): with
+// tracing off this must cost ~0 ns and 0 allocs over the bare schedule path.
+// Compare against BenchmarkEngineSchedule in this directory.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *trace.Tracer // nil: the disabled tracer
+	e := sim.NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			id := tr.BeginArg(trace.CatWorker, "bench", 0, uint64(i))
+			tr.End(id)
+		}
+		e.After(1, fn)
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+// BenchmarkTraceEnabled is the same loop with a live tracer, for comparison:
+// this is what turning -trace on costs per instrumented event.
+func BenchmarkTraceEnabled(b *testing.B) {
+	e := sim.NewEngine()
+	tr := trace.New(e)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			id := tr.BeginArg(trace.CatWorker, "bench", 0, uint64(i))
+			tr.End(id)
+		}
+		e.After(1, fn)
+		e.RunUntil(e.Now() + 1)
+	}
+}
+
+// TestTraceDisabledZeroAllocOnSchedulePath enforces the benchmark's claim in
+// a plain test so `go test` (not just benchmarking) catches a regression.
+func TestTraceDisabledZeroAllocOnSchedulePath(t *testing.T) {
+	var tr *trace.Tracer
+	e := sim.NewEngine()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.Enabled() {
+			id := tr.BeginArg(trace.CatWorker, "x", 0, 0)
+			tr.End(id)
+		}
+		e.After(1, fn)
+		e.RunUntil(e.Now() + 1)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled-tracer schedule path allocates %.1f/op, want 0", allocs)
+	}
+}

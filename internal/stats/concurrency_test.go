@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCountersPerCellMergePattern is a -race regression test for the
+// ownership discipline documented on Counters: each parallel simulation cell
+// owns a private Counters (and Histogram), and results are merged only after
+// the workers are joined. If someone "simplifies" the parallel runner to
+// share one Counters across cells, the data race shows up here first.
+func TestCountersPerCellMergePattern(t *testing.T) {
+	const cells = 8
+	const perCell = 10000
+
+	cellCounters := make([]Counters, cells)
+	cellHists := make([]Histogram, cells)
+	var wg sync.WaitGroup
+	for c := 0; c < cells; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each goroutine touches only its own cell's accumulators,
+			// mirroring one single-threaded simulation cell.
+			for i := 0; i < perCell; i++ {
+				cellCounters[c].Inc("exits", 1)
+				if i%2 == 0 {
+					cellCounters[c].Inc("irq_injections", 2)
+				}
+				cellHists[c].Record(int64(c*perCell + i))
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Merge strictly after the join, from one goroutine.
+	var total Counters
+	var latency Histogram
+	for c := 0; c < cells; c++ {
+		total.Merge(&cellCounters[c])
+		latency.Merge(&cellHists[c])
+	}
+	if got := total.Get("exits"); got != cells*perCell {
+		t.Errorf("exits = %d, want %d", got, cells*perCell)
+	}
+	if got := total.Get("irq_injections"); got != cells*perCell {
+		t.Errorf("irq_injections = %d, want %d", got, cells*perCell)
+	}
+	if got := latency.Count(); got != cells*perCell {
+		t.Errorf("latency count = %d, want %d", got, cells*perCell)
+	}
+	if got := latency.Max(); got != cells*perCell-1 {
+		t.Errorf("latency max = %d, want %d", got, cells*perCell-1)
+	}
+}

@@ -157,6 +157,114 @@ func TestHistogramPercentileMonotone(t *testing.T) {
 	}
 }
 
+// Property: merging is equivalent to recording everything into one
+// histogram — same count, sum, min, max, and every percentile. This is what
+// lets the parallel runner split samples across cells without changing the
+// reported tables.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	var whole, a, b, c Histogram
+	parts := []*Histogram{&a, &b, &c}
+	for i := int64(0); i < 9000; i++ {
+		v := (i * 104729) % 777001
+		whole.Record(v)
+		parts[i%3].Record(v)
+	}
+	var merged Histogram
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() {
+		t.Errorf("merged n=%d mean=%v, want n=%d mean=%v",
+			merged.Count(), merged.Mean(), whole.Count(), whole.Mean())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("merged min/max = %d/%d, want %d/%d",
+			merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for p := 0.0; p <= 100.0; p += 2.5 {
+		if got, want := merged.Percentile(p), whole.Percentile(p); got != want {
+			t.Errorf("P%v = %d after merge, want %d", p, got, want)
+		}
+	}
+}
+
+// Property: merge order does not matter.
+func TestHistogramMergeCommutative(t *testing.T) {
+	var a1, b1, a2, b2 Histogram
+	for i := int64(0); i < 500; i++ {
+		a1.Record(i * 3)
+		a2.Record(i * 3)
+		b1.Record(i*7 + 100000)
+		b2.Record(i*7 + 100000)
+	}
+	a1.Merge(&b1) // a then b
+	b2.Merge(&a2) // b then a
+	if a1.Count() != b2.Count() || a1.Min() != b2.Min() || a1.Max() != b2.Max() {
+		t.Fatalf("merge order changed n/min/max: %d/%d/%d vs %d/%d/%d",
+			a1.Count(), a1.Min(), a1.Max(), b2.Count(), b2.Min(), b2.Max())
+	}
+	for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+		if a1.Percentile(p) != b2.Percentile(p) {
+			t.Errorf("P%v differs by merge order: %d vs %d", p, a1.Percentile(p), b2.Percentile(p))
+		}
+	}
+}
+
+// Out-of-range percentile arguments clamp rather than panic: p<0 behaves
+// like p=0 (the minimum's bucket) and p>100 returns the exact max.
+func TestHistogramPercentileClamped(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i)
+	}
+	if got, want := h.Percentile(-5), h.Percentile(0); got != want {
+		t.Errorf("Percentile(-5) = %d, want Percentile(0) = %d", got, want)
+	}
+	if got := h.Percentile(250); got != h.Max() {
+		t.Errorf("Percentile(250) = %d, want max %d", got, h.Max())
+	}
+	var empty Histogram
+	if empty.Percentile(-1) != 0 || empty.Percentile(101) != 0 {
+		t.Error("empty histogram should return 0 for any percentile")
+	}
+}
+
+// Values spanning up to 2^62 must keep bounded relative error — the bucket
+// math shifts by (exp-5) and has to stay correct at the top of the range.
+func TestHistogramHugeValues(t *testing.T) {
+	var h Histogram
+	huge := int64(1) << 62
+	h.Record(huge)
+	h.Record(huge + huge/64)
+	h.Record(1)
+	if h.Max() != huge+huge/64 {
+		t.Errorf("Max = %d", h.Max())
+	}
+	if got := h.Percentile(100); got != huge+huge/64 {
+		t.Errorf("P100 = %d, want exact max", got)
+	}
+	p50 := h.Percentile(50)
+	if p50 < huge-huge/16 || p50 > huge {
+		t.Errorf("P50 = %d, want within 1/16 below %d", p50, huge)
+	}
+}
+
+// Reset must return the histogram to a state indistinguishable from the zero
+// value, including after re-recording.
+func TestHistogramResetThenReuse(t *testing.T) {
+	var h, fresh Histogram
+	for i := int64(0); i < 100; i++ {
+		h.Record(i * 1000)
+	}
+	h.Reset()
+	h.Record(42)
+	fresh.Record(42)
+	if h.Count() != fresh.Count() || h.Min() != fresh.Min() || h.Max() != fresh.Max() ||
+		h.Mean() != fresh.Mean() || h.Percentile(50) != fresh.Percentile(50) {
+		t.Errorf("reused after Reset: %v, want %v", h.String(), fresh.String())
+	}
+}
+
 func TestHistogramString(t *testing.T) {
 	var h Histogram
 	h.Record(100)

@@ -52,6 +52,14 @@ func (m *Mean) RelStddev() float64 {
 
 // Counters is a set of named monotonically increasing counters, used for the
 // Table 3 exit/interrupt accounting. The zero value is ready to use.
+//
+// Counters is NOT safe for concurrent use: Inc mutates a plain map with no
+// locking. This is deliberate — counters sit on the simulation hot path, and
+// each simulation cell is single-threaded. The parallel experiment runner
+// (experiments.RunAllParallel) keeps this sound by giving every cell its own
+// engine, testbed, and Counters; results are combined with Merge only after
+// the worker goroutines have been joined. Never share one Counters between
+// cells, and never call Inc or Merge from more than one goroutine at a time.
 type Counters struct {
 	m map[string]uint64
 }

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Export formats. Both are hand-serialized in span-begin order with integer
+// timestamp math, so output is byte-identical across same-seed runs —
+// encoding libraries and float formatting never get a say. Span names and
+// categories are plain identifiers ([a-z0-9-_] by convention); they are
+// emitted unescaped.
+
+// WriteChrome emits the spans as a Chrome trace-event file ("traceEvents"
+// array of "X" complete events) loadable in chrome://tracing or Perfetto.
+// Timestamps convert from sim nanoseconds to the format's microseconds with
+// three decimal places. Each root span becomes its own track (tid = root
+// id), so a request's child spans nest correctly under it regardless of
+// what other requests were in flight. Spans still open at export time are
+// emitted as "B" (begin-only) events, which the viewers render as
+// unfinished.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range t.Spans() {
+		s := &t.spans[i]
+		if i > 0 {
+			bw.WriteString(",\n")
+		}
+		id := SpanID(i + 1)
+		if s.End < 0 {
+			fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"B","ts":%s,"pid":1,"tid":%d,"args":{"id":%d,"parent":%d,"arg":%d}}`,
+				s.Name, string(s.Cat), microTS(int64(s.Start)), s.Root, id, s.Parent, s.Arg)
+			continue
+		}
+		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"id":%d,"parent":%d,"arg":%d}}`,
+			s.Name, string(s.Cat), microTS(int64(s.Start)), microTS(int64(s.End-s.Start)), s.Root, id, s.Parent, s.Arg)
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// microTS renders nanoseconds as decimal microseconds ("12.345") using
+// integer math only.
+func microTS(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// WriteJSONL emits one JSON object per span, in begin order, with raw
+// sim-time nanosecond timestamps (end -1 for spans still open). This is the
+// machine-diffable log the determinism guarantee is stated over.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range t.Spans() {
+		s := &t.spans[i]
+		_, err := fmt.Fprintf(bw, `{"id":%d,"parent":%d,"root":%d,"cat":%q,"name":%q,"arg":%d,"start":%d,"end":%d}`+"\n",
+			i+1, s.Parent, s.Root, string(s.Cat), s.Name, s.Arg, int64(s.Start), int64(s.End))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"vrio/internal/sim"
+	"vrio/internal/stats"
+)
+
+// Registry is the per-component metrics registry: named counters, gauges,
+// and histograms registered under "component/name". Components register at
+// build time (cluster.Build wires one registry per testbed); experiments
+// read values by name instead of reaching into component counter fields,
+// and a Timeseries samples every metric at sim-time intervals via
+// Engine.Ticker.
+//
+// Snapshots walk metrics in sorted full-name order, so sampled output is
+// deterministic regardless of registration order. Like the rest of a
+// simulation cell, a Registry is single-threaded by design.
+type Registry struct {
+	metrics []*Metric
+	index   map[string]*Metric
+}
+
+// MetricKind discriminates the three metric flavors.
+type MetricKind uint8
+
+// Kinds.
+const (
+	KindCounter MetricKind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// Metric is one registered metric. Counters own their value (Add); gauges
+// read a component's existing state through a closure at snapshot time (so
+// instrumenting a component costs nothing on its hot path); histograms wrap
+// a stats.Histogram and report its p99 as the snapshot value.
+type Metric struct {
+	Component string
+	Name      string
+	Kind      MetricKind
+
+	count uint64
+	gauge func() float64
+	hist  *stats.Histogram
+}
+
+// FullName is "component/name", the registry key and export column name.
+func (m *Metric) FullName() string { return m.Component + "/" + m.Name }
+
+// Add increments a counter metric.
+func (m *Metric) Add(delta uint64) { m.count += delta }
+
+// Value reads the metric's current snapshot value.
+func (m *Metric) Value() float64 {
+	switch m.Kind {
+	case KindCounter:
+		return float64(m.count)
+	case KindGauge:
+		return m.gauge()
+	default:
+		return float64(m.hist.Percentile(99))
+	}
+}
+
+// Hist exposes the underlying histogram of a KindHistogram metric (nil for
+// other kinds), for percentile queries beyond the snapshot p99.
+func (m *Metric) Hist() *stats.Histogram { return m.hist }
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*Metric)}
+}
+
+func (r *Registry) add(m *Metric) *Metric {
+	key := m.FullName()
+	if _, dup := r.index[key]; dup {
+		panic("trace: duplicate metric " + key)
+	}
+	r.index[key] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers a counter and returns the handle to Add through.
+func (r *Registry) Counter(component, name string) *Metric {
+	return r.add(&Metric{Component: component, Name: name, Kind: KindCounter})
+}
+
+// Gauge registers a gauge read through fn at snapshot time.
+func (r *Registry) Gauge(component, name string, fn func() float64) *Metric {
+	return r.add(&Metric{Component: component, Name: name, Kind: KindGauge, gauge: fn})
+}
+
+// Histogram registers a fresh histogram and returns it for recording.
+func (r *Registry) Histogram(component, name string) *stats.Histogram {
+	h := &stats.Histogram{}
+	r.add(&Metric{Component: component, Name: name, Kind: KindHistogram, hist: h})
+	return h
+}
+
+// ObserveHistogram registers an existing component histogram (e.g. a
+// sidecore's queueing-delay histogram) without copying it.
+func (r *Registry) ObserveHistogram(component, name string, h *stats.Histogram) *Metric {
+	return r.add(&Metric{Component: component, Name: name, Kind: KindHistogram, hist: h})
+}
+
+// Get returns the metric registered under component/name, or nil.
+func (r *Registry) Get(component, name string) *Metric {
+	return r.index[component+"/"+name]
+}
+
+// Value reads component/name's current value (0 if not registered, so
+// experiments can read model-specific metrics uniformly).
+func (r *Registry) Value(component, name string) float64 {
+	m := r.index[component+"/"+name]
+	if m == nil {
+		return 0
+	}
+	return m.Value()
+}
+
+// Len reports the number of registered metrics.
+func (r *Registry) Len() int { return len(r.metrics) }
+
+// Sample is one metric's value at snapshot time.
+type Sample struct {
+	Component string
+	Name      string
+	Value     float64
+}
+
+// Snapshot reads every metric, sorted by full name.
+func (r *Registry) Snapshot() []Sample {
+	out := make([]Sample, 0, len(r.metrics))
+	for _, m := range r.sorted() {
+		out = append(out, Sample{Component: m.Component, Name: m.Name, Value: m.Value()})
+	}
+	return out
+}
+
+func (r *Registry) sorted() []*Metric {
+	ms := append([]*Metric{}, r.metrics...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].FullName() < ms[j].FullName() })
+	return ms
+}
+
+// Timeseries is a sim-time series of registry snapshots: one row of values
+// (in Names order) per Sample call. Metrics registered after NewTimeseries
+// are not picked up — register everything at build time.
+type Timeseries struct {
+	Names []string // sorted full names; the row schema
+	T     []sim.Time
+	Rows  [][]float64
+
+	cols []*Metric
+}
+
+// NewTimeseries fixes the column schema from the current registrations.
+func (r *Registry) NewTimeseries() *Timeseries {
+	ts := &Timeseries{cols: r.sorted()}
+	for _, m := range ts.cols {
+		ts.Names = append(ts.Names, m.FullName())
+	}
+	return ts
+}
+
+// Sample appends one row at sim-time now.
+func (ts *Timeseries) Sample(now sim.Time) {
+	row := make([]float64, len(ts.cols))
+	for i, m := range ts.cols {
+		row[i] = m.Value()
+	}
+	ts.T = append(ts.T, now)
+	ts.Rows = append(ts.Rows, row)
+}
+
+// WriteJSONL emits one JSON object per sample tick: the sim timestamp plus
+// every metric keyed by full name, in schema order. Values are formatted
+// with strconv (shortest round-trip form), deterministic for identical
+// inputs.
+func (ts *Timeseries) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i, t := range ts.T {
+		fmt.Fprintf(bw, `{"t":%d`, int64(t))
+		for j, name := range ts.Names {
+			fmt.Fprintf(bw, ",%q:%s", name, strconv.FormatFloat(ts.Rows[i][j], 'g', -1, 64))
+		}
+		if _, err := bw.WriteString("}\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -7,6 +7,7 @@ import (
 	"vrio/internal/ethernet"
 	"vrio/internal/sim"
 	"vrio/internal/stats"
+	"vrio/internal/trace"
 )
 
 // Port is the channel the transport driver sends messages through: an SRIOV
@@ -79,11 +80,18 @@ type Driver struct {
 	// Counters: "blk_sent", "blk_completed", "retransmits", "stale",
 	// "device_errors", "net_tx", "net_rx", "ctrl".
 	Counters stats.Counters
+
+	// Tracer records per-request datapath spans; nil (the default) is the
+	// zero-cost disabled tracer. The driver opens the guest_ring root span
+	// at submission and the transport_wire span per transmission, linking
+	// both under flow keys the IOhost side picks up.
+	Tracer *trace.Tracer
 }
 
 type pendingBlk struct {
 	origID   uint64
 	curReqID uint64
+	span     trace.SpanID // guest_ring root span, 0 when tracing is off
 	deviceID uint16
 	devType  uint8
 	chunks   [][]byte // raw payload chunks for retransmission
@@ -146,11 +154,21 @@ func (d *Driver) allocID() uint64 {
 // anyhow).
 func (d *Driver) SendNet(devType uint8, deviceID uint16, frame []byte) {
 	d.Counters.Inc("net_tx", 1)
+	id := d.allocID()
+	if d.Tracer.Enabled() {
+		// Root = submission occupancy (ends when the IOhyp worker finishes
+		// forwarding); child wire span ends on IOhost message pickup.
+		mac := trace.Key48(d.port.LocalMAC())
+		ring := d.Tracer.BeginArg(trace.CatGuestRing, "net-tx", 0, id)
+		wire := d.Tracer.BeginArg(trace.CatWire, "net-tx", ring, id)
+		d.Tracer.Link(trace.FlowKey{Kind: FlowNetRoot, A: mac, B: id}, ring)
+		d.Tracer.Link(trace.FlowKey{Kind: FlowNetWire, A: mac, B: id}, wire)
+	}
 	msg := Encode(Header{
 		Type:       MsgNetTx,
 		DeviceType: devType,
 		DeviceID:   deviceID,
-		ReqID:      d.allocID(),
+		ReqID:      id,
 		ChunkCount: 1,
 	}, frame)
 	d.port.Send(d.iohost, msg)
@@ -178,6 +196,10 @@ func (d *Driver) SendBlk(devType uint8, deviceID uint16, req []byte, done BlkCal
 		p.chunks = append(p.chunks, req[off:end])
 	}
 	d.pending[p.origID] = p
+	if d.Tracer.Enabled() {
+		p.span = d.Tracer.BeginArg(trace.CatGuestRing, "blk", 0, p.origID)
+		d.Tracer.Link(trace.FlowKey{Kind: FlowBlkRoot, A: trace.Key48(d.port.LocalMAC()), B: p.origID}, p.span)
+	}
 	d.transmit(p)
 }
 
@@ -187,6 +209,12 @@ func (d *Driver) transmit(p *pendingBlk) {
 	// Chunks collected from a superseded attempt are discarded: the
 	// response must reassemble from a single ReqID generation.
 	delete(d.respAsm, p.origID)
+	if d.Tracer.Enabled() {
+		// One wire span per attempt; a lost attempt's span stays open and
+		// exports as unfinished, which is exactly what happened to it.
+		wire := d.Tracer.BeginArg(trace.CatWire, "blk-req", p.span, p.curReqID)
+		d.Tracer.Link(trace.FlowKey{Kind: FlowBlkWire, A: trace.Key48(d.port.LocalMAC()), B: p.curReqID}, wire)
+	}
 	for i, chunk := range p.chunks {
 		msg := Encode(Header{
 			Type:       MsgBlkReq,
@@ -210,6 +238,7 @@ func (d *Driver) expire(p *pendingBlk) {
 		delete(d.pending, p.origID)
 		delete(d.respAsm, p.origID)
 		d.Counters.Inc("device_errors", 1)
+		d.Tracer.End(p.span) // device error closes the ring occupancy too
 		p.done(nil, fmt.Errorf("%w: request %d after %d attempts",
 			ErrDeviceError, p.origID, p.retries+1))
 		return
@@ -230,6 +259,11 @@ func (d *Driver) Deliver(payload []byte) error {
 	switch h.Type {
 	case MsgNetRx:
 		d.Counters.Inc("net_rx", 1)
+		if d.Tracer.Enabled() {
+			d.Tracer.End(d.Tracer.Take(trace.FlowKey{
+				Kind: FlowNetRx, A: trace.Key48(d.port.LocalMAC()), B: h.ReqID,
+			}))
+		}
 		if d.NetRx != nil {
 			d.NetRx(h.DeviceID, body)
 		}
@@ -285,6 +319,12 @@ func (d *Driver) deliverBlkResp(h Header, body []byte) {
 	delete(d.respAsm, h.OrigID)
 	d.eng.Cancel(p.timer)
 	d.Counters.Inc("blk_completed", 1)
+	if d.Tracer.Enabled() {
+		d.Tracer.End(d.Tracer.Take(trace.FlowKey{
+			Kind: FlowBlkComp, A: trace.Key48(d.port.LocalMAC()), B: h.OrigID,
+		}))
+		d.Tracer.End(p.span)
+	}
 	var resp []byte
 	for _, c := range asm.chunks {
 		resp = append(resp, c...)

@@ -6,6 +6,7 @@ import (
 	"vrio/internal/ethernet"
 	"vrio/internal/sim"
 	"vrio/internal/stats"
+	"vrio/internal/trace"
 )
 
 // Endpoint is the IOhost-side transport peer: it reassembles chunked block
@@ -41,6 +42,11 @@ type Endpoint struct {
 	// Counters: "net_tx", "blk_req", "blk_resp", "ctrl_sent", "ctrl_acked",
 	// "ctrl_retries", "bad_msgs".
 	Counters stats.Counters
+
+	// Tracer records completion spans for the return path (blk-resp and
+	// net-rx leaving the IOhost until the client driver delivers them). Nil
+	// is the zero-cost disabled tracer.
+	Tracer *trace.Tracer
 }
 
 type endpointKey struct {
@@ -164,6 +170,10 @@ func (e *Endpoint) evictOldestAsm() {
 // SendNetRx delivers a network frame to an IOclient front-end.
 func (e *Endpoint) SendNetRx(dst ethernet.MAC, deviceID uint16, frame []byte) {
 	e.nextID++
+	if e.Tracer.Enabled() {
+		comp := e.Tracer.BeginArg(trace.CatCompletion, "net-rx", 0, e.nextID)
+		e.Tracer.Link(trace.FlowKey{Kind: FlowNetRx, A: trace.Key48(dst), B: e.nextID}, comp)
+	}
 	e.port.Send(dst, Encode(Header{
 		Type:       MsgNetRx,
 		DeviceID:   deviceID,
@@ -176,6 +186,14 @@ func (e *Endpoint) SendNetRx(dst ethernet.MAC, deviceID uint16, frame []byte) {
 // request's ReqID/OrigID so the client can match and de-duplicate it.
 func (e *Endpoint) RespondBlk(dst ethernet.MAC, req Header, resp []byte) {
 	e.Counters.Inc("blk_resp", 1)
+	if e.Tracer.Enabled() {
+		// Parent the completion under the request's guest_ring root so the
+		// whole round trip renders on one track.
+		mac := trace.Key48(dst)
+		root := e.Tracer.Lookup(trace.FlowKey{Kind: FlowBlkRoot, A: mac, B: req.OrigID})
+		comp := e.Tracer.BeginArg(trace.CatCompletion, "blk-resp", root, req.OrigID)
+		e.Tracer.Link(trace.FlowKey{Kind: FlowBlkComp, A: mac, B: req.OrigID}, comp)
+	}
 	var chunks [][]byte
 	for off := 0; off == 0 || off < len(resp); off += e.cfg.MaxChunk {
 		end := off + e.cfg.MaxChunk

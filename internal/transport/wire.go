@@ -49,6 +49,20 @@ func (t MsgType) String() string {
 	}
 }
 
+// Flow kinds for trace.FlowKey: they let the driver, endpoint, and I/O
+// hypervisor hand trace spans across components using only wire-visible
+// identifiers (the client's transport MAC in A, a ReqID/OrigID in B), so
+// request tracing needs no wire-format change. Blk keys use OrigID where
+// the id must survive retransmission (ReqID changes per attempt).
+const (
+	FlowBlkRoot uint8 = iota + 1 // guest_ring root span, by OrigID
+	FlowBlkWire                  // in-flight blk-req wire span, by ReqID
+	FlowBlkComp                  // blk-resp completion span, by OrigID
+	FlowNetRoot                  // net-tx guest_ring root span, by ReqID
+	FlowNetWire                  // in-flight net-tx wire span, by ReqID
+	FlowNetRx                    // net-rx completion span, by endpoint ReqID
+)
+
 // Header is the transport header prepended to every message. ReqID is the
 // §4.5 unique identifier: a fresh one is assigned per block transmission
 // *and per retransmission*, so stale responses are recognizable. Chunk

@@ -10,6 +10,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"vrio/internal/trace"
 )
 
 // Descriptor flags, as in the virtio spec.
@@ -61,11 +63,20 @@ type Ring struct {
 	// Statistics.
 	kicks       uint64
 	completions uint64
+
+	// Tracer, when non-nil, records a guest_ring span per request from Add
+	// to Reap, named SpanName with the chain head as the correlation arg.
+	// Rings owned by the baseline/Elvis hosts leave this nil; the vRIO
+	// model's ring-equivalent submission point is the transport driver,
+	// which does its own tracing.
+	Tracer   *trace.Tracer
+	SpanName string
 }
 
 type token struct {
 	inDescs  []uint16 // device-writable descriptors in chain order
 	outDescs []uint16
+	span     trace.SpanID
 }
 
 // NewRing builds a virtqueue with qsize descriptors of segSize bytes each.
@@ -218,6 +229,9 @@ func (r *Ring) Add(out []byte, inLen int) (uint16, error) {
 		}
 	}
 	r.numFree -= total
+	if r.Tracer.Enabled() {
+		tok.span = r.Tracer.BeginArg(trace.CatGuestRing, r.SpanName, 0, uint64(head))
+	}
 	r.pending[head] = tok
 
 	// Publish: write head into the avail ring, then bump idx (the memory
@@ -254,6 +268,7 @@ func (r *Ring) Reap(max int) []Completion {
 			panic(fmt.Sprintf("virtio: used entry for unknown head %d", head))
 		}
 		delete(r.pending, head)
+		r.Tracer.End(tok.span)
 		c := Completion{Head: head}
 		n := int(length)
 		for _, d := range tok.inDescs {

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine benchjson check
+.PHONY: build test vet race bench bench-engine bench-rack race-rack benchjson check
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ bench:
 # Engine hot-path microbenchmarks (schedule/cancel/pending).
 bench-engine:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/
+
+# Rack control-plane macrobenchmark (imbalance healing end to end).
+bench-rack:
+	$(GO) test -run xxx -bench 'BenchmarkRackRebalance' -benchmem ./internal/rack/
+
+# The control-plane tests alone under the race detector (subset of `race`).
+race-rack:
+	$(GO) test -race ./internal/rack/
 
 # Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
 # events/sec for serial vs parallel RunAll.

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	vrio-cost                          # Tables 1-2 and Figure 3
+//	vrio-cost                          # Tables 1-2, Figure 3, rack-scale sweep
 //	vrio-cost -servers 6 -drives 4     # custom consolidation point
+//	vrio-cost -rack 8 [-spare]         # price an 8-VMhost rack (amortized IOhosts)
 package main
 
 import (
@@ -19,8 +20,14 @@ func main() {
 	servers := flag.Int("servers", 0, "rack size (3 or 6) for a custom consolidation quote")
 	drives := flag.Int("drives", 0, "vRIO drive count for the custom quote")
 	big := flag.Bool("big-ssd", false, "use the 6.4TB drive instead of 3.2TB")
+	rackSize := flag.Int("rack", 0, "price a vRIO rack of N VMhosts with the cheapest IOhost mix")
+	spare := flag.Bool("spare", false, "with -rack: add one standby IOhost (§4.6 fault tolerance)")
 	flag.Parse()
 
+	if *rackSize != 0 {
+		quoteRack(*rackSize, *spare)
+		return
+	}
 	if *servers != 0 {
 		quote(*servers, *drives, *big)
 		return
@@ -44,6 +51,29 @@ func main() {
 		fmt.Printf("  %-9s %-6s %-5s %5.1f%%  ($%.0f)\n",
 			row.Rack, row.Drive, row.Ratio, row.PriceRel*100, row.VRIOTotal)
 	}
+	fmt.Println("\nRack-scale amortization (Table 2 generalized):")
+	for _, r := range cost.RackScaleSweep(16) {
+		fmt.Printf("  %2d VMhosts / %d IOhosts: %+5.1f%% vs elvis  (%+5.1f%% with spare, $%.0f/VMhost)\n",
+			r.VMHosts, r.IOHosts, r.Diff*100, r.SpareDiff*100, r.PerVMhostUSD)
+	}
+}
+
+// quoteRack prices one rack size, with and without the standby IOhost.
+func quoteRack(vmhosts int, spare bool) {
+	if vmhosts < 1 {
+		fmt.Fprintln(os.Stderr, "rack must have at least one VMhost")
+		os.Exit(2)
+	}
+	r := cost.RackScale(vmhosts, spare)
+	heavy, light := cost.IOhostsFor(vmhosts)
+	fmt.Printf("%s: %d VMhosts served by %d heavy + %d light IOhosts", r.Name, r.VMHosts, heavy, light)
+	if spare {
+		fmt.Print(" + 1 spare")
+	}
+	fmt.Println()
+	fmt.Printf("  elvis equivalent: %d servers, $%.0f\n", r.ElvisServers, r.ElvisPrice)
+	fmt.Printf("  vrio rack:        $%.0f (%+.1f%%, $%.0f per VMhost)\n",
+		r.VRIOPrice, r.Diff()*100, r.VRIOPrice/float64(r.VMHosts))
 }
 
 func quote(servers, drives int, big bool) {

@@ -21,9 +21,13 @@ import (
 	"testing"
 	"time"
 
+	"vrio/internal/cluster"
+	"vrio/internal/core"
 	"vrio/internal/experiments"
+	"vrio/internal/rack"
 	"vrio/internal/sim"
 	"vrio/internal/trace"
+	"vrio/internal/workload"
 )
 
 func main() {
@@ -175,6 +179,10 @@ type benchReport struct {
 	// zero-overhead-when-disabled contract.
 	EngineScheduleNsOp int64 `json:"engine_schedule_ns_op"`
 	TraceDisabledNsOp  int64 `json:"trace_disabled_ns_op"`
+	// Control-plane macrobenchmark (internal/rack BenchmarkRackRebalance):
+	// one full imbalance-healing run — 2 IOhosts, all-on-one placement,
+	// heartbeats and rebalancing on, 20 ms of sim traffic.
+	RackRebalanceNsOp int64 `json:"rack_rebalance_ns_op"`
 }
 
 // benchEngine mirrors internal/sim BenchmarkEngineSchedule: one After + one
@@ -193,6 +201,37 @@ func benchEngine(withTracer bool) int64 {
 			}
 			e.After(1, fn)
 			e.RunUntil(e.Now() + 1)
+		}
+	})
+	return res.NsPerOp()
+}
+
+// benchRack mirrors internal/rack BenchmarkRackRebalance: a two-IOhost rack
+// with an all-on-one placement, the controller heartbeating and rebalancing
+// while RR traffic flows for 20 ms of sim time.
+func benchRack() int64 {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tb := cluster.Build(cluster.Spec{
+				Model: core.ModelVRIO, VMHosts: 2, VMsPerHost: 2,
+				NumIOhosts: 2, Placement: rack.Placement(rack.Static(0), 2),
+				NoJitter: true, StationPerVM: true, Seed: 7,
+			})
+			c := rack.New(tb, rack.Config{
+				HeartbeatInterval: sim.Millisecond / 2,
+				RebalanceInterval: 2 * sim.Millisecond,
+			})
+			c.Start()
+			for g, guest := range tb.Guests {
+				workload.InstallRRServer(guest, tb.P.NetperfRRProcessCost)
+				rr := workload.NewRR(tb.StationFor(g), guest.MAC(), 16)
+				rr.Start()
+			}
+			tb.Eng.RunUntil(20 * sim.Millisecond)
+			if c.Counters.Get("rebalances") == 0 {
+				b.Fatal("benchmark run never rebalanced")
+			}
 		}
 	})
 	return res.NsPerOp()
@@ -242,6 +281,7 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 		IdenticalOutput:    identical,
 		EngineScheduleNsOp: benchEngine(false),
 		TraceDisabledNsOp:  benchEngine(true),
+		RackRebalanceNsOp:  benchRack(),
 	}
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", report.Date)

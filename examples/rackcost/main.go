@@ -55,6 +55,18 @@ func main() {
 		fmt.Printf("  %-9s %-6s %-5s: %5.1f%% of the Elvis price ($%.0f)\n",
 			row.Rack, row.Drive, row.Ratio, row.PriceRel*100, row.VRIOTotal)
 	}
-	fmt.Println("\nPaper: vRIO racks are 10-13% cheaper; with SSD consolidation the")
-	fmt.Println("saving spans 8-38%.")
+	fmt.Println()
+
+	fmt.Println("== Rack scale: amortizing IOhosts over more VMhosts ==")
+	for _, r := range cost.RackScaleSweep(16) {
+		fmt.Printf("  %2d VMhosts, %d IOhosts: %+5.1f%% vs elvis, %+5.1f%% with a standby spare ($%.0f/VMhost)\n",
+			r.VMHosts, r.IOHosts, r.Diff*100, r.SpareDiff*100, r.PerVMhostUSD)
+	}
+	fmt.Println("  (2 and 4 VMhosts are exactly Table 2's racks; the spare is §4.6's")
+	fmt.Println("  fallback IOhost, which internal/rack fails over to automatically.)")
+	fmt.Println()
+
+	fmt.Println("Paper: vRIO racks are 10-13% cheaper; with SSD consolidation the")
+	fmt.Println("saving spans 8-38%. At rack scale the standby IOhost's premium")
+	fmt.Println("amortizes from +9% at 2 VMhosts to under -8% past 14.")
 }

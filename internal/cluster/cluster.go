@@ -28,7 +28,7 @@ const (
 	macTransportBase = 2000 // vRIO T addresses, by global VM index
 	macStationBase   = 3000 // load generators
 	macHostBase      = 4000 // host NICs (baseline/elvis/optimum uplinks)
-	macIOHostBase    = 5000 // IOhost channel + uplink ports
+	macIOHostBase    = 5000 // IOhost i: uplink 5000+100i, channel to VMhost h 5000+100i+1+h
 )
 
 // Spec describes a testbed.
@@ -73,6 +73,17 @@ type Spec struct {
 	// backends (distributed-storage assumption); FailOverIOhost switches
 	// the clients onto it.
 	SecondaryIOhost bool
+	// NumIOhosts builds a rack with N active IOhosts (vRIO models only;
+	// default 1). Every VMhost is cabled — VF plus MessagePort — to every
+	// IOhost, and Placement decides which IOhost serves each guest's
+	// devices. Mutually exclusive with SecondaryIOhost, which instead adds
+	// one cold-standby mirror of a single active IOhost.
+	NumIOhosts int
+	// Placement maps guest vm (GLOBAL index, host-major — unlike
+	// NetChain/BlkChain, whose vm is per-host) on VMhost host to the IOhost
+	// in [0, NumIOhosts) that serves its devices. Nil places everything on
+	// IOhost 0. See internal/rack for pluggable policies.
+	Placement func(host, vm int) int
 	// Params: nil means params.Default().
 	Params *params.P
 	Seed   uint64
@@ -98,8 +109,20 @@ type Testbed struct {
 	IOCores   []*cpu.Core
 	GenCores  []*cpu.Core
 
-	// IOHyp is non-nil for the vRIO models.
+	// IOHyp is non-nil for the vRIO models: the first (or only) IOhost.
 	IOHyp *iohyp.IOHypervisor
+	// IOHyps lists every active IOhost's hypervisor (IOHyps[0] == IOHyp).
+	// The legacy SecondaryIOhost mirror is NOT in this list — it serves no
+	// devices until FailOverIOhost.
+	IOHyps []*iohyp.IOHypervisor
+	// SidecoresByIOhost groups Sidecores per active IOhost (vRIO models).
+	SidecoresByIOhost [][]*cpu.Core
+	// ClientIOhost[vm] is the IOhost currently serving guest vm's devices;
+	// RehomeClient and the rack controller keep it up to date.
+	ClientIOhost []int
+	// ClientRegs[vm] records guest vm's device registrations so the control
+	// plane can re-create them on another IOhost.
+	ClientRegs []ClientReg
 	// VRIOClients by global VM index (vRIO models only).
 	VRIOClients []*core.VRIOClient
 	// BlockDevices by global VM index (when WithBlock).
@@ -118,18 +141,29 @@ type Testbed struct {
 	// it, and StartMetricsSampling snapshots it at sim-time intervals.
 	Metrics *trace.Registry
 
-	// vRIO channel plumbing per VMhost, for live migration.
-	vrioChannels []vrioChannel
-	// secondaryChannels mirrors vrioChannels toward the fallback IOhost.
+	// channels[i][h] is VMhost h's cable into IOhost i, for live migration
+	// and re-homing.
+	channels [][]vrioChannel
+	// secondaryChannels mirrors channels[0] toward the legacy fallback.
 	secondaryChannels []vrioChannel
 	nextTMAC          uint32
 }
 
-// vrioChannel is one VMhost's cable into the IOhost.
+// vrioChannel is one VMhost's cable into one IOhost.
 type vrioChannel struct {
 	vmhostNIC *nic.NIC
 	iohostMAC ethernet.MAC
 	port      *nic.MessagePort
+}
+
+// ClientReg is one IOclient's device registrations, kept so the control
+// plane can re-register them on another IOhost (automatic re-home after a
+// failure, or a rebalancing move).
+type ClientReg struct {
+	FMAC     ethernet.MAC
+	Backend  blockdev.Backend // nil without WithBlock
+	NetChain *interpose.Chain // nil means the IOhost's default chain
+	BlkChain *interpose.Chain
 }
 
 func (s *Spec) defaults() {
@@ -144,6 +178,9 @@ func (s *Spec) defaults() {
 	}
 	if s.IOhostSidecores == 0 {
 		s.IOhostSidecores = 1
+	}
+	if s.NumIOhosts == 0 {
+		s.NumIOhosts = 1
 	}
 }
 
@@ -160,6 +197,13 @@ func Build(spec Spec) *Testbed {
 	}
 	if spec.BlockLatency == 0 {
 		spec.BlockLatency = p.RamdiskLatency
+	}
+	isVRIO := spec.Model == core.ModelVRIO || spec.Model == core.ModelVRIONoPoll
+	if spec.NumIOhosts > 1 && spec.SecondaryIOhost {
+		panic("cluster: NumIOhosts > 1 and SecondaryIOhost are mutually exclusive — with multiple active IOhosts the survivors are the fallback")
+	}
+	if (spec.NumIOhosts > 1 || spec.Placement != nil) && !isVRIO {
+		panic(fmt.Sprintf("cluster: NumIOhosts/Placement require a vRIO model, got %q", spec.Model))
 	}
 
 	tb := &Testbed{
@@ -272,27 +316,91 @@ func (tb *Testbed) buildLocal(nicCfg nic.Config, mkHost func(hostIdx int, hostNI
 	}
 }
 
-// buildVRIO assembles VMhosts direct-cabled to one IOhost, plus the
-// IOhost's uplink to the switch (Figure 2b's wiring).
+// iohostName numbers IOhosts the way the testbed always has: the first is
+// plain "iohost", extras are "iohost2", "iohost3", ... — slot 1 matches the
+// legacy secondary's naming and MAC plan.
+func iohostName(i int) string {
+	if i == 0 {
+		return "iohost"
+	}
+	return fmt.Sprintf("iohost%d", i+1)
+}
+
+// newIOHyp builds IOhost i's sidecores and I/O hypervisor, appending to
+// Sidecores/SidecoresByIOhost/IOHyps.
+func (tb *Testbed) newIOHyp(i int, mode iohyp.Mode) *iohyp.IOHypervisor {
+	p := tb.P
+	var sides []*cpu.Core
+	for s := 0; s < tb.Spec.IOhostSidecores; s++ {
+		sc := cpu.New(tb.Eng, fmt.Sprintf("%s-side%d", iohostName(i), s), p.ContextSwitchCost)
+		sides = append(sides, sc)
+		tb.Sidecores = append(tb.Sidecores, sc)
+	}
+	seed := tb.Spec.Seed
+	if i > 0 {
+		// Slot 1 keeps the legacy fallback's seed derivation; further slots
+		// decorrelate by index.
+		seed = tb.Spec.Seed ^ 0xfa11 ^ uint64(i-1)<<20
+	}
+	h := iohyp.New(tb.Eng, iohyp.Config{
+		Params: p, Mode: mode, Sidecores: sides, Seed: seed,
+		Tracer: tb.Tracer,
+	})
+	tb.SidecoresByIOhost = append(tb.SidecoresByIOhost, sides)
+	tb.IOHyps = append(tb.IOHyps, h)
+	return h
+}
+
+// attachIOhostUplink cables IOhost i to the rack switch (40G, promiscuous
+// for all F MACs).
+func (tb *Testbed) attachIOhostUplink(i int, nicCfg nic.Config) {
+	p := tb.P
+	up := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
+	tb.Switch.AttachPort(up)
+	upNIC := nic.New(tb.Eng, iohostName(i)+"-uplink", nicCfg, up.AtoB)
+	up.BtoA.SetReceiver(upNIC)
+	vf := upNIC.AddVF(ethernet.NewMAC(macIOHostBase+100*uint32(i)), nic.ModePoll)
+	upNIC.Promiscuous = vf
+	tb.IOHyps[i].AttachUplink(vf)
+}
+
+// cableChannel runs the dedicated 40G cable between VMhost host and IOhost i
+// and appends it to channels[i].
+func (tb *Testbed) cableChannel(i, host int, nicCfg nic.Config) {
+	p := tb.P
+	ch := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
+	vmName := fmt.Sprintf("vmhost%d-ch", host)
+	if i > 0 {
+		vmName = fmt.Sprintf("vmhost%d-ch%d", host, i+1)
+	}
+	vmhostNIC := nic.New(tb.Eng, vmName, nicCfg, ch.AtoB)
+	iohostNIC := nic.New(tb.Eng, fmt.Sprintf("%s-ch%d", iohostName(i), host), nicCfg, ch.BtoA)
+	ch.AtoB.SetReceiver(iohostNIC)
+	ch.BtoA.SetReceiver(vmhostNIC)
+	iohostVF := iohostNIC.AddVF(ethernet.NewMAC(macIOHostBase+100*uint32(i)+1+uint32(host)), nic.ModePoll)
+	port := tb.IOHyps[i].AttachChannelNIC(iohostVF)
+	tb.channels[i] = append(tb.channels[i], vrioChannel{
+		vmhostNIC: vmhostNIC, iohostMAC: iohostVF.MAC(), port: port,
+	})
+}
+
+// buildVRIO assembles VMhosts direct-cabled to NumIOhosts IOhosts, plus each
+// IOhost's uplink to the switch (Figure 2b's wiring, generalized to a rack
+// with several IOhosts). Every VMhost is cabled to every IOhost; Placement
+// (default: everything on IOhost 0) decides which IOhost serves each
+// guest's devices.
 func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 	spec := tb.Spec
 	p := tb.P
+	numIO := spec.NumIOhosts
+	tb.channels = make([][]vrioChannel, numIO)
 
-	// IOhost sidecores and hypervisor.
 	mode := iohyp.ModePolling
 	if spec.Model == core.ModelVRIONoPoll {
 		mode = iohyp.ModeInterrupt
 	}
-	var sides []*cpu.Core
-	for s := 0; s < spec.IOhostSidecores; s++ {
-		sc := cpu.New(tb.Eng, fmt.Sprintf("iohost-side%d", s), p.ContextSwitchCost)
-		sides = append(sides, sc)
-		tb.Sidecores = append(tb.Sidecores, sc)
-	}
-	tb.IOHyp = iohyp.New(tb.Eng, iohyp.Config{
-		Params: p, Mode: mode, Sidecores: sides, Seed: spec.Seed,
-		Tracer: tb.Tracer,
-	})
+	// IOhost 0 — the paper's rack IOhost.
+	tb.IOHyp = tb.newIOHyp(0, mode)
 	if spec.SecondaryIOhost {
 		var sides2 []*cpu.Core
 		for s := 0; s < spec.IOhostSidecores; s++ {
@@ -312,28 +420,19 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 		tb.SecondaryIOHyp.AttachUplink(up2VF)
 	}
 
-	// IOhost uplink to the switch (40G, promiscuous for all F MACs).
-	upCable := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
-	tb.Switch.AttachPort(upCable)
-	upNIC := nic.New(tb.Eng, "iohost-uplink", nicCfg, upCable.AtoB)
-	upCable.BtoA.SetReceiver(upNIC)
-	uplinkVF := upNIC.AddVF(ethernet.NewMAC(macIOHostBase), nic.ModePoll)
-	upNIC.Promiscuous = uplinkVF
-	tb.IOHyp.AttachUplink(uplinkVF)
+	// IOhost uplinks to the switch, then the extra IOhosts (2..N) with
+	// theirs. For NumIOhosts: 1 this reduces exactly to the original
+	// single-IOhost build order.
+	tb.attachIOhostUplink(0, nicCfg)
+	for i := 1; i < numIO; i++ {
+		tb.newIOHyp(i, mode)
+		tb.attachIOhostUplink(i, nicCfg)
+	}
 
 	vmID := 0
 	for hostIdx := 0; hostIdx < spec.VMHosts; hostIdx++ {
-		// Dedicated channel: VMhost <-> IOhost, 40G direct cable.
-		ch := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
-		vmhostNIC := nic.New(tb.Eng, fmt.Sprintf("vmhost%d-ch", hostIdx), nicCfg, ch.AtoB)
-		iohostNIC := nic.New(tb.Eng, fmt.Sprintf("iohost-ch%d", hostIdx), nicCfg, ch.BtoA)
-		ch.AtoB.SetReceiver(iohostNIC)
-		ch.BtoA.SetReceiver(vmhostNIC)
-		iohostVF := iohostNIC.AddVF(ethernet.NewMAC(macIOHostBase+1+uint32(hostIdx)), nic.ModePoll)
-		port := tb.IOHyp.AttachChannelNIC(iohostVF)
-		tb.vrioChannels = append(tb.vrioChannels, vrioChannel{
-			vmhostNIC: vmhostNIC, iohostMAC: iohostVF.MAC(), port: port,
-		})
+		// Dedicated channels: VMhost <-> each IOhost, 40G direct cables.
+		tb.cableChannel(0, hostIdx, nicCfg)
 		if spec.SecondaryIOhost {
 			// A second cable from this VMhost to the fallback IOhost.
 			ch2 := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
@@ -347,8 +446,12 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 				vmhostNIC: vmhost2NIC, iohostMAC: io2VF.MAC(), port: port2,
 			})
 		}
+		for i := 1; i < numIO; i++ {
+			tb.cableChannel(i, hostIdx, nicCfg)
+		}
 
-		host := core.NewVRIOHost(tb.Eng, p, fmt.Sprintf("vmhost%d", hostIdx), vmhostNIC, iohostVF.MAC())
+		ch0 := tb.channels[0][hostIdx]
+		host := core.NewVRIOHost(tb.Eng, p, fmt.Sprintf("vmhost%d", hostIdx), ch0.vmhostNIC, ch0.iohostMAC)
 		host.Tracer = tb.Tracer
 		for v := 0; v < spec.VMsPerHost; v++ {
 			vmCore := cpu.New(tb.Eng, fmt.Sprintf("vm%d-core", vmID), p.ContextSwitchCost)
@@ -363,7 +466,23 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 				WithBlock:    spec.WithBlock,
 				Bare:         spec.BareClients,
 			})
-			tb.IOHyp.BindClient(tMAC, port)
+			// Placement: which IOhost serves this guest's devices. AddClient
+			// wired the client to IOhost 0's cable; anywhere else means
+			// re-attaching to that IOhost's cable before first use.
+			io := 0
+			if spec.Placement != nil {
+				io = spec.Placement(hostIdx, vmID)
+				if io < 0 || io >= numIO {
+					panic(fmt.Sprintf("cluster: Placement(%d, %d) = %d out of range [0,%d)", hostIdx, vmID, io, numIO))
+				}
+			}
+			if io != 0 {
+				ch := tb.channels[io][hostIdx]
+				vf := ch.vmhostNIC.AddVF(tMAC, nic.ModeInterrupt)
+				client.AttachChannel(vf, ch.iohostMAC)
+			}
+			hyp := tb.IOHyps[io]
+			hyp.BindClient(tMAC, tb.channels[io][hostIdx].port)
 			var netChain, blkChain *interpose.Chain
 			if spec.NetChain != nil {
 				netChain = spec.NetChain(hostIdx, v)
@@ -371,11 +490,11 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 			if spec.BlkChain != nil {
 				blkChain = spec.BlkChain(hostIdx, v)
 			}
-			tb.IOHyp.RegisterNetDevice(tMAC, client.NetDeviceID(), fMAC, netChain)
+			hyp.RegisterNetDevice(tMAC, client.NetDeviceID(), fMAC, netChain)
 			var dev *blockdev.Device
 			if spec.WithBlock {
 				dev = tb.newBlockDevice()
-				tb.IOHyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), dev, blkChain)
+				hyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), dev, blkChain)
 			}
 			if spec.SecondaryIOhost {
 				// Mirror the registrations on the fallback: the F address
@@ -388,6 +507,12 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 			}
 			tb.attachThreads(client.Guest)
 			tb.VRIOClients = append(tb.VRIOClients, client)
+			tb.ClientIOhost = append(tb.ClientIOhost, io)
+			reg := ClientReg{FMAC: fMAC, NetChain: netChain, BlkChain: blkChain}
+			if dev != nil {
+				reg.Backend = dev
+			}
+			tb.ClientRegs = append(tb.ClientRegs, reg)
 			tb.Guests = append(tb.Guests, client.Guest)
 			tb.GuestHost = append(tb.GuestHost, hostIdx)
 			vmID++
@@ -457,26 +582,68 @@ func (tb *Testbed) MigrateVM(vm, dstHost int, done func()) {
 	if tb.IOHyp == nil {
 		panic("cluster: MigrateVM requires a vRIO testbed")
 	}
-	if dstHost < 0 || dstHost >= len(tb.vrioChannels) {
+	if dstHost < 0 || dstHost >= len(tb.channels[0]) {
 		panic(fmt.Sprintf("cluster: no VMhost %d", dstHost))
 	}
 	client := tb.VRIOClients[vm]
 	oldMAC := client.TransportMAC()
 	client.Pause()
 	tb.Eng.After(tb.P.MigrationDowntime, func() {
-		// A fresh SRIOV instance on the destination's channel NIC.
+		// A fresh SRIOV instance on the destination's channel NIC toward the
+		// IOhost serving this guest — read at resume time, since a re-home
+		// (failure detection, rebalancing) may have moved the guest during
+		// the blackout.
+		io := tb.ClientIOhost[vm]
 		tb.nextTMAC++
 		newMAC := ethernet.NewMAC(macTransportBase + 500 + tb.nextTMAC)
-		ch := tb.vrioChannels[dstHost]
+		ch := tb.channels[io][dstHost]
 		vf := ch.vmhostNIC.AddVF(newMAC, nic.ModeInterrupt)
 		client.AttachChannel(vf, ch.iohostMAC)
-		tb.IOHyp.RebindClient(oldMAC, newMAC, ch.port)
+		tb.IOHyps[io].RebindClient(oldMAC, newMAC, ch.port)
 		tb.GuestHost[vm] = dstHost
 		client.Resume()
 		if done != nil {
 			done()
 		}
 	})
+}
+
+// RehomeClient moves guest vm's devices — and its transport channel — to
+// IOhost dst (§4.6's migration machinery applied between IOhosts): the
+// source, if still alive, forgets the client; the destination re-registers
+// the client's devices under its unchanged T address; the client re-attaches
+// to its VMhost's cable toward dst; and dst announces the F addresses so the
+// rack switch re-learns them. In-flight block requests ride across on §4.5
+// retransmission, since the block backends are shared (distributed storage).
+func (tb *Testbed) RehomeClient(vm, dst int) {
+	if tb.IOHyp == nil {
+		panic("cluster: RehomeClient requires a vRIO testbed")
+	}
+	if dst < 0 || dst >= len(tb.IOHyps) {
+		panic(fmt.Sprintf("cluster: no IOhost %d", dst))
+	}
+	src := tb.ClientIOhost[vm]
+	if src == dst {
+		return
+	}
+	client := tb.VRIOClients[vm]
+	reg := tb.ClientRegs[vm]
+	tMAC := client.TransportMAC()
+	tb.IOHyps[src].UnregisterClient(tMAC)
+	ch := tb.channels[dst][tb.GuestHost[vm]]
+	vf := ch.vmhostNIC.VFByMAC(tMAC)
+	if vf == nil {
+		vf = ch.vmhostNIC.AddVF(tMAC, nic.ModeInterrupt)
+	}
+	client.AttachChannel(vf, ch.iohostMAC)
+	hyp := tb.IOHyps[dst]
+	hyp.BindClient(tMAC, ch.port)
+	hyp.RegisterNetDevice(tMAC, client.NetDeviceID(), reg.FMAC, reg.NetChain)
+	if reg.Backend != nil {
+		hyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), reg.Backend, reg.BlkChain)
+	}
+	tb.ClientIOhost[vm] = dst
+	hyp.AnnounceAddresses()
 }
 
 // FailOverIOhost crashes the primary IOhost and re-attaches every IOclient

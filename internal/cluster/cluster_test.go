@@ -35,6 +35,72 @@ func rrLatency(t *testing.T, model core.ModelName, n int) float64 {
 	return total / float64(ops) / 1000
 }
 
+func TestMultiIOhostTopology(t *testing.T) {
+	// 3 IOhosts, 2 VMhosts: every VMhost cabled to every IOhost, per-IOhost
+	// sidecores and metrics components all present.
+	placed := []int{2, 0, 1, 2}
+	tb := Build(Spec{
+		Model: core.ModelVRIO, VMHosts: 2, VMsPerHost: 2,
+		NumIOhosts: 3, IOhostSidecores: 2, NoJitter: true, Seed: 81,
+		Placement: func(host, vm int) int { return placed[vm] },
+	})
+	if len(tb.IOHyps) != 3 || tb.IOHyps[0] != tb.IOHyp {
+		t.Fatalf("IOHyps misassembled: %d entries", len(tb.IOHyps))
+	}
+	if len(tb.SidecoresByIOhost) != 3 || len(tb.Sidecores) != 6 {
+		t.Errorf("sidecores: %d groups, %d total, want 3 and 6",
+			len(tb.SidecoresByIOhost), len(tb.Sidecores))
+	}
+	if len(tb.channels) != 3 || len(tb.channels[1]) != 2 {
+		t.Fatalf("channel matrix misassembled")
+	}
+	for vm, want := range placed {
+		if tb.ClientIOhost[vm] != want {
+			t.Errorf("vm %d homed on %d, want %d", vm, tb.ClientIOhost[vm], want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		comp := IOhypComponent(i)
+		// busy_ns gauge registered per IOhost (the rebalancer's input).
+		tb.Metrics.Value(comp, "busy_ns")
+		tb.Metrics.Value(comp, "channel_drops")
+	}
+	// Each guest's traffic reaches exactly its placed IOhost.
+	g := tb.Guests[1] // placed on IOhost 0
+	workload.InstallRRServer(g, tb.P.NetperfRRProcessCost)
+	rr := workload.NewRR(tb.StationFor(1), g.MAC(), 16)
+	rr.Start()
+	tb.Eng.RunUntil(5 * sim.Millisecond)
+	if tb.IOHyps[0].Counters.Get("msgs") == 0 {
+		t.Error("placed IOhost idle")
+	}
+	if tb.IOHyps[1].Counters.Get("msgs") != 0 {
+		t.Error("unplaced IOhost saw traffic")
+	}
+}
+
+func TestNumIOhostsValidation(t *testing.T) {
+	expectPanic := func(name string, spec Spec) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		Build(spec)
+	}
+	expectPanic("NumIOhosts+SecondaryIOhost", Spec{
+		Model: core.ModelVRIO, NumIOhosts: 2, SecondaryIOhost: true, Seed: 1,
+	})
+	expectPanic("NumIOhosts on elvis", Spec{
+		Model: core.ModelElvis, NumIOhosts: 2, Seed: 1,
+	})
+	expectPanic("Placement out of range", Spec{
+		Model: core.ModelVRIO, NumIOhosts: 2, Seed: 1,
+		Placement: func(host, vm int) int { return 5 },
+	})
+}
+
 func TestRRAllModelsComplete(t *testing.T) {
 	for _, m := range []core.ModelName{
 		core.ModelOptimum, core.ModelElvis, core.ModelVRIO,

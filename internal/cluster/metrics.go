@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vrio/internal/cpu"
+	"vrio/internal/iohyp"
 	"vrio/internal/sim"
 	"vrio/internal/trace"
 )
@@ -40,11 +41,13 @@ func (tb *Testbed) registerMetrics() {
 	}
 	r.Gauge("switch", "forwarded", func() float64 { return float64(tb.Switch.Forwarded) })
 	r.Gauge("switch", "flooded", func() float64 { return float64(tb.Switch.Flooded) })
-	if h := tb.IOHyp; h != nil {
-		for _, name := range iohypCounterNames {
-			r.Gauge("iohyp", name, func() float64 { return float64(h.Counters.Get(name)) })
-		}
-		r.Gauge("iohyp", "channel_drops", func() float64 { return float64(h.ChannelDrops()) })
+	for i, h := range tb.IOHyps {
+		registerIOhyp(r, IOhypComponent(i), h)
+	}
+	if h := tb.SecondaryIOHyp; h != nil {
+		// The legacy cold-standby mirror reports under slot 1's name — it is
+		// the rack's second IOhost, it just serves nothing until failover.
+		registerIOhyp(r, IOhypComponent(1), h)
 	}
 	for i, dev := range tb.BlockDevices {
 		comp := fmt.Sprintf("blkdev%d", i)
@@ -59,6 +62,28 @@ func (tb *Testbed) registerMetrics() {
 		r.Gauge(comp, "tx_frames", func() float64 { return float64(c.Port.VF().TxFrames) })
 		r.Gauge(comp, "drops", func() float64 { return float64(c.Port.VF().Drops) })
 	}
+}
+
+// IOhypComponent names IOhost i's metrics component: "iohyp" for the first
+// (the name experiments already read), then "iohyp2", "iohyp3", ...,
+// matching the iohost2... host naming. The rack controller reads per-IOhost
+// busy time through these components.
+func IOhypComponent(i int) string {
+	if i == 0 {
+		return "iohyp"
+	}
+	return fmt.Sprintf("iohyp%d", i+1)
+}
+
+// registerIOhyp publishes one I/O hypervisor's counters, channel drops, and
+// sidecore busy time under comp.
+func registerIOhyp(r *trace.Registry, comp string, h *iohyp.IOHypervisor) {
+	for _, name := range iohypCounterNames {
+		r.Gauge(comp, name, func() float64 { return float64(h.Counters.Get(name)) })
+	}
+	r.Gauge(comp, "channel_drops", func() float64 { return float64(h.ChannelDrops()) })
+	r.Gauge(comp, "busy_ns", func() float64 { return float64(h.BusyTime()) })
+	r.Gauge(comp, "utilization", h.Utilization)
 }
 
 // StartMetricsSampling snapshots every registered metric each interval of

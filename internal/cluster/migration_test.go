@@ -140,6 +140,51 @@ func TestMigrationPreservesFAddress(t *testing.T) {
 	}
 }
 
+func TestMigrationLandsOnRehomedIOhost(t *testing.T) {
+	// A guest re-homed to IOhost 1 DURING its migration blackout must come
+	// back up attached to IOhost 1's cable on the destination VMhost — the
+	// resume path reads the placement at resume time, not capture time.
+	tb := Build(Spec{
+		Model: core.ModelVRIO, VMHosts: 2, VMsPerHost: 1,
+		NumIOhosts: 2, WithBlock: true, NoJitter: true, Seed: 64,
+	})
+	g := tb.Guests[0]
+	migrated := false
+	tb.Eng.At(1*sim.Millisecond, func() {
+		tb.MigrateVM(0, 1, func() { migrated = true })
+	})
+	// Mid-blackout, the control plane moves the (paused) guest's devices.
+	tb.Eng.At(1*sim.Millisecond+tb.P.MigrationDowntime/2, func() {
+		tb.IOHyp.Fail()
+		tb.RehomeClient(0, 1)
+	})
+	tb.Eng.RunUntil(200 * sim.Millisecond)
+	if !migrated {
+		t.Fatal("migration never completed")
+	}
+	if tb.ClientIOhost[0] != 1 {
+		t.Errorf("client homed on IOhost %d, want 1", tb.ClientIOhost[0])
+	}
+	// Block I/O works end to end through the new IOhost from the new host.
+	payload := bytes.Repeat([]byte{0x42}, 4096)
+	done := false
+	var werr error
+	g.WriteBlock(8, payload, func(err error) {
+		done = true
+		werr = err
+	})
+	tb.Eng.RunUntil(400 * sim.Millisecond)
+	if !done || werr != nil {
+		t.Fatalf("post-migration write on rehomed IOhost: done=%v err=%v", done, werr)
+	}
+	if tb.IOHyps[1].Counters.Get("blk_reqs") == 0 {
+		t.Error("rehomed IOhost served no block requests")
+	}
+	if tb.IOHyps[1].Counters.Get("migrations") != 1 {
+		t.Error("migration rebind did not land on the rehomed IOhost")
+	}
+}
+
 func TestMigrateVMValidation(t *testing.T) {
 	tb := Build(Spec{Model: core.ModelElvis, VMsPerHost: 1, NoJitter: true, Seed: 63})
 	defer func() {

@@ -174,6 +174,98 @@ func Rack6() RackSetup {
 	}
 }
 
+// --- Rack-scale amortization ("Table 5": Table 2 generalized to NumIOhosts) ---
+
+// Fan-in capacities implied by Table 1's required-vs-installed bandwidth:
+// a heavy IOhost (320 Gbps installed) serves four 40 Gbps VMhosts, a light
+// one (160 Gbps) serves two.
+const (
+	VMhostsPerLightIOhost = 2
+	VMhostsPerHeavyIOhost = 4
+)
+
+// IOhostsFor returns the cheapest IOhost mix able to serve n VMhosts: a
+// heavy IOhost per full group of four, a light one for a remainder of one
+// or two, and a heavy for a remainder of three (one heavy is cheaper than
+// two lights).
+func IOhostsFor(vmhosts int) (heavy, light int) {
+	if vmhosts <= 0 {
+		return 0, 0
+	}
+	heavy = vmhosts / VMhostsPerHeavyIOhost
+	switch vmhosts % VMhostsPerHeavyIOhost {
+	case 0:
+	case 3:
+		heavy++
+	default:
+		light++
+	}
+	return heavy, light
+}
+
+// RackScale prices a vRIO rack of n VMhosts — plus the IOhost mix from
+// IOhostsFor, plus optionally one spare IOhost of the largest deployed kind
+// (the §4.6 fault-tolerance fallback, which the rack control plane turns
+// into N-way survivorship) — against the Elvis rack with the same guest
+// capacity: ceil(1.5*n) Elvis servers, since a VMhost absorbs the paper's
+// 1.5x VM multiplier. RackScale(2,false) and RackScale(4,false) reproduce
+// Table 2's two rows exactly.
+func RackScale(vmhosts int, spare bool) RackSetup {
+	heavy, light := IOhostsFor(vmhosts)
+	vrio := float64(vmhosts)*VMHostServer().Price() +
+		float64(heavy)*HeavyIOHostServer().Price() +
+		float64(light)*LightIOHostServer().Price()
+	ioHosts := heavy + light
+	name := fmt.Sprintf("vmhosts=%d", vmhosts)
+	if spare {
+		if heavy > 0 {
+			vrio += HeavyIOHostServer().Price()
+		} else {
+			vrio += LightIOHostServer().Price()
+		}
+		ioHosts++
+		name += "+spare"
+	}
+	elvisServers := (3*vmhosts + 1) / 2 // ceil(1.5 n)
+	return RackSetup{
+		Name:         name,
+		ElvisPrice:   float64(elvisServers) * ElvisServer().Price(),
+		VRIOPrice:    vrio,
+		ElvisServers: elvisServers,
+		VMHosts:      vmhosts,
+		IOHosts:      ioHosts,
+	}
+}
+
+// RackScaleRow is one point of the rack-scale sweep.
+type RackScaleRow struct {
+	VMHosts      int
+	IOHosts      int     // without the spare
+	Diff         float64 // vRIO vs Elvis, no spare
+	SpareDiff    float64 // vRIO with one spare IOhost vs Elvis
+	PerVMhostUSD float64 // vRIO price per VMhost served, spare excluded
+}
+
+// RackScaleSweep generates the rack-scale amortization table: the Table 2
+// argument extended across rack sizes, with and without a §4.6 spare. The
+// spare's premium shrinks as more VMhosts amortize it — the paper's cost
+// case only improves at scale.
+func RackScaleSweep(maxVMhosts int) []RackScaleRow {
+	var rows []RackScaleRow
+	for n := 2; n <= maxVMhosts; n += 2 {
+		base := RackScale(n, false)
+		withSpare := RackScale(n, true)
+		rows = append(rows, RackScaleRow{
+			VMHosts:      n,
+			IOHosts:      base.IOHosts,
+			Diff:         base.Diff(),
+			SpareDiff:    withSpare.Diff(),
+			PerVMhostUSD: base.VRIOPrice / float64(n),
+		})
+	}
+	return rows
+}
+
 // --- Figure 3 ---
 
 // SSDConsolidation computes the vRIO/Elvis price ratio for an e=>v drive

@@ -159,3 +159,70 @@ func TestExtraNICScaling(t *testing.T) {
 		t.Errorf("4th drive should add a drive plus one 40G NIC, added %.0f", delta)
 	}
 }
+
+func TestRackScaleAnchorsTable2(t *testing.T) {
+	// RackScale must reproduce Table 2's two rows exactly.
+	for _, tc := range []struct {
+		n    int
+		want RackSetup
+	}{{2, Rack3()}, {4, Rack6()}} {
+		got := RackScale(tc.n, false)
+		if got.ElvisPrice != tc.want.ElvisPrice || got.VRIOPrice != tc.want.VRIOPrice {
+			t.Errorf("RackScale(%d): $%.0f/$%.0f, want Table 2's $%.0f/$%.0f",
+				tc.n, got.ElvisPrice, got.VRIOPrice, tc.want.ElvisPrice, tc.want.VRIOPrice)
+		}
+		if got.ElvisServers != tc.want.ElvisServers || got.IOHosts != tc.want.IOHosts {
+			t.Errorf("RackScale(%d) server counts diverge from Table 2", tc.n)
+		}
+	}
+}
+
+func TestIOhostsFor(t *testing.T) {
+	cases := []struct{ n, heavy, light int }{
+		{0, 0, 0}, {1, 0, 1}, {2, 0, 1}, {3, 1, 0}, {4, 1, 0},
+		{5, 1, 1}, {6, 1, 1}, {7, 2, 0}, {8, 2, 0}, {12, 3, 0},
+	}
+	for _, c := range cases {
+		h, l := IOhostsFor(c.n)
+		if h != c.heavy || l != c.light {
+			t.Errorf("IOhostsFor(%d) = %d heavy, %d light; want %d, %d", c.n, h, l, c.heavy, c.light)
+		}
+		// The mix must actually carry the load.
+		if c.n > 0 && h*VMhostsPerHeavyIOhost+l*VMhostsPerLightIOhost < c.n {
+			t.Errorf("IOhostsFor(%d) under-provisions", c.n)
+		}
+	}
+	// One heavy must stay cheaper than the two lights it replaces.
+	if HeavyIOHostServer().Price() >= 2*LightIOHostServer().Price() {
+		t.Error("heavy IOhost no longer cheaper than two lights; IOhostsFor's remainder rule is stale")
+	}
+}
+
+func TestRackScaleSweepAmortization(t *testing.T) {
+	rows := RackScaleSweep(16)
+	if len(rows) != 8 {
+		t.Fatalf("sweep rows: %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Diff >= 0 {
+			t.Errorf("vRIO not cheaper at %d VMhosts: %+.1f%%", r.VMHosts, r.Diff*100)
+		}
+		if r.SpareDiff <= r.Diff {
+			t.Errorf("spare cannot make the rack cheaper at %d VMhosts", r.VMHosts)
+		}
+		if i > 0 {
+			// The spare's premium amortizes: its gap to the no-spare diff
+			// narrows monotonically with rack size at full-heavy points.
+			prev := rows[i-1]
+			if r.VMHosts%4 == 0 && prev.VMHosts%4 == 0 &&
+				(r.SpareDiff-r.Diff) > (prev.SpareDiff-prev.Diff)+1e-9 {
+				t.Errorf("spare premium grew from %d to %d VMhosts", prev.VMHosts, r.VMHosts)
+			}
+		}
+	}
+	// At scale the spare'd rack must still beat Elvis.
+	last := rows[len(rows)-1]
+	if last.SpareDiff >= 0 {
+		t.Errorf("16-VMhost rack with spare not cheaper than Elvis: %+.1f%%", last.SpareDiff*100)
+	}
+}

@@ -13,6 +13,7 @@ func init() {
 	register("table1", single(table1))
 	register("table2", single(table2))
 	register("fig3", single(fig3))
+	register("tablerack", single(tablerack))
 }
 
 // fig1 reproduces the CPU-vs-NIC upgrade scatter.
@@ -98,5 +99,28 @@ func fig3(bool) Result {
 		})
 	}
 	res.Notes = append(res.Notes, "paper: cost reduction between 8% and 38%")
+	return res
+}
+
+// tablerack extends Table 2 across rack sizes: the IOhost price amortizes
+// over more VMhosts, and the §4.6 spare's fault-tolerance premium shrinks.
+func tablerack(bool) Result {
+	res := Result{
+		ID:     "tablerack",
+		Title:  "Rack-scale amortization: Table 2 generalized over NumIOhosts",
+		Header: []string{"VMhosts", "IOhosts", "vrio vs elvis", "with spare IOhost", "vrio $/VMhost"},
+	}
+	for _, r := range cost.RackScaleSweep(16) {
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", r.VMHosts), fmt.Sprintf("%d", r.IOHosts),
+			pct(r.Diff), pct(r.SpareDiff),
+			fmt.Sprintf("%.0f", r.PerVMhostUSD),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"VMhosts=2 and 4 reproduce Table 2's -10% and -13% rows; the Elvis side is ceil(1.5x) servers of equal guest capacity.",
+		"A heavy IOhost serves 4 VMhosts, a light one 2 (Table 1 installed-vs-required bandwidth); the mix is the cheapest that carries the load.",
+		"The spare column adds one standby IOhost of the largest deployed kind — the internal/rack failure detector makes it (or any survivor) take over automatically.",
+	)
 	return res
 }

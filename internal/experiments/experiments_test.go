@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "table1", "table2", "fig3",
 		"table3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"table4", "fig12", "fig13", "fig14", "fig15", "fig16a", "fig16b",
-		"heterogeneity",
+		"heterogeneity", "rackscaling", "tablerack",
 		"ablation-mtu", "ablation-rxring", "ablation-retransmit", "ablation-steering",
 	}
 	ids := IDs()
@@ -93,6 +93,46 @@ func TestTable3ShapeQuick(t *testing.T) {
 	if !(sum["vrio"] < sum["elvis"] && sum["elvis"] < sum["vrio-nopoll"] &&
 		sum["vrio-nopoll"] < sum["baseline"]) {
 		t.Errorf("event-sum ordering violated: %v", sum)
+	}
+}
+
+// The rack-scaling study must be deterministic run-to-run (the acceptance
+// bar for the control plane: same seed => same moves, same detection
+// times, same formatted table).
+func TestRackScalingDeterministicQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ra := Get("rackscaling")(true)
+	rb := Get("rackscaling")(true)
+	a, b := Format(ra), Format(rb)
+	if a != b {
+		t.Errorf("rackscaling output differs between identical runs:\n%s\n---\n%s", a, b)
+	}
+	// Columns: config, IOhosts, kops/s, ratio W1, ratio W2, moves, rehomes,
+	// detect. The no-controller cell must stay badly imbalanced in W2 while
+	// the rebalanced 2-IOhost cell converges near 1.
+	ratio := func(cell string) float64 {
+		if cell == ">1000" {
+			return 1001
+		}
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad ratio cell %q", cell)
+		}
+		return v
+	}
+	if r := ratio(ra.Rows[0][4]); r < 10 {
+		t.Errorf("static no-controller W2 ratio = %.1f, want >= 10:\n%s", r, a)
+	}
+	if r := ratio(ra.Rows[1][4]); r > 2 {
+		t.Errorf("rebalanced W2 ratio = %.1f, want <= 2:\n%s", r, a)
+	}
+	if ra.Rows[1][5] == "0" {
+		t.Errorf("rebalanced cell made no moves:\n%s", a)
+	}
+	if ra.Rows[4][6] == "0" || ra.Rows[4][7] == "-" {
+		t.Errorf("crash cell missing rehomes or detection:\n%s", a)
 	}
 }
 

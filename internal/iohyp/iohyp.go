@@ -167,6 +167,34 @@ func (h *IOHypervisor) Endpoint() *transport.Endpoint { return h.endpoint }
 // Workers exposes the worker list (for utilization reporting).
 func (h *IOHypervisor) Workers() []*Worker { return h.workers }
 
+// BusyTime totals productive sidecore time across this IOhost's workers —
+// the §5 "Load Imbalance" signal. Poll-loop spinning is excluded, so an idle
+// polling IOhost reads ~0; metrics gauges and the rack rebalancer both read
+// load through this one implementation.
+func (h *IOHypervisor) BusyTime() sim.Time {
+	var total sim.Time
+	for _, w := range h.workers {
+		total += w.Core.BusyTime()
+	}
+	return total
+}
+
+// Utilization is this worker's sidecore busy fraction since t=0.
+func (w *Worker) Utilization() float64 { return w.Core.Utilization() }
+
+// Utilization averages the worker utilizations — the IOhost's sidecore busy
+// fraction.
+func (h *IOHypervisor) Utilization() float64 {
+	if len(h.workers) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, w := range h.workers {
+		sum += w.Utilization()
+	}
+	return sum / float64(len(h.workers))
+}
+
 // Fail crashes the IOhost (§4.6 "Fault Tolerance"): its sidecores stop
 // serving and all traffic through it is lost. IOclients recover by
 // re-attaching to a fallback IOhost; their §4.5 retransmission machinery
@@ -321,6 +349,40 @@ func (h *IOHypervisor) RebindClient(oldMAC, newMAC ethernet.MAC, port *nic.Messa
 		}
 	}
 	h.Counters.Inc("migrations", 1)
+}
+
+// UnregisterClient drops every binding and device registration for a
+// client's transport MAC — the source side of a re-home onto another IOhost
+// (§4.6). The F addresses leave the forwarding table so this IOhost stops
+// claiming them; queued steered work still executes (steer tolerates the
+// cleared pending counts). Safe to call on a crashed IOhost.
+func (h *IOHypervisor) UnregisterClient(client ethernet.MAC) {
+	delete(h.clientPort, client)
+	for k, d := range h.netDevs {
+		if k.client != client {
+			continue
+		}
+		delete(h.netDevs, k)
+		if h.fib[d.fMAC] == d {
+			delete(h.fib, d.fMAC)
+		}
+	}
+	for k := range h.blkDevs {
+		if k.client == client {
+			delete(h.blkDevs, k)
+		}
+	}
+	for k := range h.devOwner {
+		if k.client == client {
+			delete(h.devOwner, k)
+		}
+	}
+	for k := range h.devPending {
+		if k.client == client {
+			delete(h.devPending, k)
+		}
+	}
+	h.Counters.Inc("unregisters", 1)
 }
 
 // RegisterNetDevice creates a net front-end: fMAC is the device's
@@ -528,7 +590,10 @@ func (h *IOHypervisor) steer(key devKey, cost sim.Time, parent trace.SpanID, nam
 		}
 		w.Processed++
 		h.devPending[key]--
-		if h.devPending[key] == 0 {
+		// <= 0 rather than == 0: UnregisterClient may have cleared the
+		// steering maps while this item was queued, recreating the entry at
+		// zero — don't let it stick at a negative count forever.
+		if h.devPending[key] <= 0 {
 			delete(h.devOwner, key)
 			delete(h.devPending, key)
 		}

@@ -66,6 +66,11 @@ func New(eng *sim.Engine, name string, cfg Config, tx *link.Wire) *NIC {
 // Name reports the NIC name.
 func (n *NIC) Name() string { return n.name }
 
+// VFByMAC returns the VF carved out for mac, or nil. Re-homing a client
+// back onto a cable it used before reuses the existing virtual function
+// instead of carving a duplicate.
+func (n *NIC) VFByMAC(mac ethernet.MAC) *VF { return n.vfs[mac] }
+
 // AddVF carves out an SRIOV virtual function with its own MAC.
 func (n *NIC) AddVF(mac ethernet.MAC, mode DeliveryMode) *VF {
 	if _, dup := n.vfs[mac]; dup {

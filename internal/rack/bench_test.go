@@ -1,0 +1,40 @@
+package rack
+
+import (
+	"testing"
+
+	"vrio/internal/cluster"
+	"vrio/internal/core"
+	"vrio/internal/sim"
+	"vrio/internal/workload"
+)
+
+// BenchmarkRackRebalance times one imbalance-healing run: an all-on-one
+// placement over two IOhosts, the controller rebalancing every 2 ms while
+// RR traffic flows for 20 ms of sim time. This is the control plane's
+// end-to-end cost (detection reads, gauge reads, re-home work) on top of
+// the simulated datapath.
+func BenchmarkRackRebalance(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := cluster.Build(cluster.Spec{
+			Model: core.ModelVRIO, VMHosts: 2, VMsPerHost: 2,
+			NumIOhosts: 2, Placement: Placement(Static(0), 2),
+			NoJitter: true, StationPerVM: true, Seed: 7,
+		})
+		c := New(tb, Config{
+			HeartbeatInterval: sim.Millisecond / 2,
+			RebalanceInterval: 2 * sim.Millisecond,
+		})
+		c.Start()
+		for g, guest := range tb.Guests {
+			workload.InstallRRServer(guest, tb.P.NetperfRRProcessCost)
+			rr := workload.NewRR(tb.StationFor(g), guest.MAC(), 16)
+			rr.Start()
+		}
+		tb.Eng.RunUntil(20 * sim.Millisecond)
+		if c.Counters.Get("rebalances") == 0 {
+			b.Fatal("benchmark run never rebalanced")
+		}
+	}
+}

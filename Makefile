@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-rack race-rack benchjson check
+.PHONY: build test vet race bench bench-engine bench-rack bench-datapath race-rack benchjson memprofile check
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,20 @@ bench-rack:
 race-rack:
 	$(GO) test -race ./internal/rack/
 
+# Datapath microbenchmarks plus the zero-allocation guard (driver-to-endpoint
+# over pooled NIC rings; net-tx must be 0 allocs/op).
+bench-datapath:
+	$(GO) test -run TestHotPathZeroAlloc -bench 'BenchmarkDatapath' -benchmem ./internal/transport/
+
 # Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
 # events/sec for serial vs parallel RunAll.
 benchjson:
 	$(GO) run ./cmd/vrio-experiments -quick -benchjson
+
+# Heap profile of a full quick evaluation run: mem.pprof records alloc_space,
+# the before/after ledger of the buffer-pooling work (see EXPERIMENTS.md).
+memprofile:
+	$(GO) run ./cmd/vrio-experiments -run all -quick -memprofile mem.pprof > /dev/null
+	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 15 mem.pprof
 
 check: build vet test race

@@ -27,6 +27,7 @@ import (
 	"vrio/internal/rack"
 	"vrio/internal/sim"
 	"vrio/internal/trace"
+	"vrio/internal/transport"
 	"vrio/internal/workload"
 )
 
@@ -183,6 +184,15 @@ type benchReport struct {
 	// one full imbalance-healing run — 2 IOhosts, all-on-one placement,
 	// heartbeats and rebalancing on, 20 ms of sim traffic.
 	RackRebalanceNsOp int64 `json:"rack_rebalance_ns_op"`
+	// Datapath microbenchmarks (internal/transport's Rig — driver to
+	// endpoint over pooled NIC rings and a 40G wire): one steady-state
+	// 1400 B net-tx message, and one 4 KiB block echo roundtrip. The
+	// allocs/op figures are the zero-allocation contract made visible;
+	// TestHotPathZeroAlloc enforces net-tx at exactly 0.
+	DatapathNetTxNsOp     int64 `json:"datapath_nettx_ns_op"`
+	DatapathNetTxAllocsOp int64 `json:"datapath_nettx_allocs_op"`
+	DatapathBlkNsOp       int64 `json:"datapath_blk_ns_op"`
+	DatapathBlkAllocsOp   int64 `json:"datapath_blk_allocs_op"`
 }
 
 // benchEngine mirrors internal/sim BenchmarkEngineSchedule: one After + one
@@ -237,6 +247,53 @@ func benchRack() int64 {
 	return res.NsPerOp()
 }
 
+// benchDatapathNetTx mirrors internal/transport BenchmarkDatapathNetTx: a
+// 1400 B net-tx message through the full rig per iteration, after warmup.
+func benchDatapathNetTx() (nsOp, allocsOp int64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		r := transport.NewRig()
+		frame := make([]byte, 1400)
+		for i := 0; i < 100; i++ {
+			r.Driver.SendNet(1, 3, frame)
+			r.Step()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Driver.SendNet(1, 3, frame)
+			r.Step()
+		}
+	})
+	return res.NsPerOp(), res.AllocsPerOp()
+}
+
+// benchDatapathBlk mirrors BenchmarkDatapathBlkRoundtrip: a 4 KiB block
+// request echoed back by the endpoint, chunked and reassembled both ways.
+func benchDatapathBlk() (nsOp, allocsOp int64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		r := transport.NewRig()
+		req := make([]byte, 4096)
+		complete := func(resp []byte, err error) {
+			if err != nil {
+				b.Fatalf("blk roundtrip: %v", err)
+			}
+		}
+		send := func() {
+			r.Driver.SendBlk(2, 1, req, complete)
+			r.Step()
+		}
+		for i := 0; i < 100; i++ {
+			send()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			send()
+		}
+	})
+	return res.NsPerOp(), res.AllocsPerOp()
+}
+
 func writeBenchJSON(quick bool, workers int, outPath string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -283,6 +340,8 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 		TraceDisabledNsOp:  benchEngine(true),
 		RackRebalanceNsOp:  benchRack(),
 	}
+	report.DatapathNetTxNsOp, report.DatapathNetTxAllocsOp = benchDatapathNetTx()
+	report.DatapathBlkNsOp, report.DatapathBlkAllocsOp = benchDatapathBlk()
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", report.Date)
 	}
@@ -297,6 +356,9 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 	fmt.Printf("serial   %.2fs  %d events  %.0f events/sec\n", serial.WallSeconds, serial.Events, serial.EventsPerSec)
 	fmt.Printf("parallel %.2fs  %d events  %.0f events/sec  (%d workers)\n", par.WallSeconds, par.Events, par.EventsPerSec, par.Workers)
 	fmt.Printf("speedup  %.2fx  identical=%v  -> %s\n", report.Speedup, identical, outPath)
+	fmt.Printf("datapath net-tx %d ns/op (%d allocs/op)  blk %d ns/op (%d allocs/op)\n",
+		report.DatapathNetTxNsOp, report.DatapathNetTxAllocsOp,
+		report.DatapathBlkNsOp, report.DatapathBlkAllocsOp)
 	if !identical {
 		return fmt.Errorf("parallel output diverged from serial")
 	}

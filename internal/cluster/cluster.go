@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"vrio/internal/blockdev"
+	"vrio/internal/bufpool"
 	"vrio/internal/core"
 	"vrio/internal/cpu"
 	"vrio/internal/ethernet"
@@ -141,6 +142,11 @@ type Testbed struct {
 	// it, and StartMetricsSampling snapshots it at sim-time intervals.
 	Metrics *trace.Registry
 
+	// pool is the testbed-wide buffer pool: every NIC shares it, so wire
+	// buffers circulate between the hosts of this (single-threaded)
+	// simulation cell instead of being reallocated per frame.
+	pool *bufpool.Pool
+
 	// channels[i][h] is VMhost h's cable into IOhost i, for live migration
 	// and re-homing.
 	channels [][]vrioChannel
@@ -211,6 +217,7 @@ func Build(spec Spec) *Testbed {
 		P:       p,
 		Spec:    spec,
 		Metrics: trace.NewRegistry(),
+		pool:    bufpool.New(),
 	}
 	if spec.Trace {
 		tb.Tracer = trace.New(tb.Eng)
@@ -231,7 +238,7 @@ func Build(spec Spec) *Testbed {
 	for i := 0; i < stations; i++ {
 		cable := link.NewDuplex(tb.Eng, p.LinkBandwidth10G, p.WireLatency)
 		tb.Switch.AttachPort(cable)
-		genNIC := nic.New(tb.Eng, fmt.Sprintf("gen%d", i), nicCfg, cable.AtoB)
+		genNIC := tb.newNIC(fmt.Sprintf("gen%d", i), nicCfg, cable.AtoB)
 		cable.BtoA.SetReceiver(genNIC)
 		genCore := cpu.New(tb.Eng, fmt.Sprintf("gen%d-core", i), p.ContextSwitchCost)
 		vf := genNIC.AddVF(ethernet.NewMAC(macStationBase+uint32(i)), nic.ModeInterrupt)
@@ -276,6 +283,13 @@ func Build(spec Spec) *Testbed {
 	return tb
 }
 
+// newNIC builds a NIC attached to the testbed-wide buffer pool.
+func (tb *Testbed) newNIC(name string, cfg nic.Config, tx *link.Wire) *nic.NIC {
+	n := nic.New(tb.Eng, name, cfg, tx)
+	n.SetPool(tb.pool)
+	return n
+}
+
 // localHost abstracts the three local models' AddVM signatures.
 type localHost struct {
 	addVM func(id int, c *cpu.Core, mac ethernet.MAC, blk blockdev.Backend, chain *interpose.Chain) *core.Guest
@@ -289,7 +303,7 @@ func (tb *Testbed) buildLocal(nicCfg nic.Config, mkHost func(hostIdx int, hostNI
 	for hostIdx := 0; hostIdx < spec.VMHosts; hostIdx++ {
 		cable := link.NewDuplex(tb.Eng, p.LinkBandwidth10G, p.WireLatency)
 		tb.Switch.AttachPort(cable)
-		hostNIC := nic.New(tb.Eng, fmt.Sprintf("vmhost%d-nic", hostIdx), nicCfg, cable.AtoB)
+		hostNIC := tb.newNIC(fmt.Sprintf("vmhost%d-nic", hostIdx), nicCfg, cable.AtoB)
 		cable.BtoA.SetReceiver(hostNIC)
 		h := mkHost(hostIdx, hostNIC)
 
@@ -357,7 +371,7 @@ func (tb *Testbed) attachIOhostUplink(i int, nicCfg nic.Config) {
 	p := tb.P
 	up := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
 	tb.Switch.AttachPort(up)
-	upNIC := nic.New(tb.Eng, iohostName(i)+"-uplink", nicCfg, up.AtoB)
+	upNIC := tb.newNIC(iohostName(i)+"-uplink", nicCfg, up.AtoB)
 	up.BtoA.SetReceiver(upNIC)
 	vf := upNIC.AddVF(ethernet.NewMAC(macIOHostBase+100*uint32(i)), nic.ModePoll)
 	upNIC.Promiscuous = vf
@@ -373,8 +387,8 @@ func (tb *Testbed) cableChannel(i, host int, nicCfg nic.Config) {
 	if i > 0 {
 		vmName = fmt.Sprintf("vmhost%d-ch%d", host, i+1)
 	}
-	vmhostNIC := nic.New(tb.Eng, vmName, nicCfg, ch.AtoB)
-	iohostNIC := nic.New(tb.Eng, fmt.Sprintf("%s-ch%d", iohostName(i), host), nicCfg, ch.BtoA)
+	vmhostNIC := tb.newNIC(vmName, nicCfg, ch.AtoB)
+	iohostNIC := tb.newNIC(fmt.Sprintf("%s-ch%d", iohostName(i), host), nicCfg, ch.BtoA)
 	ch.AtoB.SetReceiver(iohostNIC)
 	ch.BtoA.SetReceiver(vmhostNIC)
 	iohostVF := iohostNIC.AddVF(ethernet.NewMAC(macIOHostBase+100*uint32(i)+1+uint32(host)), nic.ModePoll)
@@ -413,7 +427,7 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 		})
 		up2 := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
 		tb.Switch.AttachPort(up2)
-		up2NIC := nic.New(tb.Eng, "iohost2-uplink", nicCfg, up2.AtoB)
+		up2NIC := tb.newNIC("iohost2-uplink", nicCfg, up2.AtoB)
 		up2.BtoA.SetReceiver(up2NIC)
 		up2VF := up2NIC.AddVF(ethernet.NewMAC(macIOHostBase+100), nic.ModePoll)
 		up2NIC.Promiscuous = up2VF
@@ -436,8 +450,8 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 		if spec.SecondaryIOhost {
 			// A second cable from this VMhost to the fallback IOhost.
 			ch2 := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
-			vmhost2NIC := nic.New(tb.Eng, fmt.Sprintf("vmhost%d-ch2", hostIdx), nicCfg, ch2.AtoB)
-			iohost2NIC := nic.New(tb.Eng, fmt.Sprintf("iohost2-ch%d", hostIdx), nicCfg, ch2.BtoA)
+			vmhost2NIC := tb.newNIC(fmt.Sprintf("vmhost%d-ch2", hostIdx), nicCfg, ch2.AtoB)
+			iohost2NIC := tb.newNIC(fmt.Sprintf("iohost2-ch%d", hostIdx), nicCfg, ch2.BtoA)
 			ch2.AtoB.SetReceiver(iohost2NIC)
 			ch2.BtoA.SetReceiver(vmhost2NIC)
 			io2VF := iohost2NIC.AddVF(ethernet.NewMAC(macIOHostBase+101+uint32(hostIdx)), nic.ModePoll)

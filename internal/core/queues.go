@@ -26,6 +26,11 @@ type netQueues struct {
 	rxFree []virtio.Chain
 	// RxDrops counts frames dropped for want of guest rx buffers.
 	RxDrops uint64
+	// reap is the reusable completion batch (TX and RX reaps are fully
+	// consumed before returning, so one batch serves both); pop is the
+	// scratch chain for the immediate-push TX drain.
+	reap virtio.ReapBatch
+	pop  virtio.Chain
 }
 
 func newNetQueues() *netQueues {
@@ -67,16 +72,18 @@ func (q *netQueues) guestSend(frame []byte) bool {
 	return err == nil
 }
 
-// hostPopTx drains up to max pending TX frames (host side).
+// hostPopTx drains up to max pending TX frames (host side). The scratch
+// chain is reusable because each chain is pushed back before the next pop;
+// frames are cloned since they outlive the descriptors.
 func (q *netQueues) hostPopTx(max int) [][]byte {
 	var out [][]byte
 	for max <= 0 || len(out) < max {
-		c, ok, err := q.tx.Pop()
+		ok, err := q.tx.PopInto(&q.pop)
 		if err != nil || !ok {
 			break
 		}
-		frame := append([]byte{}, c.Out...)
-		q.tx.Push(c, nil)
+		frame := append([]byte{}, q.pop.Out...)
+		q.tx.Push(q.pop, nil)
 		out = append(out, frame)
 	}
 	return out
@@ -84,7 +91,7 @@ func (q *netQueues) hostPopTx(max int) [][]byte {
 
 // guestReapTx frees completed TX descriptors (guest side).
 func (q *netQueues) guestReapTx() int {
-	return len(q.tx.Reap(0))
+	return q.tx.ReapInto(&q.reap, 0)
 }
 
 // hostDeliver fills one guest rx buffer with the frame (host side). False
@@ -100,17 +107,18 @@ func (q *netQueues) hostDeliver(frame []byte) bool {
 	return true
 }
 
-// guestReapRx collects received frames and restocks the buffers.
+// guestReapRx collects received frames and restocks the buffers. Frames are
+// cloned out of the reusable batch because they escape into the guest stack.
 func (q *netQueues) guestReapRx() [][]byte {
-	comps := q.rx.Reap(0)
-	if len(comps) == 0 {
+	n := q.rx.ReapInto(&q.reap, 0)
+	if n == 0 {
 		return nil
 	}
-	frames := make([][]byte, 0, len(comps))
-	for _, c := range comps {
-		frames = append(frames, append([]byte{}, c.In...))
+	frames := make([][]byte, 0, n)
+	for i := range q.reap.Completions {
+		frames = append(frames, append([]byte{}, q.reap.Completions[i].In...))
 	}
-	q.stockRx(len(comps))
+	q.stockRx(n)
 	return frames
 }
 
@@ -123,6 +131,8 @@ func (q *netQueues) txPending() bool { return q.tx.HasAvail() }
 // and reserve in-space for status (+ read data).
 type blkQueue struct {
 	ring *virtio.Ring
+	// reap is the reusable completion batch for guestReap.
+	reap virtio.ReapBatch
 }
 
 func newBlkQueue() *blkQueue {
@@ -142,7 +152,10 @@ func (q *blkQueue) guestSubmit(req []byte, respCap int) (uint16, bool) {
 	return head, err == nil
 }
 
-// hostPop takes the next request (host side).
+// hostPop takes the next request (host side). It deliberately uses the
+// allocating Pop: block chains are retained across asynchronous backend
+// completions, so a reusable scratch chain would be clobbered while still
+// referenced.
 func (q *blkQueue) hostPop() (virtio.Chain, bool) {
 	c, ok, err := q.ring.Pop()
 	if err != nil {
@@ -156,9 +169,12 @@ func (q *blkQueue) hostComplete(c virtio.Chain, resp []byte) {
 	q.ring.Push(c, resp)
 }
 
-// guestReap collects completed requests.
+// guestReap collects completed requests. The returned slice and each
+// completion's In data are valid until the next guestReap on this queue;
+// callers consume them synchronously.
 func (q *blkQueue) guestReap() []virtio.Completion {
-	return q.ring.Reap(0)
+	q.ring.ReapInto(&q.reap, 0)
+	return q.reap.Completions
 }
 
 // pending reports whether requests await the host (poll predicate).

@@ -63,7 +63,14 @@ type Core struct {
 
 	csCost sim.Time
 
+	// queue is a head-indexed FIFO: qHead is the consumed prefix and the
+	// backing array is reused once drained, so steady-state execution does
+	// not allocate. cur/finish replace the per-item completion closure: only
+	// one item runs at a time, so the prebound finish callback reads cur.
 	queue   []work
+	qHead   int
+	cur     work
+	finish  func()
 	running bool
 
 	acct      [numKinds]sim.Time
@@ -94,14 +101,22 @@ type work struct {
 
 // New returns an idle core.
 func New(eng *sim.Engine, name string, csCost sim.Time) *Core {
-	return &Core{eng: eng, name: name, csCost: csCost, lastOwner: NoOwner}
+	c := &Core{eng: eng, name: name, csCost: csCost, lastOwner: NoOwner}
+	c.finish = func() {
+		c.Executed++
+		if c.cur.fn != nil {
+			c.cur.fn()
+		}
+		c.runNext()
+	}
+	return c
 }
 
 // Name reports the core's name.
 func (c *Core) Name() string { return c.name }
 
 // QueueLen reports items waiting behind the current one.
-func (c *Core) QueueLen() int { return len(c.queue) }
+func (c *Core) QueueLen() int { return len(c.queue) - c.qHead }
 
 // Busy reports whether the core is executing.
 func (c *Core) Busy() bool { return c.running }
@@ -125,7 +140,9 @@ func (c *Core) Exec(owner int, kind Kind, d sim.Time, fn func()) {
 }
 
 func (c *Core) runNext() {
-	if len(c.queue) == 0 {
+	if c.qHead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qHead = 0
 		c.running = false
 		c.idleSince = c.eng.Now()
 		if c.OnIdle != nil {
@@ -133,8 +150,9 @@ func (c *Core) runNext() {
 		}
 		return
 	}
-	w := c.queue[0]
-	c.queue = c.queue[1:]
+	w := c.queue[c.qHead]
+	c.queue[c.qHead] = work{}
+	c.qHead++
 	c.Wait.Record(int64(c.eng.Now() - w.enq))
 
 	total := w.d
@@ -146,13 +164,8 @@ func (c *Core) runNext() {
 		c.lastOwner = w.owner
 	}
 	c.acct[w.kind] += w.d
-	c.eng.After(total, func() {
-		c.Executed++
-		if w.fn != nil {
-			w.fn()
-		}
-		c.runNext()
-	})
+	c.cur = w
+	c.eng.After(total, c.finish)
 }
 
 func (c *Core) accountIdleUpTo(t sim.Time) {
@@ -209,7 +222,7 @@ func (c *Core) Energy(busyW, pollW, idleW float64) float64 {
 // WaitFraction reports the fraction of work items that queued behind other
 // work — the "contention" series of Figure 8.
 func (c *Core) WaitFraction() float64 {
-	total := c.Executed + uint64(len(c.queue))
+	total := c.Executed + uint64(c.QueueLen())
 	if c.running {
 		total++
 	}

@@ -72,11 +72,18 @@ func (f *Frame) Encode(mtu int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrOversize, len(f.Payload), mtu)
 	}
 	b := make([]byte, HeaderSize+len(f.Payload))
-	copy(b[0:6], f.Dst[:])
-	copy(b[6:12], f.Src[:])
-	binary.BigEndian.PutUint16(b[12:14], f.EtherType)
+	PutHeader(b, f.Dst, f.Src, f.EtherType)
 	copy(b[HeaderSize:], f.Payload)
 	return b, nil
+}
+
+// PutHeader writes the 14-byte Ethernet header into b, which must be at
+// least HeaderSize long. The TSO send path uses it to build header,
+// encapsulation, and payload inside one pooled buffer.
+func PutHeader(b []byte, dst, src MAC, etherType uint16) {
+	copy(b[0:6], dst[:])
+	copy(b[6:12], src[:])
+	binary.BigEndian.PutUint16(b[12:14], etherType)
 }
 
 // Decode parses a serialized frame. The returned payload aliases b.

@@ -3,12 +3,20 @@ package ethernet
 import (
 	"errors"
 	"fmt"
+
+	"vrio/internal/bufpool"
 )
 
 // Reassembler rebuilds messages from encapsulated fragments at the IOhost
 // (or at the IOclient for responses). It mirrors §4.4's zero-copy SKB
 // construction: fragments are collected per (source MAC, message id) and the
 // message completes when the byte range [0, total) is fully covered.
+//
+// With a buffer pool attached (SetPool), message buffers come from the pool
+// and ownership of a completed message's Data transfers to the consumer,
+// who returns it with PutRaw when done; partial-message bookkeeping structs
+// are recycled internally either way, so steady-state reassembly does not
+// allocate.
 type Reassembler struct {
 	partial map[reassemblyKey]*partialMsg
 	// MaxPartial bounds concurrently reassembling messages; beyond it the
@@ -17,6 +25,13 @@ type Reassembler struct {
 	maxPartial int
 	evictions  uint64
 	seq        uint64
+
+	pool *bufpool.Pool
+	free []*partialMsg
+	// done is the scratch for completed messages: Add's return value points
+	// at it and is valid until the next Add. Data ownership transfers to
+	// the caller (the buffer is not touched by the reassembler again).
+	done Message
 }
 
 type reassemblyKey struct {
@@ -26,7 +41,7 @@ type reassemblyKey struct {
 
 type partialMsg struct {
 	buf      []byte
-	have     []bool // per-fragment-chunk coverage bitmap, indexed by offset/chunk
+	have     []bool // per-byte coverage bitmap, indexed by offset
 	covered  uint32
 	total    uint32
 	deviceID uint16
@@ -46,6 +61,11 @@ func NewReassembler(maxPartial int) *Reassembler {
 		maxPartial: maxPartial,
 	}
 }
+
+// SetPool attaches a buffer pool: message buffers are drawn from it, and
+// the consumer of each completed message owns Data (returning it to the
+// same pool closes the loop).
+func (r *Reassembler) SetPool(p *bufpool.Pool) { r.pool = p }
 
 // Message is one fully reassembled message.
 type Message struct {
@@ -71,9 +91,52 @@ func (r *Reassembler) Pending() int { return len(r.partial) }
 // partial-message bound.
 func (r *Reassembler) Evictions() uint64 { return r.evictions }
 
+// acquire returns a recycled (or fresh) partial with buf/have sized for
+// total bytes.
+func (r *Reassembler) acquire(total uint32) *partialMsg {
+	var p *partialMsg
+	if n := len(r.free); n > 0 {
+		p = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		*p = partialMsg{have: p.have}
+	} else {
+		p = &partialMsg{}
+	}
+	if r.pool != nil {
+		p.buf = r.pool.GetRaw(int(total))
+	} else {
+		p.buf = make([]byte, total)
+	}
+	// Coverage is byte-granular; +1 so total==0 still has a slot.
+	want := int(total) + 1
+	if cap(p.have) < want {
+		p.have = make([]bool, want)
+	} else {
+		p.have = p.have[:want]
+		for i := range p.have {
+			p.have[i] = false
+		}
+	}
+	p.total = total
+	return p
+}
+
+// recycle returns a partial's bookkeeping to the free list. The message
+// buffer is NOT recycled here: on completion its ownership moved to the
+// consumer; on eviction it goes back to the pool by the caller.
+func (r *Reassembler) recycle(p *partialMsg) {
+	p.buf = nil
+	if len(r.free) < r.maxPartial {
+		r.free = append(r.free, p)
+	}
+}
+
 // Add ingests one fragment (frame payload bytes). It returns a completed
-// message when this fragment finishes one, or nil. Duplicate fragments
-// (retransmissions seen twice) are tolerated and ignored.
+// message when this fragment finishes one, or nil. The returned Message
+// points at per-reassembler scratch, valid until the next Add; its Data is
+// the caller's to keep (and to PutRaw when a pool is attached). Duplicate
+// fragments (retransmissions seen twice) are tolerated and ignored.
 func (r *Reassembler) Add(src MAC, raw []byte) (*Message, error) {
 	seg, err := DecodeSegment(raw)
 	if err != nil {
@@ -85,13 +148,9 @@ func (r *Reassembler) Add(src MAC, raw []byte) (*Message, error) {
 		if len(r.partial) >= r.maxPartial {
 			r.evictOldest()
 		}
-		p = &partialMsg{
-			buf:      make([]byte, seg.Total),
-			have:     make([]bool, int(seg.Total)+1), // byte-granular; +1 so total==0 allocates
-			total:    seg.Total,
-			deviceID: seg.DeviceID,
-			seq:      r.seq,
-		}
+		p = r.acquire(seg.Total)
+		p.deviceID = seg.DeviceID
+		p.seq = r.seq
 		r.seq++
 		r.partial[key] = p
 	}
@@ -119,14 +178,16 @@ func (r *Reassembler) Add(src MAC, raw []byte) (*Message, error) {
 		return nil, nil
 	}
 	delete(r.partial, key)
-	return &Message{
+	r.done = Message{
 		Src:       src,
 		MsgID:     seg.MsgID,
 		DeviceID:  p.deviceID,
 		Data:      p.buf,
 		ZeroCopy:  p.pages <= MaxZeroCopyPages,
 		Fragments: p.frags,
-	}, nil
+	}
+	r.recycle(p)
+	return &r.done, nil
 }
 
 func (r *Reassembler) evictOldest() {
@@ -140,6 +201,10 @@ func (r *Reassembler) evictOldest() {
 	}
 	if oldest != nil {
 		delete(r.partial, oldestKey)
+		if r.pool != nil {
+			r.pool.PutRaw(oldest.buf)
+		}
+		r.recycle(oldest)
 		r.evictions++
 	}
 }

@@ -70,6 +70,19 @@ func ipChecksum(hdr []byte) uint16 {
 // encapSegment builds headers+payload for one fragment.
 func encapSegment(s Segment) []byte {
 	b := make([]byte, EncapOverhead+len(s.Payload))
+	EncapSegmentInto(b, s)
+	return b
+}
+
+// EncapSegmentInto is the scatter-gather variant of segment encapsulation:
+// it writes the fake TCP/IP headers and payload into b, which must be
+// exactly EncapOverhead+len(s.Payload) long. The NIC's TSO path uses it to
+// build each fragment directly inside a pooled frame buffer, headers and
+// payload in one pass.
+func EncapSegmentInto(b []byte, s Segment) {
+	if len(b) != EncapOverhead+len(s.Payload) {
+		panic(fmt.Sprintf("ethernet: EncapSegmentInto buffer %d for payload %d", len(b), len(s.Payload)))
+	}
 	ip := b[:ipHeaderSize]
 	ip[0] = 0x45 // version 4, IHL 5
 	binary.BigEndian.PutUint16(ip[2:], uint16(len(b)))
@@ -90,7 +103,6 @@ func encapSegment(s Segment) []byte {
 		tcp[13] = 0x08 // PSH
 	}
 	copy(b[EncapOverhead:], s.Payload)
-	return b
 }
 
 // DecodeSegment parses a fragment produced by Segment/encapSegment,

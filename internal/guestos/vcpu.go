@@ -21,9 +21,12 @@ type VCPU struct {
 	csCost  sim.Time
 	minGran sim.Time
 
-	current    *Thread
-	last       *Thread
+	current *Thread
+	last    *Thread
+	// runq is a head-indexed FIFO; the backing array is reused once drained
+	// so steady-state scheduling does not allocate.
 	runq       []*Thread
+	runqHead   int
 	runStart   sim.Time
 	completion sim.EventID
 	// scheduling is true while the scheduler itself runs a completion
@@ -67,6 +70,10 @@ type Thread struct {
 	state     threadState
 	remaining sim.Time
 	then      func()
+	// completeFn is the prebound completion callback: a VCPU has at most one
+	// completion event in flight, so dispatch reuses it instead of closing
+	// over the thread per dispatch.
+	completeFn func()
 
 	// Completions counts finished Do calls.
 	Completions uint64
@@ -74,7 +81,9 @@ type Thread struct {
 
 // Spawn creates a blocked thread.
 func (v *VCPU) Spawn(name string) *Thread {
-	return &Thread{vcpu: v, name: name}
+	t := &Thread{vcpu: v, name: name}
+	t.completeFn = func() { v.complete(t) }
+	return t
 }
 
 // Name reports the thread name.
@@ -82,7 +91,7 @@ func (t *Thread) Name() string { return t.name }
 
 // Runnable reports threads that are ready or running.
 func (v *VCPU) Runnable() int {
-	n := len(v.runq)
+	n := len(v.runq) - v.runqHead
 	if v.current != nil {
 		n++
 	}
@@ -149,7 +158,7 @@ func (v *VCPU) dispatch(t *Thread) {
 	v.last = t
 	t.state = stateRunning
 	v.runStart = v.eng.Now() + overhead
-	v.completion = v.eng.After(overhead+t.remaining, func() { v.complete(t) })
+	v.completion = v.eng.After(overhead+t.remaining, t.completeFn)
 }
 
 func (v *VCPU) complete(t *Thread) {
@@ -165,9 +174,14 @@ func (v *VCPU) complete(t *Thread) {
 		then() // may wake threads, including t itself
 		v.scheduling = false
 	}
-	if len(v.runq) > 0 {
-		next := v.runq[0]
-		v.runq = v.runq[1:]
+	if v.runqHead < len(v.runq) {
+		next := v.runq[v.runqHead]
+		v.runq[v.runqHead] = nil
+		v.runqHead++
+		if v.runqHead == len(v.runq) {
+			v.runq = v.runq[:0]
+			v.runqHead = 0
+		}
 		v.VoluntaryCS++
 		v.dispatch(next)
 	}

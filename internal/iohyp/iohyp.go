@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"vrio/internal/blockdev"
+	"vrio/internal/bufpool"
 	"vrio/internal/cpu"
 	"vrio/internal/ethernet"
 	"vrio/internal/interpose"
@@ -87,6 +88,18 @@ type IOHypervisor struct {
 	devPending map[devKey]int
 	rrIdx      int
 
+	// bp is the IOhost-side buffer pool (normally the first channel NIC's,
+	// so wire buffers circulate IOhost-wide); steerFree recycles steered
+	// work items so the steady-state ingress path does not allocate.
+	bp        *bufpool.Pool
+	steerFree []*steerItem
+
+	// txBatch/txPend implement TX-interrupt coalescing: while a steered work
+	// item runs, txInterrupt calls are latched and at most one interrupt
+	// fires when the item completes.
+	txBatch bool
+	txPend  int
+
 	// failed marks a crashed IOhost (§4.6 fault tolerance): everything it
 	// would receive or send is silently lost.
 	failed bool
@@ -106,6 +119,11 @@ type Worker struct {
 	Core *cpu.Core
 	// scanArmed marks a scheduled ring scan.
 	scanArmed bool
+	// scratch is the reused frame batch for ring harvesting (PollInto).
+	scratch [][]byte
+	// scanFn is the prebound poll-timer callback (at most one in flight per
+	// worker, guarded by scanArmed).
+	scanFn func()
 	// Processed counts messages this worker handled.
 	Processed uint64
 }
@@ -149,7 +167,12 @@ func New(eng *sim.Engine, cfg Config) *IOHypervisor {
 			// Whenever a sidecore drains, it returns to its poll loop.
 			core.OnIdle = func() { h.armScan() }
 		}
-		h.workers = append(h.workers, &Worker{hyp: h, Core: core})
+		w := &Worker{hyp: h, Core: core}
+		w.scanFn = func() {
+			w.scanArmed = false
+			w.scan()
+		}
+		h.workers = append(h.workers, w)
 	}
 	h.endpoint = transport.NewEndpoint(eng, routerPort{h}, transport.Config{
 		InitialTimeout: cfg.Params.RetransmitTimeout,
@@ -243,6 +266,23 @@ func (r routerPort) LocalMAC() ethernet.MAC {
 		return ethernet.MAC{}
 	}
 	return r.h.ports[0].LocalMAC()
+}
+
+// BufPool implements transport.Pooler: the endpoint draws wire buffers from
+// the channel NICs' shared pool so they circulate IOhost-wide.
+func (r routerPort) BufPool() *bufpool.Pool { return r.h.bufPool() }
+
+// bufPool resolves the IOhost buffer pool: the first channel port's NIC
+// pool, or a private one when no NIC is attached (tests).
+func (h *IOHypervisor) bufPool() *bufpool.Pool {
+	if h.bp == nil {
+		if len(h.ports) > 0 {
+			h.bp = h.ports[0].BufPool()
+		} else {
+			h.bp = bufpool.New()
+		}
+	}
+	return h.bp
 }
 
 // Send implements transport.Port.
@@ -425,10 +465,7 @@ func (h *IOHypervisor) armScan() {
 		// monitor/mwait and pays the wake-up latency on new work.
 		delay += h.p.MwaitWakeLatency
 	}
-	h.eng.After(delay, func() {
-		w.scanArmed = false
-		w.scan()
-	})
+	h.eng.After(delay, w.scanFn)
 }
 
 func (h *IOHypervisor) idleWorker() *Worker {
@@ -455,23 +492,27 @@ func (h *IOHypervisor) pickWorker() *Worker {
 	return best
 }
 
-// scan is the worker poll loop body: drain every ring, handing frames to
-// the reassembly ports; complete messages are steered as work items.
+// scan is the worker poll loop body: drain every ring in batches into the
+// worker's reusable scratch, handing frames to the reassembly ports;
+// complete messages are steered as work items. The scratch batch is safe to
+// reuse across rings because HandleBatch/ingressPlain fully consume each
+// frame before returning (fragments are copied into reassembly buffers and
+// recycled; plain frames are decoded and re-encoded).
 func (w *Worker) scan() {
 	h := w.hyp
 	found := false
 	for _, port := range h.ports {
-		frames := port.VF().Poll(64)
-		if len(frames) > 0 {
+		w.scratch = w.scratch[:0]
+		if port.VF().PollInto(&w.scratch, 64) > 0 {
 			found = true
-			port.HandleBatch(frames)
+			port.HandleBatch(w.scratch)
 		}
 	}
 	if h.uplink != nil {
-		frames := h.uplink.Poll(64)
-		if len(frames) > 0 {
+		w.scratch = w.scratch[:0]
+		if h.uplink.PollInto(&w.scratch, 64) > 0 {
 			found = true
-			for _, fr := range frames {
+			for _, fr := range w.scratch {
 				h.ingressPlain(fr)
 			}
 		}
@@ -522,12 +563,16 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 			name = "net-tx"
 		}
 	}
-	h.steer(key, cost, parent, name, func() {
-		if err := h.endpoint.Deliver(src, msg); err != nil {
-			h.Counters.Inc("bad_msgs", 1)
-		}
-		h.Tracer.End(netRoot)
-	})
+	it := h.getSteer()
+	it.op = steerOpDeliver
+	it.key = key
+	it.cost = cost
+	it.parent = parent
+	it.name = name
+	it.src = src
+	it.msg = msg
+	it.netRoot = netRoot
+	h.steer(it)
 }
 
 // ingressPlain handles a frame from the uplink (external party -> some VM's
@@ -554,54 +599,145 @@ func (h *IOHypervisor) ingressPlain(frame []byte) {
 	inner := ethernet.Frame{Dst: f.Dst, Src: f.Src, EtherType: f.EtherType, Payload: payload}
 	raw, _ := inner.Encode(0)
 	cost := h.p.WorkerServiceCost + h.p.EncapCost + icost
-	h.steer(dev.key, cost, 0, "net-in", func() {
-		h.endpoint.SendNetRx(dev.key.client, dev.key.id, raw)
-		h.txInterrupt()
-	})
+	it := h.getSteer()
+	it.op = steerOpNetIn
+	it.key = dev.key
+	it.cost = cost
+	it.name = "net-in"
+	it.dev = dev
+	it.raw = raw
+	h.steer(it)
 }
 
 // txInterrupt charges the transmit-side interrupt in the no-poll ablation.
+// Inside a steered work item (beginTxBatch/endTxBatch bracket) the interrupt
+// is latched: however many responses the item emits, the client is
+// interrupted at most once when the item completes.
 func (h *IOHypervisor) txInterrupt() {
 	if h.mode != ModeInterrupt {
 		return
 	}
+	if h.txBatch {
+		h.txPend++
+		return
+	}
+	h.fireTxIRQ()
+}
+
+func (h *IOHypervisor) fireTxIRQ() {
 	w := h.pickWorker()
 	h.Counters.Inc("iohost_irqs", 1)
 	w.Core.Exec(cpu.NoOwner, cpu.KindIRQ, h.p.HostIRQCost, nil)
 }
 
-// steer assigns work for a device to its owning worker, or to the least
+// beginTxBatch opens a TX-interrupt coalescing window. Windows do not nest:
+// steered items run as top-level events.
+func (h *IOHypervisor) beginTxBatch() {
+	h.txBatch = true
+	h.txPend = 0
+}
+
+// endTxBatch closes the window, firing the single coalesced interrupt if any
+// response was emitted inside it.
+func (h *IOHypervisor) endTxBatch() {
+	h.txBatch = false
+	if h.txPend > 0 {
+		h.txPend = 0
+		h.fireTxIRQ()
+	}
+}
+
+// Steered work item kinds.
+const (
+	steerOpDeliver = iota // hand a reassembled transport message to the endpoint
+	steerOpNetIn          // push an uplink frame to a client as net-rx
+)
+
+// steerItem is one steered unit of work. Items are recycled through
+// IOHypervisor.steerFree with a prebound run callback, so steady-state
+// steering does not allocate.
+type steerItem struct {
+	h      *IOHypervisor
+	w      *Worker
+	op     int
+	key    devKey
+	cost   sim.Time
+	parent trace.SpanID
+	name   string
+	fn     func()
+
+	// steerOpDeliver state.
+	src     ethernet.MAC
+	msg     []byte
+	netRoot trace.SpanID
+
+	// steerOpNetIn state.
+	dev *netDevice
+	raw []byte
+}
+
+// getSteer returns a recycled (or fresh) steered work item.
+func (h *IOHypervisor) getSteer() *steerItem {
+	if n := len(h.steerFree); n > 0 {
+		it := h.steerFree[n-1]
+		h.steerFree[n-1] = nil
+		h.steerFree = h.steerFree[:n-1]
+		return it
+	}
+	it := &steerItem{h: h}
+	it.fn = it.run
+	return it
+}
+
+// steer assigns a work item's device to its owning worker, or to the least
 // loaded worker when unowned, holding ownership until the device's queue
-// drains (§4.1: order-preserving steering). parent/name describe the
+// drains (§4.1: order-preserving steering). it.parent/it.name describe the
 // iohyp_worker span recorded around the work item when tracing is on; the
 // span is backdated by cost from inside the completion callback, so it
 // covers exactly the service window (queueing excluded).
-func (h *IOHypervisor) steer(key devKey, cost sim.Time, parent trace.SpanID, name string, fn func()) {
-	w := h.devOwner[key]
+func (h *IOHypervisor) steer(it *steerItem) {
+	w := h.devOwner[it.key]
 	if w == nil {
 		w = h.pickWorker()
-		h.devOwner[key] = w
+		h.devOwner[it.key] = w
 	}
-	h.devPending[key]++
-	w.Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
-		if h.Tracer.Enabled() {
-			span := h.Tracer.BeginAt(trace.CatWorker, name, parent, uint64(key.id), h.eng.Now()-cost)
-			defer h.Tracer.End(span)
+	it.w = w
+	h.devPending[it.key]++
+	w.Core.Exec(cpu.NoOwner, cpu.KindBusy, it.cost, it.fn)
+}
+
+// run executes a steered work item on its worker and recycles it.
+func (it *steerItem) run() {
+	h := it.h
+	if h.Tracer.Enabled() {
+		span := h.Tracer.BeginAt(trace.CatWorker, it.name, it.parent, uint64(it.key.id), h.eng.Now()-it.cost)
+		defer h.Tracer.End(span)
+	}
+	it.w.Processed++
+	h.devPending[it.key]--
+	// <= 0 rather than == 0: UnregisterClient may have cleared the
+	// steering maps while this item was queued, recreating the entry at
+	// zero — don't let it stick at a negative count forever.
+	if h.devPending[it.key] <= 0 {
+		delete(h.devOwner, it.key)
+		delete(h.devPending, it.key)
+	}
+	if !h.failed { // a crashed host executes nothing, even queued work
+		h.beginTxBatch()
+		switch it.op {
+		case steerOpDeliver:
+			if err := h.endpoint.Deliver(it.src, it.msg); err != nil {
+				h.Counters.Inc("bad_msgs", 1)
+			}
+			h.Tracer.End(it.netRoot)
+		case steerOpNetIn:
+			h.endpoint.SendNetRx(it.dev.key.client, it.dev.key.id, it.raw)
+			h.txInterrupt()
 		}
-		w.Processed++
-		h.devPending[key]--
-		// <= 0 rather than == 0: UnregisterClient may have cleared the
-		// steering maps while this item was queued, recreating the entry at
-		// zero — don't let it stick at a negative count forever.
-		if h.devPending[key] <= 0 {
-			delete(h.devOwner, key)
-			delete(h.devPending, key)
-		}
-		if h.failed {
-			return // a crashed host executes nothing, even queued work
-		}
-		fn()
-	})
+		h.endTxBatch()
+	}
+	*it = steerItem{h: it.h, fn: it.fn}
+	h.steerFree = append(h.steerFree, it)
 }
 
 // --- transport-level handlers (run inside steered work items) ---
@@ -668,19 +804,39 @@ func (h *IOHypervisor) handleNetTx(src ethernet.MAC, deviceID uint16, frame []by
 	h.txInterrupt()
 }
 
+// Shared status-only block responses (RespondBlk borrows and copies, so
+// these read-only singletons are safe to reuse).
+var (
+	respBlkOK     = []byte{virtio.BlkOK}
+	respBlkIOErr  = []byte{virtio.BlkIOErr}
+	respBlkUnsupp = []byte{virtio.BlkUnsupp}
+)
+
+func statusResp(err error) []byte {
+	if err != nil {
+		return respBlkIOErr
+	}
+	return respBlkOK
+}
+
 // handleBlkReq decodes a virtio-blk request, interposes, executes it on the
-// backend, and responds.
-func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req []byte) {
+// backend, and responds. req is a leased buffer: this handler releases it on
+// every path — immediately once the payload has been consumed (reads,
+// flushes, errors), or from the backend completion for writes, whose
+// interposed payload may alias the lease.
+func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req *bufpool.Frame) {
 	dev := h.blkDevs[devKey{src, hdr.DeviceID}]
 	if dev == nil {
 		h.Counters.Inc("unknown_dev", 1)
-		h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkUnsupp})
+		h.endpoint.RespondBlk(src, hdr, respBlkUnsupp)
+		req.Release()
 		return
 	}
-	bh, body, err := virtio.DecodeBlkHdr(req)
+	bh, body, err := virtio.DecodeBlkHdr(req.B)
 	if err != nil {
 		h.Counters.Inc("bad_msgs", 1)
-		h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkIOErr})
+		h.endpoint.RespondBlk(src, hdr, respBlkIOErr)
+		req.Release()
 		return
 	}
 	h.Counters.Inc("blk_reqs", 1)
@@ -696,7 +852,8 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 		payload, icost, err := dev.chain.Process(interpose.ToDevice, hdr.DeviceID, body)
 		if err != nil {
 			h.Counters.Inc("interpose_drops", 1)
-			h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkIOErr})
+			h.endpoint.RespondBlk(src, hdr, respBlkIOErr)
+			req.Release()
 			return
 		}
 		// §4.4: aligned inner portions are zero-copied; edges are copied.
@@ -706,14 +863,14 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 			h.Counters.Inc("copy_bytes", uint64(copied))
 		}
 		bd := h.Tracer.BeginArg(trace.CatBlockdev, "write", root, hdr.OrigID)
+		// The interposed payload may alias the leased request buffer, and the
+		// backend holds it until completion — the lease is released from the
+		// completion callback.
 		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpWrite, Sector: bh.Sector, Data: payload}, func(resp blockdev.Response) {
 				h.Tracer.End(bd)
-				status := byte(virtio.BlkOK)
-				if resp.Err != nil {
-					status = virtio.BlkIOErr
-				}
-				h.respondBlk(src, hdr, []byte{status})
+				req.Release()
+				h.respondBlk(src, hdr, statusResp(resp.Err))
 			})
 		})
 	case virtio.BlkIn:
@@ -723,8 +880,11 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 		if len(body) >= 4 {
 			n = int(uint32(body[0]) | uint32(body[1])<<8 | uint32(body[2])<<16 | uint32(body[3])<<24)
 		}
+		// The body is fully consumed (bh.Sector and n are values now); the
+		// lease can go back to the pool before the backend runs.
+		req.Release()
 		if n <= 0 {
-			h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkIOErr})
+			h.endpoint.RespondBlk(src, hdr, respBlkIOErr)
 			return
 		}
 		bd := h.Tracer.BeginArg(trace.CatBlockdev, "read", root, hdr.OrigID)
@@ -732,36 +892,40 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpRead, Sector: bh.Sector, Sectors: n}, func(resp blockdev.Response) {
 				h.Tracer.End(bd)
 				if resp.Err != nil {
-					h.respondBlk(src, hdr, []byte{virtio.BlkIOErr})
+					h.respondBlk(src, hdr, respBlkIOErr)
 					return
 				}
 				// §4.4: reads cannot zero-copy at the IOhost.
 				data, icost, err := dev.chain.Process(interpose.ToGuest, hdr.DeviceID, resp.Data)
 				if err != nil {
-					h.respondBlk(src, hdr, []byte{virtio.BlkIOErr})
+					h.respondBlk(src, hdr, respBlkIOErr)
 					return
 				}
 				copyCost := sim.Time(h.p.CopyPenaltyPerByte * float64(len(data)))
 				h.Counters.Inc("copy_bytes", uint64(len(data)))
 				h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost+copyCost, func() {
-					h.respondBlk(src, hdr, append([]byte{virtio.BlkOK}, data...))
+					// RespondBlk borrows the response, so the status+data
+					// buffer is pooled and returned right after the call.
+					out := h.bufPool().GetRaw(1 + len(data))
+					out[0] = virtio.BlkOK
+					copy(out[1:], data)
+					h.respondBlk(src, hdr, out)
+					h.bufPool().PutRaw(out)
 				})
 			})
 		})
 	case virtio.BlkFlush:
+		req.Release() // flush carries no payload
 		bd := h.Tracer.BeginArg(trace.CatBlockdev, "flush", root, hdr.OrigID)
 		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpFlush}, func(resp blockdev.Response) {
 				h.Tracer.End(bd)
-				status := byte(virtio.BlkOK)
-				if resp.Err != nil {
-					status = virtio.BlkIOErr
-				}
-				h.respondBlk(src, hdr, []byte{status})
+				h.respondBlk(src, hdr, statusResp(resp.Err))
 			})
 		})
 	default:
-		h.endpoint.RespondBlk(src, hdr, []byte{virtio.BlkUnsupp})
+		h.endpoint.RespondBlk(src, hdr, respBlkUnsupp)
+		req.Release()
 	}
 }
 

@@ -30,6 +30,15 @@ type Wire struct {
 	dst  Receiver
 	busy sim.Time // when the transmitter frees up
 
+	// pend holds frames in flight, drained FIFO by the prebound deliver
+	// callback. Delivery times are strictly increasing per wire (departures
+	// serialize and latency is constant), so FIFO pop order matches the
+	// per-frame closures this replaces — and the datapath sheds one
+	// allocation per frame.
+	pend     [][]byte
+	pendHead int
+	deliver  func()
+
 	// Bytes and Frames count traffic carried.
 	Bytes  uint64
 	Frames uint64
@@ -43,7 +52,20 @@ func NewWire(eng *sim.Engine, bps float64, latency sim.Time, dst Receiver) *Wire
 	if latency < 0 {
 		panic("link: negative latency")
 	}
-	return &Wire{eng: eng, bps: bps, lat: latency, dst: dst}
+	w := &Wire{eng: eng, bps: bps, lat: latency, dst: dst}
+	w.deliver = func() {
+		f := w.pend[w.pendHead]
+		w.pend[w.pendHead] = nil
+		w.pendHead++
+		if w.pendHead == len(w.pend) {
+			w.pend = w.pend[:0]
+			w.pendHead = 0
+		}
+		if w.dst != nil {
+			w.dst.ReceiveFrame(f)
+		}
+	}
+	return w
 }
 
 // SetReceiver rebinds the wire's destination (used while assembling
@@ -68,12 +90,8 @@ func (w *Wire) Send(frame []byte) {
 	depart := start + w.serialization(len(frame)+24)
 	w.busy = depart
 	deliverAt := depart + w.lat
-	msg := frame
-	w.eng.At(deliverAt, func() {
-		if w.dst != nil {
-			w.dst.ReceiveFrame(msg)
-		}
-	})
+	w.pend = append(w.pend, frame)
+	w.eng.At(deliverAt, w.deliver)
 }
 
 // Utilization reports the carried load in bits/s over elapsed time.

@@ -1,6 +1,7 @@
 package nic
 
 import (
+	"vrio/internal/bufpool"
 	"vrio/internal/ethernet"
 )
 
@@ -42,6 +43,12 @@ func (p *MessagePort) VF() *VF { return p.vf }
 // MTU reports the channel MTU.
 func (p *MessagePort) MTU() int { return p.mtu }
 
+// BufPool implements transport.Pooler: transport wire buffers come from the
+// underlying NIC's pool, closing the fragment-recycling loop (driver encodes
+// from the pool; the port's reassembler recycles fragment slabs back into
+// it).
+func (p *MessagePort) BufPool() *bufpool.Pool { return p.vf.nic.Pool() }
+
 // Send implements transport.Port: one complete transport message, TSO'd
 // onto the wire.
 func (p *MessagePort) Send(dst ethernet.MAC, payload []byte) {
@@ -51,6 +58,11 @@ func (p *MessagePort) Send(dst ethernet.MAC, payload []byte) {
 }
 
 // HandleFrame ingests one received frame (from Poll or an interrupt batch).
+// vRIO fragments are consumed: their payload is copied into the reassembly
+// buffer and the frame slab is recycled, so a fragment buffer must not be
+// shared with another port. Plain (tenant) frames are passed through and
+// never recycled. A completed message's Data is handed to OnMessage, whose
+// consumer owns it (and returns it to the pool when done).
 func (p *MessagePort) HandleFrame(frame []byte) {
 	f, err := ethernet.Decode(frame)
 	if err != nil {
@@ -63,11 +75,14 @@ func (p *MessagePort) HandleFrame(frame []byte) {
 		}
 		return
 	}
+	pool := p.vf.nic.Pool()
+	p.asm.SetPool(pool) // stays in sync if the NIC's pool is rebound
 	msg, err := p.asm.Add(f.Src, f.Payload)
 	if err != nil {
 		p.Errors++
 		return
 	}
+	pool.PutRaw(frame)
 	if msg != nil && p.OnMessage != nil {
 		p.OnMessage(msg.Src, msg.Data, msg.ZeroCopy, msg.Fragments)
 	}

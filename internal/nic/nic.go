@@ -3,11 +3,17 @@
 // overflow (§4.5's Rx-ring experiment), interrupt delivery with coalescing,
 // poll-mode draining (the vRIO IOhost polls its NICs, §4.2), and TSO
 // transmission of vRIO messages.
+//
+// The datapath is allocation-free in steady state: TSO fragments are built
+// inside pooled buffers (header + encapsulation + payload in one pass), NIC
+// processing delays run through prebound FIFO queues instead of per-frame
+// closures, and poll-mode receive rings reuse their backing storage.
 package nic
 
 import (
 	"fmt"
 
+	"vrio/internal/bufpool"
 	"vrio/internal/ethernet"
 	"vrio/internal/link"
 	"vrio/internal/sim"
@@ -46,6 +52,15 @@ type NIC struct {
 	tx   *link.Wire
 	vfs  map[ethernet.MAC]*VF
 
+	pool *bufpool.Pool
+
+	// txq holds frames awaiting their ProcessCost delay before hitting the
+	// wire, drained FIFO by the prebound txFlush (the delay is one constant,
+	// so FIFO order is exactly the event order the per-frame closures had).
+	txq     [][]byte
+	txHead  int
+	txFlush func()
+
 	// UnknownDst counts frames that matched no VF.
 	UnknownDst uint64
 
@@ -60,11 +75,41 @@ func New(eng *sim.Engine, name string, cfg Config, tx *link.Wire) *NIC {
 	if cfg.RxRingSize <= 0 {
 		panic("nic: RxRingSize must be positive")
 	}
-	return &NIC{eng: eng, name: name, cfg: cfg, tx: tx, vfs: make(map[ethernet.MAC]*VF)}
+	n := &NIC{eng: eng, name: name, cfg: cfg, tx: tx, vfs: make(map[ethernet.MAC]*VF)}
+	n.txFlush = func() {
+		f := n.txq[n.txHead]
+		n.txq[n.txHead] = nil
+		n.txHead++
+		if n.txHead == len(n.txq) {
+			n.txq = n.txq[:0]
+			n.txHead = 0
+		}
+		n.tx.Send(f)
+	}
+	return n
 }
 
 // Name reports the NIC name.
 func (n *NIC) Name() string { return n.name }
+
+// SetPool attaches a shared buffer pool (one per simulation cell, so
+// buffers circulate between the NICs of communicating hosts). A NIC without
+// an explicit pool lazily creates its own.
+func (n *NIC) SetPool(p *bufpool.Pool) { n.pool = p }
+
+// Pool returns the NIC's buffer pool, creating one on first use.
+func (n *NIC) Pool() *bufpool.Pool {
+	if n.pool == nil {
+		n.pool = bufpool.New()
+	}
+	return n.pool
+}
+
+// queueTx schedules one encoded frame onto the wire after NIC processing.
+func (n *NIC) queueTx(frame []byte) {
+	n.txq = append(n.txq, frame)
+	n.eng.After(n.cfg.ProcessCost, n.txFlush)
+}
 
 // VFByMAC returns the VF carved out for mac, or nil. Re-homing a client
 // back onto a cable it used before reuses the existing virtual function
@@ -77,6 +122,8 @@ func (n *NIC) AddVF(mac ethernet.MAC, mode DeliveryMode) *VF {
 		panic(fmt.Sprintf("nic %s: duplicate VF MAC %s", n.name, mac))
 	}
 	vf := &VF{nic: n, mac: mac, mode: mode}
+	vf.deliverFn = vf.deliverOne
+	vf.fireFn = vf.fireIRQ
 	n.vfs[mac] = vf
 	return vf
 }
@@ -110,10 +157,25 @@ type VF struct {
 	mac  ethernet.MAC
 	mode DeliveryMode
 
-	rxq       [][]byte
+	// pendq holds frames inside their NIC ProcessCost window, drained FIFO
+	// by the prebound deliverFn (one constant delay, so FIFO order matches
+	// the per-frame closures it replaced).
+	pendq    [][]byte
+	pendHead int
+
+	// rxq is the receive ring. rxHead is the consumed prefix: poll-mode
+	// drains advance it and the backing array is reused once empty;
+	// interrupt delivery hands the backing to the handler (which may retain
+	// the batch) and starts a fresh one.
+	rxq    [][]byte
+	rxHead int
+
 	intrArmed bool
 	onIRQ     func(frames [][]byte)
 	nextMsgID uint32
+
+	deliverFn func()
+	fireFn    func()
 
 	// NotifyRx, if set, is invoked whenever a frame lands in the rx ring.
 	// Poll-mode consumers use it to avoid modelling literal busy-wait
@@ -138,53 +200,86 @@ func (v *VF) Mode() DeliveryMode { return v.mode }
 func (v *VF) SetMode(m DeliveryMode) { v.mode = m }
 
 // OnInterrupt registers the interrupt handler for ModeInterrupt delivery.
-// The handler receives the drained frame batch.
+// The handler receives the drained frame batch and owns it.
 func (v *VF) OnInterrupt(fn func(frames [][]byte)) { v.onIRQ = fn }
 
 // QueueLen reports frames waiting in the rx ring.
-func (v *VF) QueueLen() int { return len(v.rxq) }
+func (v *VF) QueueLen() int { return len(v.rxq) - v.rxHead }
 
 func (v *VF) ingress(frame []byte) {
-	n := v.nic
 	// NIC processing latency before the frame is visible to software.
-	n.eng.After(n.cfg.ProcessCost, func() {
-		if len(v.rxq) >= n.cfg.RxRingSize {
-			v.Drops++
-			return
-		}
-		v.rxq = append(v.rxq, frame)
-		v.RxFrames++
-		if v.mode == ModeInterrupt && !v.intrArmed {
-			v.intrArmed = true
-			n.eng.After(n.cfg.CoalesceDelay, v.fireIRQ)
-		}
-		if v.NotifyRx != nil {
-			v.NotifyRx()
-		}
-	})
+	v.pendq = append(v.pendq, frame)
+	v.nic.eng.After(v.nic.cfg.ProcessCost, v.deliverFn)
+}
+
+// deliverOne lands the oldest in-flight frame in the rx ring.
+func (v *VF) deliverOne() {
+	frame := v.pendq[v.pendHead]
+	v.pendq[v.pendHead] = nil
+	v.pendHead++
+	if v.pendHead == len(v.pendq) {
+		v.pendq = v.pendq[:0]
+		v.pendHead = 0
+	}
+	if v.QueueLen() >= v.nic.cfg.RxRingSize {
+		v.Drops++
+		return
+	}
+	v.rxq = append(v.rxq, frame)
+	v.RxFrames++
+	if v.mode == ModeInterrupt && !v.intrArmed {
+		v.intrArmed = true
+		v.nic.eng.After(v.nic.cfg.CoalesceDelay, v.fireFn)
+	}
+	if v.NotifyRx != nil {
+		v.NotifyRx()
+	}
 }
 
 func (v *VF) fireIRQ() {
 	v.intrArmed = false
-	if v.onIRQ == nil || len(v.rxq) == 0 {
+	if v.onIRQ == nil || v.QueueLen() == 0 {
 		return
 	}
-	batch := v.rxq
+	// Hand the backing array to the handler (it may retain the batch past
+	// this call) and start fresh.
+	batch := v.rxq[v.rxHead:]
 	v.rxq = nil
+	v.rxHead = 0
 	v.onIRQ(batch)
 }
 
 // Poll drains up to max frames (all if max <= 0). Poll-mode software calls
-// this from its sidecore loop.
+// this from its sidecore loop. The returned slice is freshly allocated;
+// steady-state pollers use PollInto with a reused scratch batch instead.
 func (v *VF) Poll(max int) [][]byte {
-	if max <= 0 || max >= len(v.rxq) {
-		batch := v.rxq
-		v.rxq = nil
-		return batch
+	var out [][]byte
+	v.PollInto(&out, max)
+	return out
+}
+
+// PollInto appends up to max frames (all if max <= 0) to *dst, returning
+// how many were drained. The caller owns the drained frames; dst's backing
+// is caller-managed scratch, so a sidecore loop that truncates and reuses
+// it polls without allocating.
+func (v *VF) PollInto(dst *[][]byte, max int) int {
+	n := v.QueueLen()
+	if n == 0 {
+		return 0
 	}
-	batch := v.rxq[:max]
-	v.rxq = append([][]byte(nil), v.rxq[max:]...)
-	return batch
+	if max > 0 && max < n {
+		n = max
+	}
+	for i := 0; i < n; i++ {
+		*dst = append(*dst, v.rxq[v.rxHead])
+		v.rxq[v.rxHead] = nil
+		v.rxHead++
+	}
+	if v.rxHead == len(v.rxq) {
+		v.rxq = v.rxq[:0]
+		v.rxHead = 0
+	}
+	return n
 }
 
 // SendFrame encodes and transmits one Ethernet frame after NIC processing.
@@ -196,36 +291,62 @@ func (v *VF) SendFrame(f ethernet.Frame) error {
 	if f.Src == (ethernet.MAC{}) {
 		f.Src = v.mac
 	}
-	b, err := f.Encode(0)
-	if err != nil {
-		return err
-	}
+	// Encode into a pooled buffer (header + payload in one pass). Ownership
+	// moves to the receiver; plain tenant frames that escape into guest
+	// stacks simply fall back to the garbage collector.
+	b := v.nic.Pool().GetRaw(ethernet.HeaderSize + len(f.Payload))
+	ethernet.PutHeader(b, f.Dst, f.Src, f.EtherType)
+	copy(b[ethernet.HeaderSize:], f.Payload)
 	v.TxFrames++
 	if sibling, local := v.nic.vfs[f.Dst]; local && sibling != v {
 		v.nic.eng.After(v.nic.cfg.ProcessCost, func() { sibling.ingress(b) })
 		return nil
 	}
-	v.nic.eng.After(v.nic.cfg.ProcessCost, func() { v.nic.tx.Send(b) })
+	v.nic.queueTx(b)
 	return nil
 }
 
 // SendMessage transmits a vRIO transport message of up to 64 KiB via TSO:
 // the NIC segments it into MTU-sized encapsulated fragments (§4.3) and
-// clocks each onto the wire.
+// clocks each onto the wire. Each fragment frame is built inside a pooled
+// buffer — Ethernet header, fake TCP/IP encapsulation, and payload in a
+// single pass; msg itself is only borrowed for the duration of the call.
 func (v *VF) SendMessage(dst ethernet.MAC, deviceID uint16, msg []byte, mtu int) error {
 	v.nextMsgID++
-	frags, err := ethernet.SegmentMessage(v.nextMsgID, deviceID, msg, mtu)
-	if err != nil {
-		return err
+	if len(msg) > ethernet.MaxMessage {
+		return fmt.Errorf("%w: %d bytes", ethernet.ErrMessageTooBig, len(msg))
 	}
-	for _, p := range frags {
-		f := ethernet.Frame{Dst: dst, Src: v.mac, EtherType: ethernet.EtherTypeVRIO, Payload: p}
-		b, err := f.Encode(0)
-		if err != nil {
-			return err
+	if mtu < ethernet.MinMTU || mtu > ethernet.MaxMTU {
+		return fmt.Errorf("ethernet: MTU %d outside [%d, %d]", mtu, ethernet.MinMTU, ethernet.MaxMTU)
+	}
+	chunk := mtu - ethernet.EncapOverhead
+	if chunk <= 0 {
+		return fmt.Errorf("ethernet: MTU %d leaves no payload room", mtu)
+	}
+	pool := v.nic.Pool()
+	total := uint32(len(msg))
+	for off := 0; ; off += chunk {
+		end := off + chunk
+		last := false
+		if end >= len(msg) {
+			end = len(msg)
+			last = true
 		}
+		b := pool.GetRaw(ethernet.HeaderSize + ethernet.EncapOverhead + (end - off))
+		ethernet.PutHeader(b, dst, v.mac, ethernet.EtherTypeVRIO)
+		ethernet.EncapSegmentInto(b[ethernet.HeaderSize:], ethernet.Segment{
+			MsgID:    v.nextMsgID,
+			DeviceID: deviceID,
+			Offset:   uint32(off),
+			Total:    total,
+			Last:     last,
+			Payload:  msg[off:end],
+		})
 		v.TxFrames++
-		v.nic.eng.After(v.nic.cfg.ProcessCost, func() { v.nic.tx.Send(b) })
+		v.nic.queueTx(b)
+		if last {
+			break
+		}
 	}
 	return nil
 }

@@ -115,6 +115,26 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // cancelled. It is a live counter: O(1), never a queue scan.
 func (e *Engine) Pending() int { return e.pending }
 
+// NextAt reports the timestamp of the earliest scheduled event, or false if
+// none remain. A cancelled tombstone at the head is reported as-is; running
+// until that time executes nothing but clears it, so callers stepping with
+// RunUntil(NextAt()) still make progress.
+func (e *Engine) NextAt() (Time, bool) {
+	if e.pending == 0 {
+		return 0, false
+	}
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if !next.canceled {
+			return next.at, true
+		}
+		e.heapPop()
+		e.tombstones--
+		e.recycle(next)
+	}
+	return 0, false
+}
+
 func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at

@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"testing"
+)
+
+// Datapath benchmarks over the full wire path (Rig): driver send → TSO
+// segmentation into pooled frames → NIC rings → wire → reassembly into a
+// pooled buffer → endpoint handler, plus ack/response traffic back. These
+// are the numbers BENCH_*.json records as datapath_* metrics.
+
+func benchPayload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 31)
+	}
+	return b
+}
+
+// BenchmarkDatapathNetTx measures one MTU-sized net-tx message end to end.
+// Steady state is allocation-free (see TestHotPathZeroAlloc).
+func BenchmarkDatapathNetTx(b *testing.B) {
+	r := NewRig()
+	frame := benchPayload(1400)
+	for i := 0; i < 100; i++ { // warm pools, rings, and timer wheels
+		r.Driver.SendNet(1, 3, frame)
+		r.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Driver.SendNet(1, 3, frame)
+		r.Step()
+	}
+	b.StopTimer()
+	if r.NetTxMsgs != uint64(100+b.N) {
+		b.Fatalf("delivered %d messages, want %d", r.NetTxMsgs, 100+b.N)
+	}
+}
+
+// BenchmarkDatapathBlkRoundtrip measures a 4 KiB block request echoed back
+// through the endpoint: chunked both ways, reassembled on each side.
+func BenchmarkDatapathBlkRoundtrip(b *testing.B) {
+	r := NewRig()
+	req := benchPayload(4096)
+	done := 0
+	complete := func(resp []byte, err error) {
+		if err != nil {
+			b.Fatalf("blk roundtrip: %v", err)
+		}
+		done++
+	}
+	send := func() {
+		r.Driver.SendBlk(2, 1, req, complete)
+		r.Step()
+	}
+	for i := 0; i < 100; i++ {
+		send()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		send()
+	}
+	b.StopTimer()
+	if done != 100+b.N {
+		b.Fatalf("completed %d roundtrips, want %d", done, 100+b.N)
+	}
+}
+
+// TestHotPathZeroAlloc is the tier-1 guard for the zero-allocation datapath:
+// after warmup, a steady-state net-tx message through the full path — encode,
+// rings, wire, reassembly, delivery, ack — performs zero heap allocations.
+func TestHotPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instruments allocations; guard runs in the non-race pass")
+	}
+	r := NewRig()
+	frame := benchPayload(1400)
+	send := func() {
+		r.Driver.SendNet(1, 3, frame)
+		r.Step()
+	}
+	for i := 0; i < 100; i++ {
+		send()
+	}
+	allocs := testing.AllocsPerRun(200, send)
+	if allocs != 0 {
+		t.Fatalf("net-tx hot path allocates %.1f allocs/op, want 0 — "+
+			"a pooled buffer or reusable batch is escaping to the heap", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"vrio/internal/bufpool"
 	"vrio/internal/ethernet"
 	"vrio/internal/sim"
 	"vrio/internal/stats"
@@ -18,10 +19,19 @@ import (
 // model on its way to the wire.
 type Port interface {
 	// Send transmits one message to dst. It must not fail synchronously;
-	// loss is a property of the channel, handled by retransmission.
+	// loss is a property of the channel, handled by retransmission. The
+	// payload is only borrowed for the duration of the call (the NIC copies
+	// it into fragment frames), so callers may reuse the buffer afterwards.
 	Send(dst ethernet.MAC, payload []byte)
 	// LocalMAC reports this port's address (the T interface's MAC).
 	LocalMAC() ethernet.MAC
+}
+
+// Pooler is implemented by ports backed by a shared buffer pool (the NIC
+// message port). The driver and endpoint draw their encode/reassembly
+// buffers from it so slabs circulate within one simulation cell.
+type Pooler interface {
+	BufPool() *bufpool.Pool
 }
 
 // Config holds the reliability knobs (§4.5).
@@ -51,12 +61,20 @@ func DefaultConfig() Config {
 // served and raises a device error").
 var ErrDeviceError = errors.New("transport: device error (retransmission budget exhausted)")
 
-// BlkCallback receives a block response or a device error.
+// BlkCallback receives a block response or a device error. The response
+// bytes are only valid for the duration of the call: the driver recycles
+// the buffer when the callback returns, so a callback that needs the data
+// later must copy it.
 type BlkCallback func(resp []byte, err error)
 
 // Driver is the IOclient-side transport driver. It is the second driver
 // layer of §4.1: front-ends hand it requests; it encapsulates, segments,
 // retransmits, reassembles, and calls front-end handlers on completion.
+//
+// The steady-state datapath does not allocate: wire messages are encoded
+// into pooled buffers, in-flight block bookkeeping and chunk assemblers are
+// recycled through free lists, and chunked responses reassemble directly
+// into one pooled buffer.
 type Driver struct {
 	eng    *sim.Engine
 	port   Port
@@ -68,8 +86,13 @@ type Driver struct {
 
 	respAsm map[uint64]*chunkAsm // block responses being reassembled, by OrigID
 
+	bp      *bufpool.Pool
+	pbFree  []*pendingBlk
+	asmFree []*chunkAsm
+
 	// NetRx is invoked for every frame the IOhost delivers to a net
-	// front-end.
+	// front-end. The frame may be retained by the guest (it escapes into
+	// the tenant stack), so net-rx buffers are never recycled.
 	NetRx func(deviceID uint16, frame []byte)
 	// CreateDev / DestroyDev are invoked for I/O-hypervisor control
 	// commands (§4.1: "receiving commands from the I/O hypervisor to
@@ -94,17 +117,114 @@ type pendingBlk struct {
 	span     trace.SpanID // guest_ring root span, 0 when tracing is off
 	deviceID uint16
 	devType  uint8
-	chunks   [][]byte // raw payload chunks for retransmission
+	chunks   [][]byte // raw payload chunks for retransmission (alias the request)
 	timeout  sim.Time
 	retries  int
 	timer    sim.EventID
 	done     BlkCallback
+	// expireFn is the prebound timeout callback; it survives recycling, so
+	// arming a retransmission timer does not allocate.
+	expireFn func()
 }
 
+// chunkAsm reassembles a chunked payload directly into one pooled buffer.
+// All non-final chunks of one message share a single stride (the sender's
+// MaxChunk), so chunk i lands at offset i*stride; the final chunk may be
+// shorter. Used only for multi-chunk messages (single-chunk payloads take
+// a zero-copy fast path at both ends).
 type chunkAsm struct {
-	chunks [][]byte
-	got    int
-	seq    uint64 // insertion order, for endpoint-side eviction
+	seq      uint64 // insertion order, for endpoint-side eviction
+	count    int
+	stride   int    // len of non-final chunks; 0 until the first one arrives
+	buf      []byte // pooled assembly buffer, stride*count capacity
+	seen     []bool
+	got      int
+	final    []byte // holdover if the final chunk precedes stride discovery
+	finalLen int
+}
+
+func (a *chunkAsm) reset(count int, seq uint64) {
+	a.seq = seq
+	a.count = count
+	a.stride = 0
+	a.buf = nil
+	a.got = 0
+	a.final = nil
+	a.finalLen = -1
+	if cap(a.seen) < count {
+		a.seen = make([]bool, count)
+	} else {
+		a.seen = a.seen[:count]
+		for i := range a.seen {
+			a.seen[i] = false
+		}
+	}
+}
+
+// add ingests chunk idx, copying body into the assembly buffer. It reports
+// whether the message is now complete. Duplicate or inconsistent chunks
+// are ignored.
+func (a *chunkAsm) add(pool *bufpool.Pool, idx int, body []byte) bool {
+	if idx < 0 || idx >= a.count || a.seen[idx] {
+		return false
+	}
+	if idx < a.count-1 {
+		if a.stride == 0 {
+			if len(body) == 0 {
+				return false // degenerate non-final chunk; drop
+			}
+			a.stride = len(body)
+			a.buf = pool.GetRaw(a.stride * a.count)
+			if a.finalLen >= 0 {
+				copy(a.buf[a.stride*(a.count-1):], a.final[:a.finalLen])
+				pool.PutRaw(a.final)
+				a.final = nil
+			}
+		} else if len(body) != a.stride {
+			return false // chunks of one generation share a stride
+		}
+		copy(a.buf[a.stride*idx:], body)
+	} else {
+		if a.stride != 0 {
+			if len(body) > a.stride {
+				return false
+			}
+			copy(a.buf[a.stride*idx:], body)
+		} else {
+			a.final = pool.GetRaw(len(body))
+			copy(a.final, body)
+		}
+		a.finalLen = len(body)
+	}
+	a.seen[idx] = true
+	a.got++
+	return a.got == a.count
+}
+
+// assembled returns the contiguous payload; valid only once add reported
+// completion. The buffer remains owned by the assembler (release or take
+// recycles it).
+func (a *chunkAsm) assembled() []byte {
+	return a.buf[:a.stride*(a.count-1)+a.finalLen]
+}
+
+// take transfers ownership of the assembly buffer to the caller.
+func (a *chunkAsm) take() []byte {
+	b := a.buf
+	a.buf = nil
+	return b
+}
+
+// release returns any held pooled buffers.
+func (a *chunkAsm) release(pool *bufpool.Pool) {
+	if a.buf != nil {
+		pool.PutRaw(a.buf)
+		a.buf = nil
+	}
+	if a.final != nil {
+		pool.PutRaw(a.final)
+		a.final = nil
+	}
 }
 
 // NewDriver builds a transport driver bound to its IOhost's MAC.
@@ -135,7 +255,10 @@ func (d *Driver) InFlightBlk() int { return len(d.pending) }
 // live-migration mechanism ("F can dynamically switch between channeling
 // traffic via Tsriov and Tvirtio"). In-flight block requests keep their
 // timers and simply retransmit through the new port.
-func (d *Driver) SetPort(port Port) { d.port = port }
+func (d *Driver) SetPort(port Port) {
+	d.port = port
+	d.bp = nil // rebind to the new port's pool on next use
+}
 
 // Port reports the current channel.
 func (d *Driver) Port() Port { return d.port }
@@ -144,14 +267,89 @@ func (d *Driver) Port() Port { return d.port }
 // destination VMhost's cable lands on a different IOhost NIC).
 func (d *Driver) SetRemote(iohost ethernet.MAC) { d.iohost = iohost }
 
+// pool returns the driver's buffer pool: the port's shared pool when it has
+// one, else a private pool.
+func (d *Driver) pool() *bufpool.Pool {
+	if d.bp == nil {
+		if pp, ok := d.port.(Pooler); ok {
+			d.bp = pp.BufPool()
+		} else {
+			d.bp = bufpool.New()
+		}
+	}
+	return d.bp
+}
+
 func (d *Driver) allocID() uint64 {
 	d.nextID++
 	return d.nextID
 }
 
+// getPending returns a recycled (or fresh) pendingBlk with its prebound
+// expiry callback.
+func (d *Driver) getPending() *pendingBlk {
+	if n := len(d.pbFree); n > 0 {
+		p := d.pbFree[n-1]
+		d.pbFree[n-1] = nil
+		d.pbFree = d.pbFree[:n-1]
+		return p
+	}
+	p := &pendingBlk{}
+	p.expireFn = func() { d.expire(p) }
+	return p
+}
+
+// recyclePending returns a completed pendingBlk to the free list. The
+// caller must have removed it from d.pending and canceled (or consumed)
+// its timer.
+func (d *Driver) recyclePending(p *pendingBlk) {
+	p.chunks = p.chunks[:0]
+	p.done = nil
+	p.span = 0
+	p.retries = 0
+	d.pbFree = append(d.pbFree, p)
+}
+
+func (d *Driver) getAsm(count int) *chunkAsm {
+	var a *chunkAsm
+	if n := len(d.asmFree); n > 0 {
+		a = d.asmFree[n-1]
+		d.asmFree[n-1] = nil
+		d.asmFree = d.asmFree[:n-1]
+	} else {
+		a = &chunkAsm{}
+	}
+	a.reset(count, 0)
+	return a
+}
+
+func (d *Driver) recycleAsm(a *chunkAsm) {
+	a.release(d.pool())
+	d.asmFree = append(d.asmFree, a)
+}
+
+// dropAsm discards any partial reassembly for origID, returning its pooled
+// buffers.
+func (d *Driver) dropAsm(origID uint64) {
+	if a := d.respAsm[origID]; a != nil {
+		delete(d.respAsm, origID)
+		d.recycleAsm(a)
+	}
+}
+
+// sendEncoded encodes h+payload into a pooled buffer, transmits it, and
+// recycles the buffer (Port.Send only borrows it).
+func (d *Driver) sendEncoded(h Header, payload []byte) {
+	pool := d.pool()
+	buf := pool.GetRaw(EncodedSize(len(payload)))
+	EncodeInto(buf, h, payload)
+	d.port.Send(d.iohost, buf)
+	pool.PutRaw(buf)
+}
+
 // SendNet transmits a guest network frame to the IOhost. Net traffic is
 // deliberately unreliable (§4.5: TCP above retransmits; UDP may lose
-// anyhow).
+// anyhow). The frame is only borrowed for the duration of the call.
 func (d *Driver) SendNet(devType uint8, deviceID uint16, frame []byte) {
 	d.Counters.Inc("net_tx", 1)
 	id := d.allocID()
@@ -164,30 +362,29 @@ func (d *Driver) SendNet(devType uint8, deviceID uint16, frame []byte) {
 		d.Tracer.Link(trace.FlowKey{Kind: FlowNetRoot, A: mac, B: id}, ring)
 		d.Tracer.Link(trace.FlowKey{Kind: FlowNetWire, A: mac, B: id}, wire)
 	}
-	msg := Encode(Header{
+	d.sendEncoded(Header{
 		Type:       MsgNetTx,
 		DeviceType: devType,
 		DeviceID:   deviceID,
 		ReqID:      id,
 		ChunkCount: 1,
 	}, frame)
-	d.port.Send(d.iohost, msg)
 }
 
 // SendBlk transmits a block request reliably. done is invoked exactly once,
-// with the response payload or ErrDeviceError.
+// with the response payload or ErrDeviceError. req must remain valid until
+// then (chunks alias it across retransmissions).
 func (d *Driver) SendBlk(devType uint8, deviceID uint16, req []byte, done BlkCallback) {
 	if done == nil {
 		panic("transport: SendBlk requires a completion callback")
 	}
 	d.Counters.Inc("blk_sent", 1)
-	p := &pendingBlk{
-		origID:   d.allocID(),
-		deviceID: deviceID,
-		devType:  devType,
-		timeout:  d.cfg.InitialTimeout,
-		done:     done,
-	}
+	p := d.getPending()
+	p.origID = d.allocID()
+	p.deviceID = deviceID
+	p.devType = devType
+	p.timeout = d.cfg.InitialTimeout
+	p.done = done
 	for off := 0; off == 0 || off < len(req); off += d.cfg.MaxChunk {
 		end := off + d.cfg.MaxChunk
 		if end > len(req) {
@@ -208,7 +405,7 @@ func (d *Driver) transmit(p *pendingBlk) {
 	p.curReqID = d.allocID()
 	// Chunks collected from a superseded attempt are discarded: the
 	// response must reassemble from a single ReqID generation.
-	delete(d.respAsm, p.origID)
+	d.dropAsm(p.origID)
 	if d.Tracer.Enabled() {
 		// One wire span per attempt; a lost attempt's span stays open and
 		// exports as unfinished, which is exactly what happened to it.
@@ -216,7 +413,7 @@ func (d *Driver) transmit(p *pendingBlk) {
 		d.Tracer.Link(trace.FlowKey{Kind: FlowBlkWire, A: trace.Key48(d.port.LocalMAC()), B: p.curReqID}, wire)
 	}
 	for i, chunk := range p.chunks {
-		msg := Encode(Header{
+		d.sendEncoded(Header{
 			Type:       MsgBlkReq,
 			DeviceType: p.devType,
 			DeviceID:   p.deviceID,
@@ -225,9 +422,8 @@ func (d *Driver) transmit(p *pendingBlk) {
 			Chunk:      uint16(i),
 			ChunkCount: uint16(len(p.chunks)),
 		}, chunk)
-		d.port.Send(d.iohost, msg)
 	}
-	p.timer = d.eng.After(p.timeout, func() { d.expire(p) })
+	p.timer = d.eng.After(p.timeout, p.expireFn)
 }
 
 func (d *Driver) expire(p *pendingBlk) {
@@ -236,11 +432,15 @@ func (d *Driver) expire(p *pendingBlk) {
 	}
 	if p.retries >= d.cfg.MaxRetransmits {
 		delete(d.pending, p.origID)
-		delete(d.respAsm, p.origID)
+		d.dropAsm(p.origID)
 		d.Counters.Inc("device_errors", 1)
 		d.Tracer.End(p.span) // device error closes the ring occupancy too
-		p.done(nil, fmt.Errorf("%w: request %d after %d attempts",
-			ErrDeviceError, p.origID, p.retries+1))
+		done := p.done
+		retries := p.retries
+		origID := p.origID
+		d.recyclePending(p)
+		done(nil, fmt.Errorf("%w: request %d after %d attempts",
+			ErrDeviceError, origID, retries+1))
 		return
 	}
 	p.retries++
@@ -251,6 +451,9 @@ func (d *Driver) expire(p *pendingBlk) {
 
 // Deliver ingests one transport message arriving from the channel. The NIC
 // model calls this once a full message is reassembled from wire fragments.
+// The driver takes ownership of payload: block-response and control buffers
+// are recycled to the pool; net-rx frames escape into the guest and are
+// left to the garbage collector.
 func (d *Driver) Deliver(payload []byte) error {
 	h, body, err := Decode(payload)
 	if err != nil {
@@ -269,24 +472,29 @@ func (d *Driver) Deliver(payload []byte) error {
 		}
 	case MsgBlkResp:
 		d.deliverBlkResp(h, body)
+		d.pool().PutRaw(payload)
 	case MsgCtrlCreateDev:
 		d.Counters.Inc("ctrl", 1)
 		if d.CreateDev != nil {
 			d.CreateDev(h.DeviceType, h.DeviceID)
 		}
-		d.port.Send(d.iohost, Encode(Header{Type: MsgCtrlAck, ReqID: h.ReqID, ChunkCount: 1}, nil))
+		d.sendEncoded(Header{Type: MsgCtrlAck, ReqID: h.ReqID, ChunkCount: 1}, nil)
+		d.pool().PutRaw(payload)
 	case MsgCtrlDestroyDev:
 		d.Counters.Inc("ctrl", 1)
 		if d.DestroyDev != nil {
 			d.DestroyDev(h.DeviceID)
 		}
-		d.port.Send(d.iohost, Encode(Header{Type: MsgCtrlAck, ReqID: h.ReqID, ChunkCount: 1}, nil))
+		d.sendEncoded(Header{Type: MsgCtrlAck, ReqID: h.ReqID, ChunkCount: 1}, nil)
+		d.pool().PutRaw(payload)
 	default:
 		return fmt.Errorf("transport: client received unexpected %v", h.Type)
 	}
 	return nil
 }
 
+// deliverBlkResp handles one blk-resp message. body aliases the caller's
+// payload buffer and is copied (or consumed synchronously) before return.
 func (d *Driver) deliverBlkResp(h Header, body []byte) {
 	p := d.pending[h.OrigID]
 	if p == nil {
@@ -299,24 +507,35 @@ func (d *Driver) deliverBlkResp(h Header, body []byte) {
 		d.Counters.Inc("stale", 1)
 		return
 	}
-	asm := d.respAsm[h.OrigID]
-	if asm == nil {
-		asm = &chunkAsm{chunks: make([][]byte, h.ChunkCount)}
-		d.respAsm[h.OrigID] = asm
-	}
-	if int(h.Chunk) >= len(asm.chunks) {
+	count := int(h.ChunkCount)
+	if count == 0 || int(h.Chunk) >= count {
 		d.Counters.Inc("stale", 1)
 		return
 	}
-	if asm.chunks[h.Chunk] == nil {
-		asm.chunks[h.Chunk] = append([]byte{}, body...)
-		asm.got++
-	}
-	if asm.got < len(asm.chunks) {
-		return
+
+	var resp []byte
+	var asm *chunkAsm
+	if count == 1 {
+		// Fast path: the response is this one message; hand the body
+		// straight to the callback (it may not retain it).
+		resp = body
+	} else {
+		asm = d.respAsm[h.OrigID]
+		if asm == nil {
+			asm = d.getAsm(count)
+			d.respAsm[h.OrigID] = asm
+		}
+		if asm.count != count {
+			d.Counters.Inc("stale", 1)
+			return
+		}
+		if !asm.add(d.pool(), int(h.Chunk), body) {
+			return
+		}
+		delete(d.respAsm, h.OrigID)
+		resp = asm.assembled()
 	}
 	delete(d.pending, h.OrigID)
-	delete(d.respAsm, h.OrigID)
 	d.eng.Cancel(p.timer)
 	d.Counters.Inc("blk_completed", 1)
 	if d.Tracer.Enabled() {
@@ -325,9 +544,10 @@ func (d *Driver) deliverBlkResp(h Header, body []byte) {
 		}))
 		d.Tracer.End(p.span)
 	}
-	var resp []byte
-	for _, c := range asm.chunks {
-		resp = append(resp, c...)
+	done := p.done
+	d.recyclePending(p)
+	done(resp, nil)
+	if asm != nil {
+		d.recycleAsm(asm)
 	}
-	p.done(resp, nil)
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 
+	"vrio/internal/bufpool"
 	"vrio/internal/ethernet"
 	"vrio/internal/sim"
 	"vrio/internal/stats"
@@ -13,6 +14,13 @@ import (
 // requests, dispatches messages to the I/O hypervisor, sends (possibly
 // chunked) responses, and pushes control commands to IOclients with a small
 // ack/retry protocol.
+//
+// Buffer ownership: Deliver takes ownership of each incoming message buffer
+// and recycles it to the pool once consumed. Block requests are handed to
+// the BlkReq handler as a leased *bufpool.Frame — a single-chunk request
+// wraps the message buffer itself (zero copy); a multi-chunk request wraps
+// the pooled reassembly buffer. The handler Releases the frame when the
+// request's payload is no longer needed.
 type Endpoint struct {
 	eng  *sim.Engine
 	port Port
@@ -27,13 +35,19 @@ type Endpoint struct {
 	// Evictions counts abandoned partial assemblies.
 	Evictions uint64
 
+	bp      *bufpool.Pool
+	asmFree []*chunkAsm
+
 	// NetTx is invoked when an IOclient's net front-end transmits a frame.
+	// The frame is only valid for the duration of the call (its buffer is
+	// recycled afterwards); a handler that needs it later must copy.
 	NetTx func(src ethernet.MAC, deviceID uint16, frame []byte)
-	// BlkReq is invoked with a fully reassembled block request. The I/O
-	// hypervisor responds via RespondBlk with the same header. Duplicate
-	// executions due to retransmission are safe by §4.5's argument (the
-	// guest disk scheduler guarantees one outstanding request per block).
-	BlkReq func(src ethernet.MAC, h Header, req []byte)
+	// BlkReq is invoked with a fully reassembled block request, leased as a
+	// pooled frame the handler must Release. The I/O hypervisor responds
+	// via RespondBlk with the same header. Duplicate executions due to
+	// retransmission are safe by §4.5's argument (the guest disk scheduler
+	// guarantees one outstanding request per block).
+	BlkReq func(src ethernet.MAC, h Header, req *bufpool.Frame)
 
 	nextID  uint64
 	ctrl    map[uint64]*pendingCtrl
@@ -85,11 +99,56 @@ func NewEndpoint(eng *sim.Engine, port Port, cfg Config) *Endpoint {
 	}
 }
 
-// Deliver ingests one transport message arriving from an IOclient.
+// pool returns the endpoint's buffer pool: the port's shared pool when it
+// has one, else a private pool.
+func (e *Endpoint) pool() *bufpool.Pool {
+	if e.bp == nil {
+		if pp, ok := e.port.(Pooler); ok {
+			e.bp = pp.BufPool()
+		} else {
+			e.bp = bufpool.New()
+		}
+	}
+	return e.bp
+}
+
+func (e *Endpoint) getAsm(count int) *chunkAsm {
+	var a *chunkAsm
+	if n := len(e.asmFree); n > 0 {
+		a = e.asmFree[n-1]
+		e.asmFree[n-1] = nil
+		e.asmFree = e.asmFree[:n-1]
+	} else {
+		a = &chunkAsm{}
+	}
+	e.asmSeq++
+	a.reset(count, e.asmSeq)
+	return a
+}
+
+func (e *Endpoint) recycleAsm(a *chunkAsm) {
+	a.release(e.pool())
+	e.asmFree = append(e.asmFree, a)
+}
+
+// sendEncoded encodes h+payload into a pooled buffer, transmits it, and
+// recycles the buffer (Port.Send only borrows it).
+func (e *Endpoint) sendEncoded(dst ethernet.MAC, h Header, payload []byte) {
+	pool := e.pool()
+	buf := pool.GetRaw(EncodedSize(len(payload)))
+	EncodeInto(buf, h, payload)
+	e.port.Send(dst, buf)
+	pool.PutRaw(buf)
+}
+
+// Deliver ingests one transport message arriving from an IOclient, taking
+// ownership of payload (it is recycled once consumed; a single-chunk block
+// request's buffer lives on inside the leased frame until Released).
 func (e *Endpoint) Deliver(src ethernet.MAC, payload []byte) error {
 	h, body, err := Decode(payload)
 	if err != nil {
 		e.Counters.Inc("bad_msgs", 1)
+		e.pool().PutRaw(payload)
 		return err
 	}
 	switch h.Type {
@@ -98,22 +157,31 @@ func (e *Endpoint) Deliver(src ethernet.MAC, payload []byte) error {
 		if e.NetTx != nil {
 			e.NetTx(src, h.DeviceID, body)
 		}
+		e.pool().PutRaw(payload)
 	case MsgBlkReq:
-		e.deliverBlkReq(src, h, body)
+		e.deliverBlkReq(src, h, payload, body)
 	case MsgCtrlAck:
 		e.ackCtrl(h.ReqID)
+		e.pool().PutRaw(payload)
 	default:
 		e.Counters.Inc("bad_msgs", 1)
+		e.pool().PutRaw(payload)
 		return fmt.Errorf("transport: endpoint received unexpected %v", h.Type)
 	}
 	return nil
 }
 
-func (e *Endpoint) deliverBlkReq(src ethernet.MAC, h Header, body []byte) {
+// deliverBlkReq handles one blk-req message. payload is the whole owned
+// message buffer; body is its payload view.
+func (e *Endpoint) deliverBlkReq(src ethernet.MAC, h Header, payload, body []byte) {
 	if h.ChunkCount <= 1 {
 		e.Counters.Inc("blk_req", 1)
 		if e.BlkReq != nil {
-			e.BlkReq(src, h, body)
+			// Zero copy: lease the message buffer itself; the slab recycles
+			// when the handler Releases the frame.
+			e.BlkReq(src, h, e.pool().Wrap(payload, body))
+		} else {
+			e.pool().PutRaw(payload)
 		}
 		return
 	}
@@ -123,29 +191,28 @@ func (e *Endpoint) deliverBlkReq(src ethernet.MAC, h Header, body []byte) {
 		if len(e.reqAsm) >= e.maxAsm {
 			e.evictOldestAsm()
 		}
-		e.asmSeq++
-		asm = &chunkAsm{chunks: make([][]byte, h.ChunkCount), seq: e.asmSeq}
+		asm = e.getAsm(int(h.ChunkCount))
 		e.reqAsm[key] = asm
 	}
-	if int(h.Chunk) >= len(asm.chunks) {
+	if int(h.Chunk) >= asm.count || asm.count != int(h.ChunkCount) {
 		e.Counters.Inc("bad_msgs", 1)
+		e.pool().PutRaw(payload)
 		return
 	}
-	if asm.chunks[h.Chunk] == nil {
-		asm.chunks[h.Chunk] = append([]byte{}, body...)
-		asm.got++
-	}
-	if asm.got < len(asm.chunks) {
+	complete := asm.add(e.pool(), int(h.Chunk), body)
+	e.pool().PutRaw(payload) // body copied (or ignored); buffer is free
+	if !complete {
 		return
 	}
 	delete(e.reqAsm, key)
-	var req []byte
-	for _, c := range asm.chunks {
-		req = append(req, c...)
-	}
+	req := asm.assembled()
+	buf := asm.take()
+	e.recycleAsm(asm)
 	e.Counters.Inc("blk_req", 1)
 	if e.BlkReq != nil {
-		e.BlkReq(src, h, req)
+		e.BlkReq(src, h, e.pool().Wrap(buf, req))
+	} else {
+		e.pool().PutRaw(buf)
 	}
 }
 
@@ -163,27 +230,30 @@ func (e *Endpoint) evictOldestAsm() {
 	}
 	if oldest != nil {
 		delete(e.reqAsm, oldestKey)
+		e.recycleAsm(oldest)
 		e.Evictions++
 	}
 }
 
-// SendNetRx delivers a network frame to an IOclient front-end.
+// SendNetRx delivers a network frame to an IOclient front-end. The frame is
+// only borrowed for the duration of the call.
 func (e *Endpoint) SendNetRx(dst ethernet.MAC, deviceID uint16, frame []byte) {
 	e.nextID++
 	if e.Tracer.Enabled() {
 		comp := e.Tracer.BeginArg(trace.CatCompletion, "net-rx", 0, e.nextID)
 		e.Tracer.Link(trace.FlowKey{Kind: FlowNetRx, A: trace.Key48(dst), B: e.nextID}, comp)
 	}
-	e.port.Send(dst, Encode(Header{
+	e.sendEncoded(dst, Header{
 		Type:       MsgNetRx,
 		DeviceID:   deviceID,
 		ReqID:      e.nextID,
 		ChunkCount: 1,
-	}, frame))
+	}, frame)
 }
 
 // RespondBlk sends a (possibly chunked) block response, echoing the
-// request's ReqID/OrigID so the client can match and de-duplicate it.
+// request's ReqID/OrigID so the client can match and de-duplicate it. resp
+// is only borrowed for the duration of the call.
 func (e *Endpoint) RespondBlk(dst ethernet.MAC, req Header, resp []byte) {
 	e.Counters.Inc("blk_resp", 1)
 	if e.Tracer.Enabled() {
@@ -194,24 +264,25 @@ func (e *Endpoint) RespondBlk(dst ethernet.MAC, req Header, resp []byte) {
 		comp := e.Tracer.BeginArg(trace.CatCompletion, "blk-resp", root, req.OrigID)
 		e.Tracer.Link(trace.FlowKey{Kind: FlowBlkComp, A: mac, B: req.OrigID}, comp)
 	}
-	var chunks [][]byte
-	for off := 0; off == 0 || off < len(resp); off += e.cfg.MaxChunk {
+	count := 1
+	if len(resp) > e.cfg.MaxChunk {
+		count = (len(resp) + e.cfg.MaxChunk - 1) / e.cfg.MaxChunk
+	}
+	for i := 0; i < count; i++ {
+		off := i * e.cfg.MaxChunk
 		end := off + e.cfg.MaxChunk
 		if end > len(resp) {
 			end = len(resp)
 		}
-		chunks = append(chunks, resp[off:end])
-	}
-	for i, c := range chunks {
-		e.port.Send(dst, Encode(Header{
+		e.sendEncoded(dst, Header{
 			Type:       MsgBlkResp,
 			DeviceType: req.DeviceType,
 			DeviceID:   req.DeviceID,
 			ReqID:      req.ReqID,
 			OrigID:     req.OrigID,
 			Chunk:      uint16(i),
-			ChunkCount: uint16(len(chunks)),
-		}, c))
+			ChunkCount: uint16(count),
+		}, resp[off:end])
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package transport
+
+// raceEnabled reports whether the race detector is compiled in. The
+// zero-allocation guard skips under -race: the detector instruments
+// allocations and would fail the guard for reasons unrelated to the datapath.
+const raceEnabled = false

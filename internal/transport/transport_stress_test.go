@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"vrio/internal/bufpool"
 	"vrio/internal/ethernet"
 	"vrio/internal/sim"
 )
@@ -115,15 +116,18 @@ func TestChunkedResponsePartialLoss(t *testing.T) {
 func TestDuplicateDeliveryIsIdempotent(t *testing.T) {
 	h := newHarness(t, Config{})
 	served := 0
-	h.endpoint.BlkReq = func(src wireMAC, hdr Header, req []byte) {
+	h.endpoint.BlkReq = func(src wireMAC, hdr Header, req *bufpool.Frame) {
 		served++
-		h.endpoint.RespondBlk(src, hdr, req)
+		h.endpoint.RespondBlk(src, hdr, req.B)
+		req.Release()
 	}
-	// The fabric delivers every message twice.
+	// The fabric delivers every message twice. Deliver consumes its buffer
+	// (the endpoint recycles it), so the duplicate must be a copy.
 	orig := h.fabric.nodes[h.iohost]
 	h.fabric.nodes[h.iohost] = func(src wireMAC, payload []byte) {
+		dup := append([]byte{}, payload...)
 		orig(src, payload)
-		orig(src, payload)
+		orig(src, dup)
 	}
 	calls := 0
 	h.driver.SendBlk(2, 1, []byte("dup-me"), func(resp []byte, err error) {
@@ -164,8 +168,9 @@ func TestManyClientsOneEndpoint(t *testing.T) {
 		_ = endpoint.Deliver(src, payload)
 	})
 	endpoint = NewEndpoint(eng, hostPort, Config{})
-	endpoint.BlkReq = func(src harnessMAC, hdr Header, req []byte) {
-		endpoint.RespondBlk(src, hdr, req)
+	endpoint.BlkReq = func(src harnessMAC, hdr Header, req *bufpool.Frame) {
+		endpoint.RespondBlk(src, hdr, req.B)
+		req.Release()
 	}
 
 	const clients = 8

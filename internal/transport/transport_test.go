@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"vrio/internal/bufpool"
 	"vrio/internal/ethernet"
 	"vrio/internal/sim"
 )
@@ -94,8 +95,9 @@ func newHarness(t *testing.T, cfg Config) *harness {
 // echoBlk makes the endpoint respond to every block request by echoing the
 // payload.
 func (h *harness) echoBlk() {
-	h.endpoint.BlkReq = func(src ethernet.MAC, hdr Header, req []byte) {
-		h.endpoint.RespondBlk(src, hdr, req)
+	h.endpoint.BlkReq = func(src ethernet.MAC, hdr Header, req *bufpool.Frame) {
+		h.endpoint.RespondBlk(src, hdr, req.B)
+		req.Release()
 	}
 }
 
@@ -125,14 +127,15 @@ func TestBlockChunkingLargeRequestAndResponse(t *testing.T) {
 	cfg := Config{MaxChunk: 1000}
 	h := newHarness(t, cfg)
 	var serverSaw []byte
-	h.endpoint.BlkReq = func(src ethernet.MAC, hdr Header, req []byte) {
-		serverSaw = append([]byte{}, req...)
+	h.endpoint.BlkReq = func(src ethernet.MAC, hdr Header, req *bufpool.Frame) {
+		serverSaw = append([]byte{}, req.B...)
 		// Respond with a large payload too (a big read).
 		resp := make([]byte, 5500)
 		for i := range resp {
 			resp[i] = byte(i * 3)
 		}
 		h.endpoint.RespondBlk(src, hdr, resp)
+		req.Release()
 	}
 	req := make([]byte, 4096)
 	for i := range req {
@@ -232,7 +235,7 @@ func TestBlockStaleResponseIgnored(t *testing.T) {
 	// the driver retransmits; then BOTH responses arrive. The stale one
 	// (old ReqID) must be ignored and the callback run once.
 	respCount := 0
-	h.endpoint.BlkReq = func(src ethernet.MAC, hdr Header, req []byte) {
+	h.endpoint.BlkReq = func(src ethernet.MAC, hdr Header, req *bufpool.Frame) {
 		respCount++
 		delay := sim.Time(0)
 		if respCount == 1 {
@@ -240,7 +243,8 @@ func TestBlockStaleResponseIgnored(t *testing.T) {
 		}
 		hdrCopy := hdr
 		h.eng.After(delay, func() {
-			h.endpoint.RespondBlk(src, hdrCopy, req)
+			h.endpoint.RespondBlk(src, hdrCopy, req.B)
+			req.Release()
 		})
 	}
 	calls := 0

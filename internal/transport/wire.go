@@ -91,6 +91,21 @@ var (
 // Encode serializes the header followed by payload.
 func Encode(h Header, payload []byte) []byte {
 	b := make([]byte, HeaderSize+len(payload))
+	EncodeInto(b, h, payload)
+	return b
+}
+
+// EncodedSize reports the wire size of a message with the given payload.
+func EncodedSize(payloadLen int) int { return HeaderSize + payloadLen }
+
+// EncodeInto is the scatter-gather variant of Encode: it writes header and
+// payload into b, which must be exactly HeaderSize+len(payload) long —
+// typically a pooled slab, so the steady-state datapath encodes without
+// allocating. The header's Length field is taken from the payload.
+func EncodeInto(b []byte, h Header, payload []byte) {
+	if len(b) != HeaderSize+len(payload) {
+		panic(fmt.Sprintf("transport: EncodeInto buffer %d for payload %d", len(b), len(payload)))
+	}
 	b[0] = uint8(h.Type)
 	b[1] = h.DeviceType
 	binary.LittleEndian.PutUint16(b[2:], h.DeviceID)
@@ -100,7 +115,6 @@ func Encode(h Header, payload []byte) []byte {
 	binary.LittleEndian.PutUint16(b[22:], h.ChunkCount)
 	binary.LittleEndian.PutUint32(b[24:], uint32(len(payload)))
 	copy(b[HeaderSize:], payload)
-	return b
 }
 
 // Decode parses a transport message. The returned payload aliases b.

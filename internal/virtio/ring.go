@@ -56,6 +56,7 @@ type Ring struct {
 	numFree     int
 	lastUsedIdx uint16
 	pending     map[uint16]*token // head -> in-flight request bookkeeping
+	tokFree     []*token          // recycled tokens: Add/Reap do not allocate in steady state
 
 	// Device-private state.
 	lastAvailIdx uint16
@@ -77,6 +78,20 @@ type token struct {
 	inDescs  []uint16 // device-writable descriptors in chain order
 	outDescs []uint16
 	span     trace.SpanID
+}
+
+// getToken returns a recycled (or fresh) token with empty descriptor lists.
+func (r *Ring) getToken() *token {
+	if n := len(r.tokFree); n > 0 {
+		t := r.tokFree[n-1]
+		r.tokFree[n-1] = nil
+		r.tokFree = r.tokFree[:n-1]
+		t.outDescs = t.outDescs[:0]
+		t.inDescs = t.inDescs[:0]
+		t.span = 0
+		return t
+	}
+	return &token{}
 }
 
 // NewRing builds a virtqueue with qsize descriptors of segSize bytes each.
@@ -197,7 +212,7 @@ func (r *Ring) Add(out []byte, inLen int) (uint16, error) {
 		return 0, ErrRingFull
 	}
 
-	tok := &token{}
+	tok := r.getToken()
 	head := r.freeHead
 	cur := head
 	remaining := out
@@ -247,16 +262,49 @@ func (r *Ring) Add(out []byte, inLen int) (uint16, error) {
 type Completion struct {
 	Head uint16
 	// In holds the device-written response bytes (length as reported by the
-	// device). Valid until the next Add reuses the descriptors.
+	// device), copied out of the descriptor slots into a per-batch-slot
+	// buffer — valid until the batch slot is reused by the next ReapInto.
 	In []byte
 }
 
+// ReapBatch is a reusable harvest: ReapInto refills Completions in place,
+// reusing each slot's In capacity, so a steady-state reap loop does not
+// allocate. One batch per reaping loop; its contents are invalidated by the
+// next ReapInto.
+type ReapBatch struct {
+	Completions []Completion
+}
+
+// next extends the batch by one slot, resurrecting a previously used
+// element (and its In capacity) when possible.
+func (b *ReapBatch) next() *Completion {
+	if len(b.Completions) < cap(b.Completions) {
+		b.Completions = b.Completions[:len(b.Completions)+1]
+	} else {
+		b.Completions = append(b.Completions, Completion{})
+	}
+	return &b.Completions[len(b.Completions)-1]
+}
+
 // Reap collects at most max completed requests (all of them if max <= 0),
-// freeing their descriptors.
+// freeing their descriptors. Each call allocates a fresh result; hot loops
+// use ReapInto with a reused batch.
 func (r *Ring) Reap(max int) []Completion {
-	var out []Completion
+	var b ReapBatch
+	r.ReapInto(&b, max)
+	if len(b.Completions) == 0 {
+		return nil
+	}
+	return b.Completions
+}
+
+// ReapInto harvests at most max completed requests (all if max <= 0) into
+// b, resetting it first, and returns how many were reaped. Descriptors are
+// freed; response bytes are copied into b's reusable slot buffers.
+func (r *Ring) ReapInto(b *ReapBatch, max int) int {
+	b.Completions = b.Completions[:0]
 	for r.lastUsedIdx != r.usedIdx() {
-		if max > 0 && len(out) >= max {
+		if max > 0 && len(b.Completions) >= max {
 			break
 		}
 		id, length := r.usedEntry(r.lastUsedIdx)
@@ -269,7 +317,9 @@ func (r *Ring) Reap(max int) []Completion {
 		}
 		delete(r.pending, head)
 		r.Tracer.End(tok.span)
-		c := Completion{Head: head}
+		c := b.next()
+		c.Head = head
+		c.In = c.In[:0]
 		n := int(length)
 		for _, d := range tok.inDescs {
 			if n <= 0 {
@@ -283,23 +333,25 @@ func (r *Ring) Reap(max int) []Completion {
 			n -= take
 		}
 		r.freeChain(tok)
-		out = append(out, c)
 	}
-	return out
+	return len(b.Completions)
 }
 
 // InFlight reports the number of posted-but-not-reaped requests.
 func (r *Ring) InFlight() int { return len(r.pending) }
 
 func (r *Ring) freeChain(tok *token) {
-	all := make([]uint16, 0, len(tok.outDescs)+len(tok.inDescs))
-	all = append(all, tok.outDescs...)
-	all = append(all, tok.inDescs...)
-	for _, d := range all {
+	for _, d := range tok.outDescs {
 		r.writeDesc(d, 0, 0, r.freeHead)
 		r.freeHead = d
 		r.numFree++
 	}
+	for _, d := range tok.inDescs {
+		r.writeDesc(d, 0, 0, r.freeHead)
+		r.freeHead = d
+		r.numFree++
+	}
+	r.tokFree = append(r.tokFree, tok)
 }
 
 // --- device (host / sidecore / IOhost worker) side ---
@@ -325,18 +377,36 @@ func (c *Chain) InCapacity() int {
 }
 
 // Pop takes the next available chain, or ok=false when the ring is empty —
-// this is exactly what a sidecore's poll loop checks.
+// this is exactly what a sidecore's poll loop checks. Each call allocates a
+// fresh chain; hot loops that Push immediately use PopInto with a reused
+// scratch chain instead. (A chain held across an asynchronous completion —
+// e.g. a block request awaiting its backend — must NOT be a reused scratch
+// chain.)
 func (r *Ring) Pop() (Chain, bool, error) {
+	var c Chain
+	ok, err := r.PopInto(&c)
+	return c, ok, err
+}
+
+// PopInto fills c with the next available chain, reusing c's slice
+// capacity, and reports whether one was available. The chain's Out bytes
+// are copied out of the descriptor slots, so they remain valid until c is
+// reused.
+func (r *Ring) PopInto(c *Chain) (bool, error) {
 	if r.lastAvailIdx == r.availIdx() {
-		return Chain{}, false, nil
+		return false, nil
 	}
 	head := r.availEntry(r.lastAvailIdx)
 	r.lastAvailIdx++
-	c := Chain{Head: head, ring: r}
+	c.Head = head
+	c.ring = r
+	c.Out = c.Out[:0]
+	c.inDescs = c.inDescs[:0]
+	c.inLens = c.inLens[:0]
 	cur := head
 	for hops := 0; ; hops++ {
 		if hops > r.qsize {
-			return Chain{}, false, ErrBadChain
+			return false, ErrBadChain
 		}
 		_, length, flags, next := r.readDesc(cur)
 		if flags&descFlagWrite != 0 {
@@ -350,7 +420,7 @@ func (r *Ring) Pop() (Chain, bool, error) {
 		}
 		cur = next
 	}
-	return c, true, nil
+	return true, nil
 }
 
 // HasAvail reports whether a Pop would find work (the poll predicate).

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-rack bench-datapath race-rack benchjson memprofile check
+.PHONY: build test vet race bench bench-engine bench-rack bench-datapath race-rack race-fault benchjson memprofile check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,12 @@ bench-rack:
 race-rack:
 	$(GO) test -race ./internal/rack/
 
+# Fault-injection suite under the race detector: the fault package itself,
+# the rig-based retransmission tests, and the faulttolerance experiment
+# (whose cells run concurrently under -parallel).
+race-fault:
+	$(GO) test -race ./internal/fault/ ./internal/transport/ ./internal/experiments/
+
 # Datapath microbenchmarks plus the zero-allocation guard (driver-to-endpoint
 # over pooled NIC rings; net-tx must be 0 allocs/op).
 bench-datapath:
@@ -51,4 +57,4 @@ memprofile:
 	$(GO) run ./cmd/vrio-experiments -run all -quick -memprofile mem.pprof > /dev/null
 	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 15 mem.pprof
 
-check: build vet test race
+check: build vet test race race-fault

@@ -28,6 +28,8 @@ func main() {
 	measure := flag.Duration("measure", 50*time.Millisecond, "measured simulated duration")
 	seed := flag.Uint64("seed", 1, "simulation seed (same seed => identical run)")
 	overrides := flag.String("params", "", "JSON object of parameter overrides (see internal/params)")
+	faultProfile := flag.String("fault-profile", "", "fault profile: lossy | flaky | degraded | chaos, or inline JSON (empty = no faults)")
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault draws (0 = derive from -seed)")
 	flag.Parse()
 
 	valid := map[string]vrio.Model{
@@ -48,15 +50,25 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	prof, err := vrio.ParseFaultProfile(*faultProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	needsBlock := *wl == "filebench" || *wl == "webserver"
 	tb := vrio.NewTestbed(vrio.Config{
 		Model: m, VMs: *vms, VMHosts: *hosts, Sidecores: *sidecores,
 		WithBlock: needsBlock, WithThreads: needsBlock,
+		Fault: prof, FaultSeed: *faultSeed,
 		Seed: *seed, Params: &p,
 	})
 
-	fmt.Printf("model=%s vms=%d vmhosts=%d sidecores=%d workload=%s measure=%v\n\n",
+	fmt.Printf("model=%s vms=%d vmhosts=%d sidecores=%d workload=%s measure=%v",
 		*model, *vms, *hosts, *sidecores, *wl, *measure)
+	if *faultProfile != "" {
+		fmt.Printf(" fault-profile=%s fault-seed=%d", *faultProfile, *faultSeed)
+	}
+	fmt.Print("\n\n")
 
 	switch *wl {
 	case "rr":
@@ -97,5 +109,15 @@ func main() {
 			fmt.Printf("sidecore %d: %.0f%% busy, %.0f%% polling\n",
 				i, busy[i]*100, poll[i]*100)
 		}
+	}
+
+	if pl := tb.Raw().Fault; pl.Active() {
+		fmt.Println()
+		fmt.Printf("faults injected: %d lost, %d corrupted, %d jittered, %d reordered, %d flaps, %d stalls\n",
+			pl.Counters.Get("frames_dropped"), pl.Counters.Get("frames_corrupted"),
+			pl.Counters.Get("frames_jittered"), pl.Counters.Get("frames_reordered"),
+			pl.Counters.Get("flaps"), pl.Counters.Get("stalls"))
+		fmt.Printf("faulted wires:   %d frames offered, %d delivered\n",
+			pl.WireOffered(), pl.WireDelivered())
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"vrio/internal/core"
 	"vrio/internal/cpu"
 	"vrio/internal/ethernet"
+	"vrio/internal/fault"
 	"vrio/internal/guestos"
 	"vrio/internal/interpose"
 	"vrio/internal/iohyp"
@@ -85,6 +86,15 @@ type Spec struct {
 	// in [0, NumIOhosts) that serves its devices. Nil places everything on
 	// IOhost 0. See internal/rack for pluggable policies.
 	Placement func(host, vm int) int
+	// Fault, when non-nil, arms deterministic fault injection across the
+	// rack: Build attaches the profile to every cable, client VF, and
+	// IOhost it assembles (see internal/fault). Nil keeps the datapath's
+	// zero-allocation fast path untouched.
+	Fault *fault.Profile
+	// FaultSeed seeds the fault plan's RNG streams independently of Seed,
+	// so the same workload can replay under different fault draws. Zero
+	// derives it from Seed.
+	FaultSeed uint64
 	// Params: nil means params.Default().
 	Params *params.P
 	Seed   uint64
@@ -133,6 +143,10 @@ type Testbed struct {
 
 	// SecondaryIOHyp is the fallback I/O hypervisor (when configured).
 	SecondaryIOHyp *iohyp.IOHypervisor
+
+	// Fault is the instantiated fault plan (inert when Spec.Fault is nil).
+	// Its counters and wire tallies are registered as "fault" metrics.
+	Fault *fault.Plan
 
 	// Tracer records datapath spans when Spec.Trace is set (nil otherwise —
 	// the zero-cost disabled tracer).
@@ -222,6 +236,14 @@ func Build(spec Spec) *Testbed {
 	if spec.Trace {
 		tb.Tracer = trace.New(tb.Eng)
 	}
+	// Fault plan: built first so every cable/VF/IOhost assembled below can
+	// attach in deterministic build order. A nil Spec.Fault plan is inert.
+	fseed := spec.FaultSeed
+	if fseed == 0 {
+		fseed = spec.Seed ^ 0xfa017
+	}
+	tb.Fault = fault.NewPlan(tb.Eng, spec.Fault, fseed)
+	tb.Fault.Tracer = tb.Tracer
 	tb.Switch = link.NewSwitch(tb.Eng, p.SwitchLatency)
 	nicCfg := nic.Config{
 		ProcessCost:   p.NICProcessCost,
@@ -238,6 +260,7 @@ func Build(spec Spec) *Testbed {
 	for i := 0; i < stations; i++ {
 		cable := link.NewDuplex(tb.Eng, p.LinkBandwidth10G, p.WireLatency)
 		tb.Switch.AttachPort(cable)
+		tb.Fault.AttachCable(fault.Stations, i, fault.Any, cable)
 		genNIC := tb.newNIC(fmt.Sprintf("gen%d", i), nicCfg, cable.AtoB)
 		cable.BtoA.SetReceiver(genNIC)
 		genCore := cpu.New(tb.Eng, fmt.Sprintf("gen%d-core", i), p.ContextSwitchCost)
@@ -279,6 +302,10 @@ func Build(spec Spec) *Testbed {
 	default:
 		panic(fmt.Sprintf("cluster: unknown model %q", spec.Model))
 	}
+	for i, h := range tb.IOHyps {
+		tb.Fault.AttachIOhost(i, h)
+	}
+	tb.Fault.Start()
 	tb.registerMetrics()
 	return tb
 }
@@ -303,6 +330,7 @@ func (tb *Testbed) buildLocal(nicCfg nic.Config, mkHost func(hostIdx int, hostNI
 	for hostIdx := 0; hostIdx < spec.VMHosts; hostIdx++ {
 		cable := link.NewDuplex(tb.Eng, p.LinkBandwidth10G, p.WireLatency)
 		tb.Switch.AttachPort(cable)
+		tb.Fault.AttachCable(fault.Locals, hostIdx, fault.Any, cable)
 		hostNIC := tb.newNIC(fmt.Sprintf("vmhost%d-nic", hostIdx), nicCfg, cable.AtoB)
 		cable.BtoA.SetReceiver(hostNIC)
 		h := mkHost(hostIdx, hostNIC)
@@ -371,6 +399,7 @@ func (tb *Testbed) attachIOhostUplink(i int, nicCfg nic.Config) {
 	p := tb.P
 	up := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
 	tb.Switch.AttachPort(up)
+	tb.Fault.AttachCable(fault.Uplinks, fault.Any, i, up)
 	upNIC := tb.newNIC(iohostName(i)+"-uplink", nicCfg, up.AtoB)
 	up.BtoA.SetReceiver(upNIC)
 	vf := upNIC.AddVF(ethernet.NewMAC(macIOHostBase+100*uint32(i)), nic.ModePoll)
@@ -383,6 +412,7 @@ func (tb *Testbed) attachIOhostUplink(i int, nicCfg nic.Config) {
 func (tb *Testbed) cableChannel(i, host int, nicCfg nic.Config) {
 	p := tb.P
 	ch := link.NewDuplex(tb.Eng, p.LinkBandwidth40G, p.WireLatency)
+	tb.Fault.AttachCable(fault.Channels, host, i, ch)
 	vmName := fmt.Sprintf("vmhost%d-ch", host)
 	if i > 0 {
 		vmName = fmt.Sprintf("vmhost%d-ch%d", host, i+1)
@@ -495,6 +525,11 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 				vf := ch.vmhostNIC.AddVF(tMAC, nic.ModeInterrupt)
 				client.AttachChannel(vf, ch.iohostMAC)
 			}
+			// Port faults target the client's channel VF as it stands after
+			// placement. (The legacy SecondaryIOhost mirror cables are
+			// deliberately not faulted — they carry no traffic until
+			// FailOverIOhost.)
+			tb.Fault.AttachVF(vmID, client.Port.VF())
 			hyp := tb.IOHyps[io]
 			hyp.BindClient(tMAC, tb.channels[io][hostIdx].port)
 			var netChain, blkChain *interpose.Chain

@@ -5,6 +5,7 @@ import (
 
 	"vrio/internal/cpu"
 	"vrio/internal/iohyp"
+	"vrio/internal/link"
 	"vrio/internal/sim"
 	"vrio/internal/trace"
 )
@@ -62,6 +63,26 @@ func (tb *Testbed) registerMetrics() {
 		r.Gauge(comp, "tx_frames", func() float64 { return float64(c.Port.VF().TxFrames) })
 		r.Gauge(comp, "drops", func() float64 { return float64(c.Port.VF().Drops) })
 	}
+	if pl := tb.Fault; pl.Active() {
+		for _, name := range faultCounterNames {
+			name := name
+			r.Gauge("fault", name, func() float64 { return float64(pl.Counters.Get(name)) })
+		}
+		r.Gauge("fault", "wire_delivered", func() float64 { return float64(pl.WireDelivered()) })
+		r.Gauge("fault", "wire_offered", func() float64 { return float64(pl.WireOffered()) })
+		for reason := link.DropReason(0); reason < link.NumDropReasons; reason++ {
+			reason := reason
+			r.Gauge("fault", "wire_drops_"+reason.String(),
+				func() float64 { return float64(pl.WireDrops(reason)) })
+		}
+	}
+}
+
+// faultCounterNames are the fault plan's injection tallies, exported under
+// the "fault" component whenever Build armed any injection site.
+var faultCounterNames = []string{
+	"frames_dropped", "frames_corrupted", "frames_jittered",
+	"frames_reordered", "flaps", "stalls", "ring_squeezes",
 }
 
 // IOhypComponent names IOhost i's metrics component: "iohyp" for the first

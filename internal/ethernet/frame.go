@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // MAC is a 48-bit Ethernet address.
@@ -43,6 +44,14 @@ const (
 
 // HeaderSize is the Ethernet header length (no VLAN tag).
 const HeaderSize = 14
+
+// FCS computes the frame check sequence the simulated PHY uses: CRC32 with
+// the IEEE 802.3 polynomial over the encoded frame bytes. Encoded frames
+// never carry the 4 FCS bytes — they live inside the 24-byte per-frame wire
+// overhead the link layer charges — so the checksum exists only as a value:
+// a wire under fault injection snapshots it at transmit time and re-verifies
+// at delivery, detecting and discarding frames corrupted in flight.
+func FCS(frame []byte) uint32 { return crc32.ChecksumIEEE(frame) }
 
 // MinMTU and MaxMTU bound the payload per frame. 9000 is the maximal jumbo
 // frame; the paper deliberately uses 8100 (see package tso).

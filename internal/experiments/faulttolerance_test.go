@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"vrio/internal/fault"
+)
+
+func runFaultPlan(quick bool) Result {
+	p := faultTolerancePlan(quick)
+	outs := make([]any, len(p.Cells))
+	for i, c := range p.Cells {
+		outs[i] = c()
+	}
+	return p.Assemble(outs)
+}
+
+// TestFaultToleranceDeterministicQuick is the tier-1 determinism guard for
+// the fault subsystem: the whole experiment — fault draws included — must
+// render byte-identically across runs with the same seeds.
+func TestFaultToleranceDeterministicQuick(t *testing.T) {
+	a := Format(runFaultPlan(true))
+	b := Format(runFaultPlan(true))
+	if a != b {
+		t.Fatalf("faulttolerance is not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestFaultToleranceExactlyOnce: under 2% channel loss every block request
+// completes exactly once — recovery is retransmission, never duplication.
+func TestFaultToleranceExactlyOnce(t *testing.T) {
+	o := runFaultCell(true, fault.Lossy(0.02))
+	if o.issued == 0 || o.completed == 0 {
+		t.Fatal("cell produced no block traffic")
+	}
+	if o.frLost == 0 {
+		t.Fatal("2% loss profile injected no frame loss — the sweep is vacuous")
+	}
+	if o.retrans == 0 {
+		t.Error("frames were lost but nothing retransmitted")
+	}
+	if o.dup != 0 {
+		t.Errorf("%d duplicated completions, want 0", o.dup)
+	}
+	if o.lost != 0 {
+		t.Errorf("%d requests never completed after the drain, want 0", o.lost)
+	}
+}
+
+// TestFaultToleranceGracefulDegradation: more loss means less throughput,
+// not a cliff and not a hang.
+func TestFaultToleranceGracefulDegradation(t *testing.T) {
+	clean := runFaultCell(true, nil)
+	lossy := runFaultCell(true, fault.Lossy(0.05))
+	if clean.frLost != 0 {
+		t.Errorf("nil profile injected %d losses", clean.frLost)
+	}
+	if lossy.opsPerSec <= 0 {
+		t.Fatal("5% loss stalled the workload entirely")
+	}
+	if lossy.opsPerSec >= clean.opsPerSec {
+		t.Errorf("5%% loss did not reduce throughput: %.0f >= %.0f ops/s",
+			lossy.opsPerSec, clean.opsPerSec)
+	}
+}
+
+// TestFaultToleranceCrashOverLossyChannel: the rack controller must still
+// detect a dead IOhost and re-home its guests when every heartbeat rides a
+// 1%-lossy fabric, and the exactly-once ledger must survive the migration.
+func TestFaultToleranceCrashOverLossyChannel(t *testing.T) {
+	o := runFaultCrashCell(true)
+	if o.detectUs < 0 {
+		t.Fatal("controller never detected the crashed IOhost")
+	}
+	if o.rehomes == 0 {
+		t.Error("no guests were re-homed off the dead IOhost")
+	}
+	if o.dup != 0 {
+		t.Errorf("%d duplicated completions across the crash, want 0", o.dup)
+	}
+	if o.lost != 0 {
+		t.Errorf("%d requests never completed after crash+re-home, want 0", o.lost)
+	}
+	if o.devErrors != 0 {
+		t.Errorf("%d device errors: stranded requests should retransmit onto the survivor, not fail", o.devErrors)
+	}
+}

@@ -1,0 +1,304 @@
+package fault
+
+import (
+	"vrio/internal/link"
+	"vrio/internal/sim"
+	"vrio/internal/stats"
+	"vrio/internal/trace"
+)
+
+// Port is the slice of a NIC virtual function the injector drives —
+// carrier control and receive-ring capacity (implemented by nic.VF).
+type Port interface {
+	SetLinkUp(up bool)
+	SetRingCap(n int)
+}
+
+// Staller is the slice of an IOhost the injector drives (implemented by
+// iohyp.IOHypervisor).
+type Staller interface {
+	StallWorkers(d sim.Time)
+}
+
+// Plan is one Profile instantiated against one simulation cell. Every
+// injection site (each faulted wire, flapping port, stalled IOhost) owns a
+// forked RNG stream, so fault draws depend only on the seed and that site's
+// own traffic — adding a site never perturbs another's verdicts, and the
+// same seed replays the same faults byte for byte.
+//
+// Not safe for concurrent use; like everything else, a Plan belongs to one
+// simulation cell.
+type Plan struct {
+	eng  *sim.Engine
+	rng  *sim.RNG
+	prof *Profile
+
+	wires    []*link.Wire
+	flappers []*flapper
+	stallers []*staller
+	started  bool
+
+	// Counters: "frames_dropped" (injected loss), "frames_corrupted",
+	// "frames_jittered", "frames_reordered", "flaps", "stalls",
+	// "ring_squeezes".
+	Counters stats.Counters
+
+	// Tracer, when non-nil, records every injected event as a CatFault
+	// span: zero-length instants for per-frame faults, real intervals for
+	// flap and stall windows.
+	Tracer *trace.Tracer
+}
+
+// NewPlan builds a plan for prof. A nil prof yields a plan that attaches
+// nothing everywhere — callers need no nil checks.
+func NewPlan(eng *sim.Engine, prof *Profile, seed uint64) *Plan {
+	return &Plan{eng: eng, prof: prof, rng: sim.NewRNG(seed ^ 0x84f417)}
+}
+
+// linkCfg is the merged effect of every LinkFault matching one cable.
+type linkCfg struct {
+	loss, corrupt, jitter, reorder float64
+	jitterMean, reorderDelay       sim.Time
+}
+
+func (c linkCfg) active() bool {
+	return c.loss > 0 || c.corrupt > 0 || c.jitter > 0 || c.reorder > 0
+}
+
+// orProb combines independent per-frame probabilities.
+func orProb(a, b float64) float64 { return 1 - (1-a)*(1-b) }
+
+func matchIdx(sel, idx int) bool { return sel == Any || sel == idx }
+
+// cableCfg merges all LinkFaults matching (class, host, iohost).
+func (p *Plan) cableCfg(class Class, host, iohost int) linkCfg {
+	var cfg linkCfg
+	if p.prof == nil {
+		return cfg
+	}
+	for _, lf := range p.prof.Links {
+		if lf.Where != Anywhere && lf.Where != class {
+			continue
+		}
+		if !matchIdx(lf.Host, host) || !matchIdx(lf.IOhost, iohost) {
+			continue
+		}
+		cfg.loss = orProb(cfg.loss, lf.LossProb)
+		cfg.corrupt = orProb(cfg.corrupt, lf.CorruptProb)
+		cfg.jitter = orProb(cfg.jitter, lf.JitterProb)
+		cfg.reorder = orProb(cfg.reorder, lf.ReorderProb)
+		if lf.JitterMean > cfg.jitterMean {
+			cfg.jitterMean = lf.JitterMean
+		}
+		if lf.ReorderDelay > cfg.reorderDelay {
+			cfg.reorderDelay = lf.ReorderDelay
+		}
+	}
+	return cfg
+}
+
+// AttachWire arms one wire direction if any LinkFault matches. Host is the
+// VMhost (or station) index, iohost the IOhost index; pass Any for the
+// dimension a cable class doesn't have.
+func (p *Plan) AttachWire(class Class, host, iohost int, w *link.Wire) {
+	cfg := p.cableCfg(class, host, iohost)
+	if !cfg.active() {
+		return
+	}
+	w.SetFault(&wireFault{plan: p, rng: p.rng.Fork(), cfg: cfg})
+	p.wires = append(p.wires, w)
+}
+
+// AttachCable arms both directions of a cable.
+func (p *Plan) AttachCable(class Class, host, iohost int, cable *link.Duplex) {
+	p.AttachWire(class, host, iohost, cable.AtoB)
+	p.AttachWire(class, host, iohost, cable.BtoA)
+}
+
+// AttachVF applies matching PortFaults to one guest's VF: ring squeezes
+// take effect immediately, carrier flaps are scheduled by Start.
+func (p *Plan) AttachVF(vm int, port Port) {
+	if p.prof == nil {
+		return
+	}
+	for _, pf := range p.prof.Ports {
+		if !matchIdx(pf.VM, vm) {
+			continue
+		}
+		if pf.RingCap > 0 {
+			port.SetRingCap(pf.RingCap)
+			p.Counters.Inc("ring_squeezes", 1)
+		}
+		if pf.FlapEvery > 0 && pf.FlapFor > 0 {
+			p.flappers = append(p.flappers, &flapper{
+				plan: p, port: port, rng: p.rng.Fork(),
+				every: pf.FlapEvery, dur: pf.FlapFor, vm: vm,
+			})
+		}
+	}
+}
+
+// AttachIOhost arms matching WorkerFaults against one IOhost.
+func (p *Plan) AttachIOhost(i int, h Staller) {
+	if p.prof == nil {
+		return
+	}
+	for _, wf := range p.prof.Workers {
+		if !matchIdx(wf.IOhost, i) {
+			continue
+		}
+		if wf.StallEvery > 0 && wf.StallFor > 0 {
+			p.stallers = append(p.stallers, &staller{
+				plan: p, h: h, rng: p.rng.Fork(),
+				every: wf.StallEvery, dur: wf.StallFor, io: i,
+			})
+		}
+	}
+}
+
+// Start schedules the plan's timed faults (flaps, stalls). Per-frame wire
+// faults need no timers. Starting twice is a no-op.
+func (p *Plan) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	for _, f := range p.flappers {
+		f.schedule()
+	}
+	for _, s := range p.stallers {
+		s.schedule()
+	}
+}
+
+// Active reports whether the plan armed any injection site.
+func (p *Plan) Active() bool {
+	return len(p.wires) > 0 || len(p.flappers) > 0 || len(p.stallers) > 0
+}
+
+// WireDrops sums drops by reason across every faulted wire.
+func (p *Plan) WireDrops(r link.DropReason) uint64 {
+	var n uint64
+	for _, w := range p.wires {
+		n += w.Drops.Get(r)
+	}
+	return n
+}
+
+// WireDelivered sums delivered frames across every faulted wire.
+func (p *Plan) WireDelivered() uint64 {
+	var n uint64
+	for _, w := range p.wires {
+		n += w.Delivered
+	}
+	return n
+}
+
+// WireOffered sums frames offered to every faulted wire.
+func (p *Plan) WireOffered() uint64 {
+	var n uint64
+	for _, w := range p.wires {
+		n += w.Frames
+	}
+	return n
+}
+
+// instant records a zero-length CatFault span (when tracing is on).
+func (p *Plan) instant(name string, arg uint64) {
+	if !p.Tracer.Enabled() {
+		return
+	}
+	p.Tracer.End(p.Tracer.BeginArg(trace.CatFault, name, 0, arg))
+}
+
+// wireFault is the per-wire-direction injector behind link.TxFault. Draw
+// order per frame is fixed (loss, corrupt, reorder, jitter) and at most
+// one fault applies, so verdicts replay exactly per seed.
+type wireFault struct {
+	plan *Plan
+	rng  *sim.RNG
+	cfg  linkCfg
+}
+
+// Apply implements link.TxFault.
+func (f *wireFault) Apply(frame []byte) link.FaultVerdict {
+	p := f.plan
+	if f.cfg.loss > 0 && f.rng.Bool(f.cfg.loss) {
+		p.Counters.Inc("frames_dropped", 1)
+		p.instant("fault:loss", uint64(len(frame)))
+		return link.FaultVerdict{Action: link.FaultDrop}
+	}
+	if f.cfg.corrupt > 0 && len(frame) > 0 && f.rng.Bool(f.cfg.corrupt) {
+		// Flip one random bit; the wire's FCS check detects it at delivery
+		// and the frame dies as corrupt_fcs, never reaching software.
+		frame[f.rng.Intn(len(frame))] ^= 1 << f.rng.Intn(8)
+		p.Counters.Inc("frames_corrupted", 1)
+		p.instant("fault:corrupt", uint64(len(frame)))
+		return link.FaultVerdict{Action: link.FaultCorrupt}
+	}
+	if f.cfg.reorder > 0 && f.rng.Bool(f.cfg.reorder) {
+		p.Counters.Inc("frames_reordered", 1)
+		p.instant("fault:reorder", uint64(f.cfg.reorderDelay))
+		return link.FaultVerdict{Extra: f.cfg.reorderDelay}
+	}
+	if f.cfg.jitter > 0 && f.rng.Bool(f.cfg.jitter) {
+		extra := f.rng.Exp(f.cfg.jitterMean)
+		if extra > 0 {
+			p.Counters.Inc("frames_jittered", 1)
+			p.instant("fault:jitter", uint64(extra))
+			return link.FaultVerdict{Extra: extra}
+		}
+	}
+	return link.FaultVerdict{}
+}
+
+// flapper drops a port's carrier at exponential intervals.
+type flapper struct {
+	plan       *Plan
+	port       Port
+	rng        *sim.RNG
+	every, dur sim.Time
+	vm         int
+}
+
+func (f *flapper) schedule() {
+	// +1 so two flaps can never collapse onto the same instant.
+	f.plan.eng.After(f.rng.Exp(f.every)+1, f.flap)
+}
+
+func (f *flapper) flap() {
+	f.port.SetLinkUp(false)
+	f.plan.Counters.Inc("flaps", 1)
+	var span trace.SpanID
+	if f.plan.Tracer.Enabled() {
+		span = f.plan.Tracer.BeginArg(trace.CatFault, "fault:flap", 0, uint64(f.vm))
+	}
+	f.plan.eng.After(f.dur, func() {
+		f.port.SetLinkUp(true)
+		f.plan.Tracer.End(span)
+		f.schedule()
+	})
+}
+
+// staller pins an IOhost's workers at exponential intervals.
+type staller struct {
+	plan       *Plan
+	h          Staller
+	rng        *sim.RNG
+	every, dur sim.Time
+	io         int
+}
+
+func (s *staller) schedule() {
+	s.plan.eng.After(s.rng.Exp(s.every)+1, s.stall)
+}
+
+func (s *staller) stall() {
+	s.h.StallWorkers(s.dur)
+	s.plan.Counters.Inc("stalls", 1)
+	if s.plan.Tracer.Enabled() {
+		span := s.plan.Tracer.BeginArg(trace.CatFault, "fault:stall", 0, uint64(s.io))
+		s.plan.eng.After(s.dur, func() { s.plan.Tracer.End(span) })
+	}
+	s.plan.eng.After(s.dur, s.schedule)
+}

@@ -104,6 +104,10 @@ type IOHypervisor struct {
 	// would receive or send is silently lost.
 	failed bool
 
+	// stallUntil is the end of the latest injected worker stall; while the
+	// stall runs, every sidecore is pinned and ring traffic waits.
+	stallUntil sim.Time
+
 	// Counters: "msgs", "net_fwd_local", "net_fwd_uplink", "net_in",
 	// "blk_reqs", "iohost_irqs", "interpose_drops", "copy_bytes".
 	Counters stats.Counters
@@ -226,6 +230,32 @@ func (h *IOHypervisor) Fail() { h.failed = true }
 
 // Failed reports the crash state.
 func (h *IOHypervisor) Failed() bool { return h.failed }
+
+// StallWorkers freezes every sidecore worker for d, modelling host-side
+// hiccups — memory pressure, SMIs, a hypervisor-level pause. The stall is
+// charged as wasted (poll-kind) core time, so it pins the cores without
+// inflating the BusyTime load signal the rebalancer reads; queued work and
+// ring traffic wait, and squeezed receive rings may overflow. On a busy
+// core the stall queues behind the in-flight work item, like a real
+// preemption would. Overlapping stalls extend the window, not stack it.
+func (h *IOHypervisor) StallWorkers(d sim.Time) {
+	if h.failed || d <= 0 {
+		return
+	}
+	if until := h.eng.Now() + d; until > h.stallUntil {
+		h.stallUntil = until
+	}
+	for _, w := range h.workers {
+		w.Core.Exec(cpu.NoOwner, cpu.KindPoll, d, nil)
+	}
+	h.Counters.Inc("stalls", 1)
+}
+
+// Stalled reports whether the workers are inside an injected stall window.
+// The rack heartbeat treats a stalled IOhost as unresponsive: short stalls
+// stay under the miss threshold, long ones get the host declared dead —
+// the classic false-positive trade-off of timeout failure detectors.
+func (h *IOHypervisor) Stalled() bool { return h.eng.Now() < h.stallUntil }
 
 // AnnounceAddresses broadcasts one gratuitous frame per registered F
 // address out the uplink, so the rack switch re-learns that this IOhost

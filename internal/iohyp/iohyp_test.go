@@ -455,3 +455,60 @@ func TestFailedIOhostServesNothing(t *testing.T) {
 		t.Errorf("crashed IOhost announced %d frames", got)
 	}
 }
+
+// TestStallWorkersDefersService: during an injected stall every sidecore is
+// pinned, so a request sent mid-stall is not served until the stall window
+// ends; service resumes afterwards with no traffic lost.
+func TestStallWorkersDefersService(t *testing.T) {
+	r := newRig(t, 2, ModePolling)
+	fMAC := ethernet.NewMAC(50)
+	r.hyp.RegisterNetDevice(r.clientMAC, 2, fMAC, nil)
+	inner := ethernet.Frame{Dst: r.extMAC, Src: fMAC, EtherType: ethernet.EtherTypePlain, Payload: []byte("after the stall")}
+	raw, _ := inner.Encode(0)
+
+	const stall = 2 * sim.Millisecond
+	r.eng.At(0, func() {
+		r.hyp.StallWorkers(stall)
+		if !r.hyp.Stalled() {
+			t.Error("Stalled() false immediately after StallWorkers")
+		}
+	})
+	r.eng.At(10, func() { r.driver.SendNet(uint8(virtio.DeviceNet), 2, raw) })
+
+	// Just before the stall ends nothing has been forwarded.
+	r.eng.At(stall-1, func() {
+		if got := len(r.extVF.Poll(0)); got != 0 {
+			t.Errorf("stalled IOhost forwarded %d frames", got)
+		}
+	})
+	r.eng.Run()
+
+	if r.hyp.Stalled() {
+		t.Error("Stalled() true after the window ended")
+	}
+	if got := len(r.extVF.Poll(0)); got != 1 {
+		t.Errorf("external node got %d frames after stall, want 1", got)
+	}
+	if r.hyp.Counters.Get("stalls") != 1 {
+		t.Errorf("stalls counter = %d, want 1", r.hyp.Counters.Get("stalls"))
+	}
+}
+
+// TestStallWindowsExtendNotStack: overlapping stalls merge into one window
+// ending at the farthest deadline.
+func TestStallWindowsExtendNotStack(t *testing.T) {
+	r := newRig(t, 1, ModePolling)
+	r.eng.At(0, func() { r.hyp.StallWorkers(100) })
+	r.eng.At(50, func() { r.hyp.StallWorkers(100) })
+	r.eng.At(120, func() {
+		if !r.hyp.Stalled() {
+			t.Error("second stall did not extend the window")
+		}
+	})
+	r.eng.At(151, func() {
+		if r.hyp.Stalled() {
+			t.Error("stall window outlived the farthest deadline")
+		}
+	})
+	r.eng.Run()
+}

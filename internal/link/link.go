@@ -2,6 +2,13 @@
 // with bandwidth and propagation delay, and a store-and-forward switch with
 // MAC learning. Frames are real encoded Ethernet bytes (package ethernet);
 // the fabric only sees opaque frames, exactly like real cabling.
+//
+// A Wire optionally carries a TxFault injector (package fault supplies the
+// implementations). When one is attached, every frame's FCS is computed at
+// transmit time and re-verified at delivery, so in-flight corruption is
+// detected and dropped exactly as a real NIC discards bad-CRC frames. Every
+// way a frame can vanish — injected loss, corrupt FCS, runt at the switch —
+// is tallied in a DropStats by reason; no frame disappears untallied.
 package link
 
 import (
@@ -20,28 +27,125 @@ type ReceiverFunc func(frame []byte)
 // ReceiveFrame implements Receiver.
 func (f ReceiverFunc) ReceiveFrame(frame []byte) { f(frame) }
 
+// DropReason classifies every way the fabric can lose a frame.
+type DropReason int
+
+const (
+	// DropRunt: the frame was too short to carry an Ethernet header.
+	DropRunt DropReason = iota
+	// DropCorruptFCS: the delivered bytes failed the FCS check (in-flight
+	// corruption detected and discarded, as hardware would).
+	DropCorruptFCS
+	// DropInjected: a fault injector consumed the frame (simulated loss).
+	DropInjected
+
+	// NumDropReasons sizes DropStats; new reasons append above.
+	NumDropReasons
+)
+
+// String names the reason the way metrics label it.
+func (r DropReason) String() string {
+	switch r {
+	case DropRunt:
+		return "runt"
+	case DropCorruptFCS:
+		return "corrupt_fcs"
+	case DropInjected:
+		return "injected"
+	}
+	return "unknown"
+}
+
+// DropStats tallies dropped frames by reason. It is the single accounting
+// helper every drop path in the fabric routes through, so conservation
+// holds: frames sent == frames delivered + DropStats total.
+type DropStats [NumDropReasons]uint64
+
+// Count records one drop for the reason.
+func (d *DropStats) Count(r DropReason) { d[r]++ }
+
+// Get returns the tally for one reason.
+func (d *DropStats) Get(r DropReason) uint64 { return d[r] }
+
+// Total sums drops across all reasons.
+func (d *DropStats) Total() uint64 {
+	var t uint64
+	for _, n := range d {
+		t += n
+	}
+	return t
+}
+
+// FaultAction is a TxFault's decision for one frame.
+type FaultAction int
+
+const (
+	// FaultNone delivers the frame untouched.
+	FaultNone FaultAction = iota
+	// FaultDrop loses the frame in flight (it still occupied the wire).
+	FaultDrop
+	// FaultCorrupt means the injector flipped bits in place; the FCS
+	// computed before the flip no longer matches, so the receive-side
+	// check detects and drops the frame.
+	FaultCorrupt
+)
+
+// FaultVerdict is what a TxFault does to one frame: an action, plus extra
+// in-flight delay (jitter). Extra > 0 routes the frame off the FIFO fast
+// path, so a delayed frame can overtake or be overtaken — reordering
+// emerges from jitter exactly as on a real multi-path fabric.
+type FaultVerdict struct {
+	Action FaultAction
+	Extra  sim.Time
+}
+
+// TxFault inspects (and may mutate) each frame entering a wire. Injectors
+// must be deterministic: the same seed and call sequence must yield the
+// same verdicts, because simulation output is byte-identical per seed.
+type TxFault interface {
+	Apply(frame []byte) FaultVerdict
+}
+
+// pendFrame is one in-flight frame on the FIFO path. When check is set
+// (fault attached at send time), fcs holds the transmit-time CRC32 and
+// delivery re-verifies it.
+type pendFrame struct {
+	b     []byte
+	fcs   uint32
+	check bool
+}
+
 // Wire is a unidirectional link. Frames serialize at the link's bandwidth
 // (FIFO — a wire cannot interleave frames) and then propagate with fixed
 // latency. A pair of Wires forms a full-duplex cable.
 type Wire struct {
-	eng  *sim.Engine
-	bps  float64  // bits per second
-	lat  sim.Time // propagation + PHY latency
-	dst  Receiver
-	busy sim.Time // when the transmitter frees up
+	eng   *sim.Engine
+	bps   float64  // bits per second
+	lat   sim.Time // propagation + PHY latency
+	dst   Receiver
+	busy  sim.Time // when the transmitter frees up
+	fault TxFault  // nil on the zero-alloc fast path
 
 	// pend holds frames in flight, drained FIFO by the prebound deliver
 	// callback. Delivery times are strictly increasing per wire (departures
 	// serialize and latency is constant), so FIFO pop order matches the
 	// per-frame closures this replaces — and the datapath sheds one
-	// allocation per frame.
-	pend     [][]byte
+	// allocation per frame. Jitter-delayed frames bypass this queue via a
+	// per-frame closure, keeping the FIFO invariant intact.
+	pend     []pendFrame
 	pendHead int
 	deliver  func()
 
-	// Bytes and Frames count traffic carried.
-	Bytes  uint64
-	Frames uint64
+	// Bytes and Frames count traffic offered to the wire; Delivered counts
+	// frames handed to the receiver; Corrupted counts frames an injector
+	// damaged in flight (detected or not — with CRC32 they always are).
+	Bytes     uint64
+	Frames    uint64
+	Delivered uint64
+	Corrupted uint64
+
+	// Drops tallies every frame this wire lost, by reason.
+	Drops DropStats
 }
 
 // NewWire builds a wire delivering to dst.
@@ -55,15 +159,13 @@ func NewWire(eng *sim.Engine, bps float64, latency sim.Time, dst Receiver) *Wire
 	w := &Wire{eng: eng, bps: bps, lat: latency, dst: dst}
 	w.deliver = func() {
 		f := w.pend[w.pendHead]
-		w.pend[w.pendHead] = nil
+		w.pend[w.pendHead] = pendFrame{}
 		w.pendHead++
 		if w.pendHead == len(w.pend) {
 			w.pend = w.pend[:0]
 			w.pendHead = 0
 		}
-		if w.dst != nil {
-			w.dst.ReceiveFrame(f)
-		}
+		w.handoff(f.b, f.fcs, f.check)
 	}
 	return w
 }
@@ -71,6 +173,10 @@ func NewWire(eng *sim.Engine, bps float64, latency sim.Time, dst Receiver) *Wire
 // SetReceiver rebinds the wire's destination (used while assembling
 // topologies).
 func (w *Wire) SetReceiver(dst Receiver) { w.dst = dst }
+
+// SetFault attaches a fault injector (nil detaches). With no injector the
+// send path is untouched: no FCS work, no extra allocation.
+func (w *Wire) SetFault(f TxFault) { w.fault = f }
 
 // serialization returns the time to clock size bytes onto the wire.
 func (w *Wire) serialization(size int) sim.Time {
@@ -90,8 +196,47 @@ func (w *Wire) Send(frame []byte) {
 	depart := start + w.serialization(len(frame)+24)
 	w.busy = depart
 	deliverAt := depart + w.lat
-	w.pend = append(w.pend, frame)
+	if w.fault != nil {
+		w.sendFaulted(frame, deliverAt)
+		return
+	}
+	w.pend = append(w.pend, pendFrame{b: frame})
 	w.eng.At(deliverAt, w.deliver)
+}
+
+// sendFaulted is the injected path: FCS is snapshotted before the injector
+// may mutate the frame, loss is charged after the frame occupied the wire
+// (the transmitter clocked it out; it died in flight), and jittered frames
+// take a per-frame closure so they can reorder past FIFO traffic.
+func (w *Wire) sendFaulted(frame []byte, deliverAt sim.Time) {
+	fcs := ethernet.FCS(frame)
+	v := w.fault.Apply(frame)
+	switch v.Action {
+	case FaultDrop:
+		w.Drops.Count(DropInjected)
+		return
+	case FaultCorrupt:
+		w.Corrupted++
+	}
+	if v.Extra > 0 {
+		w.eng.At(deliverAt+v.Extra, func() { w.handoff(frame, fcs, true) })
+		return
+	}
+	w.pend = append(w.pend, pendFrame{b: frame, fcs: fcs, check: true})
+	w.eng.At(deliverAt, w.deliver)
+}
+
+// handoff completes delivery: verify FCS if armed, then hand the frame to
+// the receiver. Every non-delivery routes through Drops.
+func (w *Wire) handoff(frame []byte, fcs uint32, check bool) {
+	if check && ethernet.FCS(frame) != fcs {
+		w.Drops.Count(DropCorruptFCS)
+		return
+	}
+	w.Delivered++
+	if w.dst != nil {
+		w.dst.ReceiveFrame(frame)
+	}
 }
 
 // Utilization reports the carried load in bits/s over elapsed time.
@@ -125,9 +270,11 @@ type Switch struct {
 	ports   []*Duplex
 	fib     map[ethernet.MAC]int
 
-	// Forwarded and Flooded count frames by forwarding decision.
+	// Forwarded and Flooded count frames by forwarding decision; Drops
+	// tallies frames the switch discarded (runts that failed to decode).
 	Forwarded uint64
 	Flooded   uint64
+	Drops     DropStats
 }
 
 // NewSwitch builds a switch with the given store-and-forward latency.
@@ -148,7 +295,10 @@ func (s *Switch) AttachPort(cable *Duplex) int {
 func (s *Switch) ingress(port int, frame []byte) {
 	f, err := ethernet.Decode(frame)
 	if err != nil {
-		return // runt frame: dropped silently, as hardware would
+		// Too short to carry a header: discard as hardware would, but
+		// never silently — the tally keeps frame conservation auditable.
+		s.Drops.Count(DropRunt)
+		return
 	}
 	s.fib[f.Src] = port
 	s.eng.After(s.latency, func() { s.egress(port, f.Dst, frame) })

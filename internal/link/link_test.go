@@ -200,6 +200,150 @@ func TestSwitchDropsRuntFrames(t *testing.T) {
 	if sw.Flooded != 0 && sw.Forwarded != 0 {
 		t.Error("runt frame counted")
 	}
+	if got := sw.Drops.Get(DropRunt); got != 1 {
+		t.Errorf("runt drop tally = %d, want 1 — drops must never be silent", got)
+	}
+	if sw.Drops.Total() != 1 {
+		t.Errorf("Drops.Total() = %d, want 1", sw.Drops.Total())
+	}
+}
+
+// scriptedFault replays a fixed verdict sequence, for wire-level tests.
+type scriptedFault struct {
+	verdicts []FaultVerdict
+	corrupt  func(frame []byte) // mutation applied on FaultCorrupt
+	i        int
+}
+
+func (s *scriptedFault) Apply(frame []byte) FaultVerdict {
+	if s.i >= len(s.verdicts) {
+		return FaultVerdict{}
+	}
+	v := s.verdicts[s.i]
+	s.i++
+	if v.Action == FaultCorrupt && s.corrupt != nil {
+		s.corrupt(frame)
+	}
+	return v
+}
+
+// TestWireFaultConservation is the accounting invariant: every frame offered
+// to a faulted wire is either delivered or tallied under exactly one drop
+// reason — frames in == delivered + sum(drops{reason}).
+func TestWireFaultConservation(t *testing.T) {
+	e := sim.NewEngine()
+	delivered := 0
+	w := NewWire(e, 8e9, 100, ReceiverFunc(func([]byte) { delivered++ }))
+	w.SetFault(&scriptedFault{
+		verdicts: []FaultVerdict{
+			{},                     // clean
+			{Action: FaultDrop},    // lost in flight
+			{Action: FaultCorrupt}, // bit flip → FCS drop at delivery
+			{Extra: 5000},          // jittered but intact
+			{},                     // clean
+			{Action: FaultDrop},    // lost
+			{Action: FaultCorrupt}, // another flip
+			{Extra: 200},           // small jitter
+		},
+		corrupt: func(f []byte) { f[len(f)-1] ^= 0x40 },
+	})
+	for i := 0; i < 8; i++ {
+		w.Send(frameBytes(t, ethernet.NewMAC(1), ethernet.NewMAC(2), "payload"))
+	}
+	e.Run()
+	if delivered != 4 {
+		t.Errorf("delivered %d frames, want 4", delivered)
+	}
+	if w.Delivered != uint64(delivered) {
+		t.Errorf("Delivered counter = %d, receiver saw %d", w.Delivered, delivered)
+	}
+	if got := w.Drops.Get(DropInjected); got != 2 {
+		t.Errorf("injected drops = %d, want 2", got)
+	}
+	if got := w.Drops.Get(DropCorruptFCS); got != 2 {
+		t.Errorf("corrupt-FCS drops = %d, want 2", got)
+	}
+	if w.Corrupted != 2 {
+		t.Errorf("Corrupted = %d, want 2", w.Corrupted)
+	}
+	if w.Frames != w.Delivered+w.Drops.Total() {
+		t.Errorf("conservation violated: %d sent != %d delivered + %d dropped",
+			w.Frames, w.Delivered, w.Drops.Total())
+	}
+}
+
+// TestWireFCSDetectsCorruption: a single bit flipped in flight must never
+// reach the receiver — CRC32 catches all single-bit errors.
+func TestWireFCSDetectsCorruption(t *testing.T) {
+	e := sim.NewEngine()
+	w := NewWire(e, 8e9, 0, ReceiverFunc(func([]byte) {
+		t.Error("corrupt frame delivered to receiver")
+	}))
+	w.SetFault(&scriptedFault{
+		verdicts: []FaultVerdict{{Action: FaultCorrupt}},
+		corrupt:  func(f []byte) { f[0] ^= 0x01 },
+	})
+	w.Send(frameBytes(t, ethernet.NewMAC(1), ethernet.NewMAC(2), "x"))
+	e.Run()
+	if got := w.Drops.Get(DropCorruptFCS); got != 1 {
+		t.Errorf("corrupt-FCS drops = %d, want 1", got)
+	}
+}
+
+// TestWireJitterReorders: a jittered frame leaves the FIFO fast path, so a
+// later clean frame overtakes it — delay faults produce reordering.
+func TestWireJitterReorders(t *testing.T) {
+	e := sim.NewEngine()
+	var order []string
+	w := NewWire(e, 8e9, 100, ReceiverFunc(func(frame []byte) {
+		f, err := ethernet.Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, string(f.Payload))
+	}))
+	w.SetFault(&scriptedFault{verdicts: []FaultVerdict{{Extra: 50000}, {}}})
+	w.Send(frameBytes(t, ethernet.NewMAC(1), ethernet.NewMAC(2), "first"))
+	w.Send(frameBytes(t, ethernet.NewMAC(1), ethernet.NewMAC(2), "second"))
+	e.Run()
+	if len(order) != 2 || order[0] != "second" || order[1] != "first" {
+		t.Errorf("arrival order = %v, want [second first]", order)
+	}
+	if w.Frames != w.Delivered+w.Drops.Total() {
+		t.Errorf("conservation violated under jitter")
+	}
+}
+
+// TestWireNilFaultUnchanged: detaching the injector restores the exact
+// fast-path behaviour (no FCS verification, strict FIFO).
+func TestWireNilFaultUnchanged(t *testing.T) {
+	e := sim.NewEngine()
+	delivered := 0
+	w := NewWire(e, 8e9, 0, ReceiverFunc(func([]byte) { delivered++ }))
+	w.SetFault(&scriptedFault{verdicts: []FaultVerdict{{Action: FaultDrop}}})
+	w.Send(frameBytes(t, ethernet.NewMAC(1), ethernet.NewMAC(2), "a"))
+	w.SetFault(nil)
+	w.Send(frameBytes(t, ethernet.NewMAC(1), ethernet.NewMAC(2), "b"))
+	e.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d, want 1 (first dropped, second clean)", delivered)
+	}
+	if w.Frames != w.Delivered+w.Drops.Total() {
+		t.Errorf("conservation violated across attach/detach")
+	}
+}
+
+// TestDropReasonStrings pins the metric label names.
+func TestDropReasonStrings(t *testing.T) {
+	want := map[DropReason]string{
+		DropRunt: "runt", DropCorruptFCS: "corrupt_fcs", DropInjected: "injected",
+		DropReason(99): "unknown",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("DropReason(%d).String() = %q, want %q", r, r.String(), s)
+		}
+	}
 }
 
 func TestSwitchLatencyAddsUp(t *testing.T) {

@@ -182,8 +182,16 @@ type VF struct {
 	// ticks: the poller reacts within its poll interval.
 	NotifyRx func()
 
+	// linkDown marks the port as flapped down (zero value: link up).
+	// ringCap, when positive, overrides cfg.RxRingSize for this VF — the
+	// fault layer squeezes rings to force overflow drops.
+	linkDown bool
+	ringCap  int
+
 	// Drops counts frames lost to a full receive ring.
 	Drops uint64
+	// FlapDrops counts frames lost (both directions) while the link was down.
+	FlapDrops uint64
 	// RxFrames / TxFrames count traffic.
 	RxFrames uint64
 	TxFrames uint64
@@ -206,7 +214,32 @@ func (v *VF) OnInterrupt(fn func(frames [][]byte)) { v.onIRQ = fn }
 // QueueLen reports frames waiting in the rx ring.
 func (v *VF) QueueLen() int { return len(v.rxq) - v.rxHead }
 
+// SetLinkUp raises or drops the port's carrier. While down, the PHY loses
+// every frame in both directions (tallied in FlapDrops) — the fault layer
+// flaps VF ports with this.
+func (v *VF) SetLinkUp(up bool) { v.linkDown = !up }
+
+// LinkUp reports whether the port has carrier.
+func (v *VF) LinkUp() bool { return !v.linkDown }
+
+// SetRingCap overrides the effective receive-ring capacity (<= 0 restores
+// the NIC default). Squeezing the ring forces natural overflow drops under
+// load, without changing the shared NIC config.
+func (v *VF) SetRingCap(n int) { v.ringCap = n }
+
+// ringSize is the effective rx-ring capacity for this VF.
+func (v *VF) ringSize() int {
+	if v.ringCap > 0 {
+		return v.ringCap
+	}
+	return v.nic.cfg.RxRingSize
+}
+
 func (v *VF) ingress(frame []byte) {
+	if v.linkDown {
+		v.FlapDrops++
+		return
+	}
 	// NIC processing latency before the frame is visible to software.
 	v.pendq = append(v.pendq, frame)
 	v.nic.eng.After(v.nic.cfg.ProcessCost, v.deliverFn)
@@ -221,7 +254,7 @@ func (v *VF) deliverOne() {
 		v.pendq = v.pendq[:0]
 		v.pendHead = 0
 	}
-	if v.QueueLen() >= v.nic.cfg.RxRingSize {
+	if v.QueueLen() >= v.ringSize() {
 		v.Drops++
 		return
 	}
@@ -288,6 +321,10 @@ func (v *VF) PollInto(dst *[][]byte, max int) int {
 // Frames addressed to a sibling VF are switched inside the NIC, as SRIOV
 // hardware does, without touching the wire.
 func (v *VF) SendFrame(f ethernet.Frame) error {
+	if v.linkDown {
+		v.FlapDrops++
+		return nil // carrier lost: the frame vanishes, as on real hardware
+	}
 	if f.Src == (ethernet.MAC{}) {
 		f.Src = v.mac
 	}
@@ -312,6 +349,10 @@ func (v *VF) SendFrame(f ethernet.Frame) error {
 // buffer — Ethernet header, fake TCP/IP encapsulation, and payload in a
 // single pass; msg itself is only borrowed for the duration of the call.
 func (v *VF) SendMessage(dst ethernet.MAC, deviceID uint16, msg []byte, mtu int) error {
+	if v.linkDown {
+		v.FlapDrops++
+		return nil // carrier lost: the whole message vanishes in the PHY
+	}
 	v.nextMsgID++
 	if len(msg) > ethernet.MaxMessage {
 		return fmt.Errorf("%w: %d bytes", ethernet.ErrMessageTooBig, len(msg))

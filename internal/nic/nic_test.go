@@ -285,3 +285,88 @@ func TestNICValidation(t *testing.T) {
 	}()
 	New(e, "bad", Config{RxRingSize: 0}, nil)
 }
+
+// TestVFLinkFlap: a flapped-down port loses traffic in both directions,
+// tallied in FlapDrops; raising the link restores delivery.
+func TestVFLinkFlap(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e, testCfg(), testCfg())
+	src := a.AddVF(ethernet.NewMAC(1), ModePoll)
+	dst := b.AddVF(ethernet.NewMAC(2), ModePoll)
+
+	send := func() {
+		if err := src.SendFrame(ethernet.Frame{
+			Dst: dst.MAC(), EtherType: ethernet.EtherTypePlain, Payload: []byte("x"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		e.Run()
+	}
+
+	// Receiver down: the frame crosses the wire and dies at dst's PHY.
+	dst.SetLinkUp(false)
+	if dst.LinkUp() {
+		t.Fatal("LinkUp() true after SetLinkUp(false)")
+	}
+	send()
+	if got := len(dst.Poll(0)); got != 0 {
+		t.Fatalf("down port delivered %d frames", got)
+	}
+	if dst.FlapDrops != 1 {
+		t.Errorf("rx FlapDrops = %d, want 1", dst.FlapDrops)
+	}
+
+	// Transmitter down: the frame never leaves.
+	dst.SetLinkUp(true)
+	src.SetLinkUp(false)
+	send()
+	if got := len(dst.Poll(0)); got != 0 {
+		t.Fatalf("down transmitter delivered %d frames", got)
+	}
+	if src.FlapDrops != 1 {
+		t.Errorf("tx FlapDrops = %d, want 1", src.FlapDrops)
+	}
+	if err := src.SendMessage(dst.MAC(), 1, []byte("msg"), ethernet.MinMTU); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if src.FlapDrops != 2 {
+		t.Errorf("tx FlapDrops after SendMessage = %d, want 2", src.FlapDrops)
+	}
+
+	// Both up again: traffic resumes.
+	src.SetLinkUp(true)
+	send()
+	if got := len(dst.Poll(0)); got != 1 {
+		t.Errorf("recovered port delivered %d frames, want 1", got)
+	}
+}
+
+// TestVFRingCapOverride: squeezing one VF's ring forces overflow drops at
+// the squeezed capacity without touching the NIC-wide config.
+func TestVFRingCapOverride(t *testing.T) {
+	e := sim.NewEngine()
+	a, b := pair(e, testCfg(), Config{ProcessCost: 0, CoalesceDelay: 0, RxRingSize: 64})
+	src := a.AddVF(ethernet.NewMAC(1), ModePoll)
+	dst := b.AddVF(ethernet.NewMAC(2), ModePoll)
+	dst.SetRingCap(2)
+	for i := 0; i < 5; i++ {
+		src.SendFrame(ethernet.Frame{Dst: dst.MAC(), Payload: []byte{byte(i)}})
+	}
+	e.Run()
+	if got := dst.QueueLen(); got != 2 {
+		t.Errorf("squeezed ring holds %d frames, want 2", got)
+	}
+	if dst.Drops != 3 {
+		t.Errorf("overflow Drops = %d, want 3", dst.Drops)
+	}
+	dst.Poll(0)
+	dst.SetRingCap(0) // restore the NIC default
+	for i := 0; i < 5; i++ {
+		src.SendFrame(ethernet.Frame{Dst: dst.MAC(), Payload: []byte{byte(i)}})
+	}
+	e.Run()
+	if got := dst.QueueLen(); got != 5 {
+		t.Errorf("restored ring holds %d frames, want 5", got)
+	}
+}

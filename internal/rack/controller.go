@@ -159,14 +159,18 @@ func (c *Controller) Down(i int) bool { return !c.alive[i] }
 
 // heartbeatTick probes every IOhost believed alive. A live I/O hypervisor
 // answers immediately; a crashed one (§4.6 Fail) answers nothing, ever, so
-// each tick past the crash is a missed probe.
+// each tick past the crash is a missed probe. An IOhost inside an injected
+// worker stall (fault layer) also misses probes — its sidecores are pinned
+// and cannot answer. Stalls shorter than MissThreshold×HeartbeatInterval
+// clear the miss count on recovery; longer ones are declared dead, the
+// timeout detector's inherent false positive.
 func (c *Controller) heartbeatTick() {
 	c.Counters.Inc("heartbeats", 1)
 	for i, h := range c.tb.IOHyps {
 		if !c.alive[i] {
 			continue
 		}
-		if !h.Failed() {
+		if !h.Failed() && !h.Stalled() {
 			c.misses[i] = 0
 			continue
 		}

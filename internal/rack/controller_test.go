@@ -315,3 +315,45 @@ func TestControllerDeterministic(t *testing.T) {
 		t.Errorf("same-seed control-plane runs diverged:\n%s\n%s", a, b)
 	}
 }
+
+// TestStallDetection: the heartbeat treats a stalled IOhost as unresponsive.
+// A stall shorter than the miss threshold is forgiven on recovery; a stall
+// that outlives MissThreshold probes gets the host declared dead and its
+// guests re-homed — the timeout detector's inherent false positive.
+func TestStallDetection(t *testing.T) {
+	tb := buildRack(t, 2, &RoundRobin{}, false, 95)
+	cfg := Config{HeartbeatInterval: sim.Millisecond / 2, MissThreshold: 3}
+	c := New(tb, cfg)
+	c.Start()
+	startRR(tb)
+
+	// Short stall (one probe interval): misses accrue but never reach the
+	// threshold, and recovery clears them.
+	tb.Eng.At(5*sim.Millisecond, func() { tb.IOHyps[1].StallWorkers(cfg.HeartbeatInterval) })
+	tb.Eng.RunUntil(15 * sim.Millisecond)
+	if c.Down(1) {
+		t.Fatal("transient stall declared dead")
+	}
+
+	// Long stall (well past MissThreshold probes): declared dead, guests
+	// re-homed onto the survivor.
+	tb.Eng.At(20*sim.Millisecond, func() {
+		tb.IOHyps[1].StallWorkers(sim.Time(cfg.MissThreshold+3) * cfg.HeartbeatInterval)
+	})
+	tb.Eng.RunUntil(40 * sim.Millisecond)
+	if !c.Down(1) {
+		t.Fatal("long stall never detected")
+	}
+	rehomes := 0
+	for _, ev := range c.Events {
+		if ev.Kind == EventRehome {
+			rehomes++
+			if ev.Dst != 0 {
+				t.Errorf("rehomed to IOhost %d, want survivor 0", ev.Dst)
+			}
+		}
+	}
+	if rehomes != 2 {
+		t.Errorf("rehomed %d guests, want 2", rehomes)
+	}
+}

@@ -45,6 +45,10 @@ const (
 	CatCompletion Category = "completion"
 	// CatBlockdev is block backend service time on the IOhost.
 	CatBlockdev Category = "blockdev"
+	// CatFault marks injected fault events (frame loss, corruption, port
+	// flaps, worker stalls) as zero-length spans, so a trace timeline shows
+	// which requests a fault landed on.
+	CatFault Category = "fault"
 )
 
 // SpanID identifies a span within one Tracer. 0 is the null span: every

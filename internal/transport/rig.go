@@ -27,6 +27,11 @@ type Rig struct {
 	ClientPort *nic.MessagePort
 	HostPort   *nic.MessagePort
 
+	// Cable is the 40G duplex joining the two NICs (AtoB: client->host).
+	// Fault-injection tests attach TxFaults to its wires to exercise the
+	// retransmission machinery over the real datapath.
+	Cable *link.Duplex
+
 	// NetTxMsgs/NetTxBytes count messages arriving at the endpoint's NetTx
 	// handler (the rig's default handler).
 	NetTxMsgs  uint64
@@ -37,7 +42,12 @@ type Rig struct {
 
 // NewRig assembles the two-NIC testbed with default parameters: a client
 // NIC and an IOhost NIC joined by a 40G cable, sharing one buffer pool.
-func NewRig() *Rig {
+func NewRig() *Rig { return NewRigConfig(Config{}) }
+
+// NewRigConfig assembles the rig with transport-config overrides; zero
+// fields keep the calibrated defaults. Fault-injection tests use a small
+// MaxChunk so multi-chunk requests ride distinct wire frames.
+func NewRigConfig(cfg Config) *Rig {
 	def := params.Default()
 	p := &def
 	r := &Rig{Eng: sim.NewEngine(), P: p, Pool: bufpool.New()}
@@ -48,6 +58,7 @@ func NewRig() *Rig {
 		RxRingSize:    p.RxRingSize,
 	}
 	cable := link.NewDuplex(r.Eng, p.LinkBandwidth40G, p.WireLatency)
+	r.Cable = cable
 	clientNIC := nic.New(r.Eng, "rig-client", nicCfg, cable.AtoB)
 	hostNIC := nic.New(r.Eng, "rig-host", nicCfg, cable.BtoA)
 	clientNIC.SetPool(r.Pool)
@@ -62,9 +73,11 @@ func NewRig() *Rig {
 	r.ClientPort = nic.NewMessagePort(r.ClientVF, p.MTU)
 	r.HostPort = nic.NewMessagePort(r.HostVF, p.MTU)
 
-	cfg := Config{
-		InitialTimeout: p.RetransmitTimeout,
-		MaxRetransmits: p.MaxRetransmits,
+	if cfg.InitialTimeout == 0 {
+		cfg.InitialTimeout = p.RetransmitTimeout
+	}
+	if cfg.MaxRetransmits == 0 {
+		cfg.MaxRetransmits = p.MaxRetransmits
 	}
 	r.Driver = NewDriver(r.Eng, r.ClientPort, hostMAC, cfg)
 	r.Endpoint = NewEndpoint(r.Eng, r.HostPort, cfg)

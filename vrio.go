@@ -24,6 +24,7 @@ import (
 	"vrio/internal/cluster"
 	"vrio/internal/core"
 	"vrio/internal/cpu"
+	"vrio/internal/fault"
 	"vrio/internal/interpose"
 	"vrio/internal/params"
 	"vrio/internal/sim"
@@ -69,11 +70,27 @@ type Config struct {
 	Interpose func(host, vm int) *interpose.Chain
 	// GeneratorPerVM gives every VM its own load generator.
 	GeneratorPerVM bool
+	// Fault arms deterministic fault injection across the rack (see
+	// ParseFaultProfile and internal/fault). Nil injects nothing and keeps
+	// the datapath's zero-allocation fast path.
+	Fault *FaultProfile
+	// FaultSeed seeds the fault draws independently of Seed (0 derives it
+	// from Seed), so one workload can replay under different fault draws.
+	FaultSeed uint64
 	// Seed makes runs reproducible; equal seeds give identical results.
 	Seed uint64
 	// Params overrides the calibrated defaults (see DefaultParams).
 	Params *Params
 }
+
+// FaultProfile declares what the fault injector breaks, where, and how
+// often (see internal/fault for the full model).
+type FaultProfile = fault.Profile
+
+// ParseFaultProfile resolves a -fault-profile flag value: "" means none,
+// a preset name ("lossy", "flaky", "degraded", "chaos") resolves from the
+// built-ins, and a '{'-prefixed string parses as a JSON profile.
+func ParseFaultProfile(s string) (*FaultProfile, error) { return fault.ParseProfile(s) }
 
 // Params is the full calibrated parameter set (see internal/params for
 // field documentation).
@@ -101,6 +118,8 @@ func NewTestbed(cfg Config) *Testbed {
 		NetChain:         cfg.Interpose,
 		BlkChain:         cfg.Interpose,
 		StationPerVM:     cfg.GeneratorPerVM,
+		Fault:            cfg.Fault,
+		FaultSeed:        cfg.FaultSeed,
 		Params:           cfg.Params,
 		Seed:             cfg.Seed,
 	}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-rack bench-datapath race-rack race-fault benchjson memprofile check
+.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric race-rack race-fault race-shard benchjson memprofile check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,18 @@ race-fault:
 bench-datapath:
 	$(GO) test -run TestHotPathZeroAlloc -bench 'BenchmarkDatapath' -benchmem ./internal/transport/
 
+# Sharded-fabric wall-clock benchmark: the 16-rack cross-rack workload at 1
+# worker vs GOMAXPROCS workers (the shard_speedup of BENCH json).
+bench-fabric:
+	$(GO) test -run xxx -bench 'BenchmarkFabricSharded' -benchtime 2x .
+
+# The sharded simulator under the race detector: shard coordinator, fabric
+# switching, multi-rack cluster assembly, and the datacenter control plane.
+# The coordinator hands whole engines to worker goroutines every sync window;
+# any state shared across a shard boundary without a barrier must fail here.
+race-shard:
+	$(GO) test -race -run 'Shard|Fabric|Datacenter' ./internal/sim/ ./internal/link/ ./internal/cluster/ ./internal/rack/
+
 # Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
 # events/sec for serial vs parallel RunAll.
 benchjson:
@@ -57,4 +69,4 @@ memprofile:
 	$(GO) run ./cmd/vrio-experiments -run all -quick -memprofile mem.pprof > /dev/null
 	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 15 mem.pprof
 
-check: build vet test race race-fault
+check: build vet test race race-fault race-shard

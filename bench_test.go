@@ -9,6 +9,7 @@
 package vrio_test
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 	"time"
@@ -111,6 +112,28 @@ func BenchmarkAblationMTU(b *testing.B)        { runExperiment(b, "ablation-mtu"
 func BenchmarkAblationRxRing(b *testing.B)     { runExperiment(b, "ablation-rxring") }
 func BenchmarkAblationRetransmit(b *testing.B) { runExperiment(b, "ablation-retransmit") }
 func BenchmarkAblationSteering(b *testing.B)   { runExperiment(b, "ablation-steering") }
+
+// --- spine-leaf fabric: sharded parallel simulation ---
+
+func BenchmarkFabricScaling(b *testing.B) { runExperiment(b, "fabricscaling") }
+
+// BenchmarkFabricSharded runs the 16-rack cross-rack workload under the
+// conservative shard coordinator at 1 and GOMAXPROCS workers; the wall-clock
+// ratio is the shard_speedup recorded in BENCH json.
+func BenchmarkFabricSharded(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"maxprocs", runtime.GOMAXPROCS(0)}} {
+		b.Run(c.name, func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events = experiments.FabricBenchRun(true, c.workers)
+			}
+			b.ReportMetric(float64(events), "sim-events/op")
+		})
+	}
+}
 
 // --- full-evaluation benchmarks: serial vs parallel scheduler ---
 

@@ -5,6 +5,7 @@
 //	vrio-experiments -list
 //	vrio-experiments -run fig7
 //	vrio-experiments -run all [-quick] [-parallel] [-workers N]
+//	vrio-experiments -run fabricscaling [-racks 32] [-shards 8] [-oversub 8]
 //	vrio-experiments -benchjson [-quick]            # emit BENCH_<date>.json
 //	vrio-experiments -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	vrio-experiments -trace [-trace-out out.json] [-metrics-interval 500us]
@@ -48,6 +49,9 @@ func main() {
 	metricsInterval := flag.Duration("metrics-interval", 500*time.Microsecond, "sim-time metrics sampling interval for -trace")
 	faultProfile := flag.String("fault-profile", "", "extra fault profile for the faulttolerance sweep: lossy | flaky | degraded | chaos, or inline JSON")
 	faultSeed := flag.Uint64("fault-seed", 0, "override the faulttolerance fault-draw seed (0 = built-in default)")
+	racks := flag.Int("racks", 0, "override the fabricscaling scale cell's rack count (0 = experiment default)")
+	shards := flag.Int("shards", 0, "worker count for sharded fabric execution (0 = one per CPU)")
+	oversub := flag.Float64("oversub", 0, "override the fabricscaling scale cell's ToR oversubscription ratio (0 = experiment default)")
 	flag.Parse()
 
 	prof, err := fault.ParseProfile(*faultProfile)
@@ -56,6 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.SetFaultOptions(prof, *faultSeed)
+	experiments.SetFabricOptions(*racks, *shards, *oversub)
 
 	if err := realMain(*list, *run, *quick, *parallel, *workers, *cpuprofile, *memprofile, *benchjson, *benchout,
 		*doTrace, *traceOut, *traceSeed, *metricsInterval); err != nil {
@@ -163,27 +168,38 @@ func writeTrace(outPath string, seed uint64, interval time.Duration) error {
 	return nil
 }
 
-// benchRun is one timed RunAll pass for BENCH_<date>.json.
+// benchRun is one timed pass for BENCH_<date>.json.
 type benchRun struct {
 	Workers      int     `json:"workers"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is wall time relative to the sweep's workers=1 entry. A single
+	// scalar hid the scaling curve (and looked absurd on a loaded machine);
+	// the sweep shows where the curve flattens against num_cpu.
+	Speedup float64 `json:"speedup"`
 }
 
 // benchReport is the benchmark-trajectory record: one file per run date, so
 // successive perf PRs leave a comparable trail.
 type benchReport struct {
-	Date            string   `json:"date"`
-	Quick           bool     `json:"quick"`
-	NumCPU          int      `json:"num_cpu"`
-	GoMaxProcs      int      `json:"go_max_procs"`
-	GoVersion       string   `json:"go_version"`
-	Experiments     int      `json:"experiments"`
-	Serial          benchRun `json:"serial"`
-	Parallel        benchRun `json:"parallel"`
-	Speedup         float64  `json:"speedup"`
-	IdenticalOutput bool     `json:"identical_output"`
+	Date        string `json:"date"`
+	Quick       bool   `json:"quick"`
+	NumCPU      int    `json:"num_cpu"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	GoVersion   string `json:"go_version"`
+	Experiments int    `json:"experiments"`
+	// WorkerSweep times the full evaluation (independent cells fanned out
+	// across workers) at 1/2/4/8 workers, capped at num_cpu.
+	WorkerSweep     []benchRun `json:"worker_sweep"`
+	IdenticalOutput bool       `json:"identical_output"`
+	// ShardSweep times the fabricscaling 16-rack cross-rack workload under
+	// the conservative shard coordinator at the same worker counts; every
+	// run is byte-identical, only wall clock changes. ShardSpeedup is the
+	// best sweep entry (1.0 on a single-CPU machine, where the sweep has
+	// only its serial entry).
+	ShardSweep   []benchRun `json:"shard_sweep"`
+	ShardSpeedup float64    `json:"shard_speedup"`
 	// Engine hot-path microbenchmarks (see internal/sim's benchmarks):
 	// schedule+run cost per event, bare and with a disabled tracer guard in
 	// the loop. The two should be within noise of each other — that is the
@@ -210,6 +226,15 @@ type benchReport struct {
 	// nothing unless a profile actually asks for them.
 	FaultOverheadNsOp  int64 `json:"fault_overhead_ns_op"`
 	FaultNetTxAllocsOp int64 `json:"fault_nettx_allocs_op"`
+}
+
+// sweep1Speedup computes a sweep entry's speedup against the sweep's
+// workers=1 entry (1.0 for the serial entry itself).
+func sweep1Speedup(sweep []benchRun, br benchRun) float64 {
+	if len(sweep) == 0 || br.WallSeconds == 0 {
+		return 1.0
+	}
+	return sweep[0].WallSeconds / br.WallSeconds
 }
 
 // benchEngine mirrors internal/sim BenchmarkEngineSchedule: one After + one
@@ -339,34 +364,82 @@ func benchDatapathNetTxFaulted() (nsOp, allocsOp int64) {
 	return res.NsPerOp(), res.AllocsPerOp()
 }
 
+// sweepWorkers is the BENCH worker ladder: 1/2/4/8, capped at the machine's
+// CPU count so a 1-CPU box degrades to a serial-only sweep instead of timing
+// oversubscribed goroutines.
+func sweepWorkers() []int {
+	ws := []int{1}
+	for _, w := range []int{2, 4, 8} {
+		if w <= runtime.NumCPU() {
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
 func writeBenchJSON(quick bool, workers int, outPath string) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	timeRun := func(f func() []experiments.Result) ([]experiments.Result, benchRun) {
+	timeRun := func(w int, f func() []experiments.Result) ([]experiments.Result, benchRun) {
 		ev0 := sim.TotalExecuted()
 		t0 := time.Now()
 		res := f()
 		wall := time.Since(t0).Seconds()
 		events := sim.TotalExecuted() - ev0
 		return res, benchRun{
+			Workers:      w,
 			WallSeconds:  wall,
 			Events:       events,
 			EventsPerSec: float64(events) / wall,
 		}
 	}
-	serialRes, serial := timeRun(func() []experiments.Result { return experiments.RunAll(quick) })
-	serial.Workers = 1
-	parallelRes, par := timeRun(func() []experiments.Result { return experiments.RunAllParallel(quick, workers) })
-	par.Workers = workers
 
-	identical := len(serialRes) == len(parallelRes)
-	if identical {
-		for i := range serialRes {
-			if experiments.Format(serialRes[i]) != experiments.Format(parallelRes[i]) {
+	// Worker sweep: the whole evaluation, cells fanned out across w workers.
+	var (
+		sweep     []benchRun
+		serialRes []experiments.Result
+		identical = true
+	)
+	for _, w := range sweepWorkers() {
+		w := w
+		var res []experiments.Result
+		var br benchRun
+		if w == 1 {
+			res, br = timeRun(w, func() []experiments.Result { return experiments.RunAll(quick) })
+			serialRes = res
+		} else {
+			res, br = timeRun(w, func() []experiments.Result { return experiments.RunAllParallel(quick, w) })
+			if len(res) != len(serialRes) {
 				identical = false
-				break
+			} else {
+				for i := range serialRes {
+					if experiments.Format(serialRes[i]) != experiments.Format(res[i]) {
+						identical = false
+						break
+					}
+				}
 			}
+		}
+		br.Speedup = sweep1Speedup(sweep, br)
+		sweep = append(sweep, br)
+	}
+
+	// Shard sweep: the 16-rack fabric under the conservative coordinator.
+	var shardSweep []benchRun
+	shardSpeedup := 1.0
+	for _, w := range sweepWorkers() {
+		t0 := time.Now()
+		events := experiments.FabricBenchRun(quick, w)
+		wall := time.Since(t0).Seconds()
+		br := benchRun{
+			Workers: w, WallSeconds: wall,
+			Events: events, EventsPerSec: float64(events) / wall,
+		}
+		br.Speedup = sweep1Speedup(shardSweep, br)
+		shardSweep = append(shardSweep, br)
+		if br.Speedup > shardSpeedup {
+			shardSpeedup = br.Speedup
 		}
 	}
 
@@ -377,10 +450,10 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 		GoMaxProcs:         runtime.GOMAXPROCS(0),
 		GoVersion:          runtime.Version(),
 		Experiments:        len(serialRes),
-		Serial:             serial,
-		Parallel:           par,
-		Speedup:            serial.WallSeconds / par.WallSeconds,
+		WorkerSweep:        sweep,
 		IdenticalOutput:    identical,
+		ShardSweep:         shardSweep,
+		ShardSpeedup:       shardSpeedup,
 		EngineScheduleNsOp: benchEngine(false),
 		TraceDisabledNsOp:  benchEngine(true),
 		RackRebalanceNsOp:  benchRack(),
@@ -417,9 +490,15 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 	if err := os.WriteFile(outPath, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("serial   %.2fs  %d events  %.0f events/sec\n", serial.WallSeconds, serial.Events, serial.EventsPerSec)
-	fmt.Printf("parallel %.2fs  %d events  %.0f events/sec  (%d workers)\n", par.WallSeconds, par.Events, par.EventsPerSec, par.Workers)
-	fmt.Printf("speedup  %.2fx  identical=%v  -> %s\n", report.Speedup, identical, outPath)
+	for _, br := range sweep {
+		fmt.Printf("eval  %d worker(s)  %.2fs  %d events  %.0f events/sec  %.2fx\n",
+			br.Workers, br.WallSeconds, br.Events, br.EventsPerSec, br.Speedup)
+	}
+	for _, br := range shardSweep {
+		fmt.Printf("shard %d worker(s)  %.2fs  %d events  %.0f events/sec  %.2fx\n",
+			br.Workers, br.WallSeconds, br.Events, br.EventsPerSec, br.Speedup)
+	}
+	fmt.Printf("shard_speedup %.2fx  identical=%v  -> %s\n", report.ShardSpeedup, identical, outPath)
 	fmt.Printf("datapath net-tx %d ns/op (%d allocs/op)  blk %d ns/op (%d allocs/op)\n",
 		report.DatapathNetTxNsOp, report.DatapathNetTxAllocsOp,
 		report.DatapathBlkNsOp, report.DatapathBlkAllocsOp)

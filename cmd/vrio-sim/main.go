@@ -7,16 +7,27 @@
 //	vrio-sim -model vrio -vms 4 -workload rr -measure 50ms
 //	vrio-sim -model elvis -vms 7 -workload stream
 //	vrio-sim -model vrio -vms 2 -workload filebench -params '{"RamdiskLatency": 90000}'
+//	vrio-sim -model vrio -racks 16 -shards 8 -oversub 4 -measure 50ms
+//
+// With -racks > 1 the run becomes a spine-leaf fabric: one testbed per rack
+// on its own simulation shard, every station driving a guest one rack over,
+// executed by -shards workers under the conservative coordinator (output is
+// identical for every -shards value; only wall clock changes).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"vrio"
+	"vrio/internal/cluster"
 	"vrio/internal/core"
+	"vrio/internal/sim"
+	"vrio/internal/stats"
+	"vrio/internal/workload"
 )
 
 func main() {
@@ -30,6 +41,9 @@ func main() {
 	overrides := flag.String("params", "", "JSON object of parameter overrides (see internal/params)")
 	faultProfile := flag.String("fault-profile", "", "fault profile: lossy | flaky | degraded | chaos, or inline JSON (empty = no faults)")
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault draws (0 = derive from -seed)")
+	racks := flag.Int("racks", 1, "number of racks; >1 builds a spine-leaf fabric (rr workload only)")
+	shards := flag.Int("shards", 0, "workers executing the fabric's shards (0 = one per CPU, 1 = serial)")
+	oversub := flag.Float64("oversub", 4, "ToR downlink:uplink oversubscription ratio for -racks > 1")
 	flag.Parse()
 
 	valid := map[string]vrio.Model{
@@ -55,6 +69,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	if *racks > 1 {
+		if *wl != "rr" {
+			fmt.Fprintf(os.Stderr, "-racks > 1 supports only the rr workload (got %q)\n", *wl)
+			os.Exit(2)
+		}
+		if *faultProfile != "" {
+			fmt.Fprintln(os.Stderr, "-racks > 1 does not take a fault profile yet")
+			os.Exit(2)
+		}
+		if err := runFabric(m, *racks, *shards, *oversub, *vms, *hosts, *seed, &p, *measure); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+
 	needsBlock := *wl == "filebench" || *wl == "webserver"
 	tb := vrio.NewTestbed(vrio.Config{
 		Model: m, VMs: *vms, VMHosts: *hosts, Sidecores: *sidecores,
@@ -120,4 +151,67 @@ func main() {
 		fmt.Printf("faulted wires:   %d frames offered, %d delivered\n",
 			pl.WireOffered(), pl.WireDelivered())
 	}
+}
+
+// runFabric builds a spine-leaf fabric of racks testbeds, drives every guest
+// with RR traffic from a station one rack over (all transactions cross the
+// spine tier), runs it under the conservative shard coordinator with the
+// requested worker count, and prints the measured results plus the
+// coordinator's accounting.
+func runFabric(m vrio.Model, racks, shards int, oversub float64, vms, hosts int, seed uint64, p *vrio.Params, measure time.Duration) error {
+	f, err := cluster.BuildFabric(cluster.FabricSpec{
+		Rack: cluster.Spec{
+			Model: m, VMHosts: hosts, VMsPerHost: vms,
+			StationPerVM: true, Seed: seed, Params: p,
+		},
+		NumRacks:         racks,
+		Oversubscription: oversub,
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if shards <= 0 {
+		shards = runtime.NumCPU()
+	}
+
+	warm := sim.Time(measure.Nanoseconds()) / 5
+	dur := sim.Time(measure.Nanoseconds())
+	var rrs []*workload.RR
+	perRack := make([][]cluster.Measurable, racks)
+	for r := 0; r < racks; r++ {
+		server := f.Racks[(r+1)%racks]
+		for g, guest := range server.Guests {
+			workload.InstallRRServer(guest, server.P.NetperfRRProcessCost)
+			rr := workload.NewRR(f.Racks[r].StationFor(g), guest.MAC(), 16)
+			rr.Start()
+			rrs = append(rrs, rr)
+			perRack[r] = append(perRack[r], &rr.Results)
+		}
+	}
+	t0 := time.Now()
+	f.RunMeasured(warm, dur, shards, perRack)
+	wall := time.Since(t0)
+
+	var ops, errs uint64
+	var agg stats.Histogram
+	for _, rr := range rrs {
+		ops += rr.Results.Ops
+		errs += rr.Results.Errors
+		agg.Merge(&rr.Results.Latency)
+	}
+	var xshard uint64
+	for _, s := range f.Group.Shards() {
+		xshard += s.Received
+	}
+	fmt.Printf("fabric: %d racks x %d VMhosts x %d VMs, oversub %g:1, %d shard workers\n",
+		racks, hosts, vms, oversub, shards)
+	fmt.Printf("transactions: %d (%d errors), all cross-rack\n", ops, errs)
+	fmt.Printf("p50 latency:  %.1f µs\n", float64(agg.Percentile(50))/1000)
+	fmt.Printf("p99 latency:  %.1f µs\n", float64(agg.Percentile(99))/1000)
+	fmt.Printf("cross-shard messages: %d over %d sync windows (lookahead %v)\n",
+		xshard, f.Group.Windows, time.Duration(f.Lookahead))
+	fmt.Printf("wall clock: %v for %d simulated events (%.0f events/sec)\n",
+		wall, f.TotalExecuted(), float64(f.TotalExecuted())/wall.Seconds())
+	return nil
 }

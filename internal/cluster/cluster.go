@@ -95,6 +95,12 @@ type Spec struct {
 	// so the same workload can replay under different fault draws. Zero
 	// derives it from Seed.
 	FaultSeed uint64
+	// MACOffset shifts every MAC this testbed mints (guests, transports,
+	// stations, IOhosts) by a constant, so several racks built into one
+	// fabric own disjoint address blocks. The fabric builder gives rack r
+	// the block [r<<20, (r+1)<<20); standalone testbeds leave it zero,
+	// which reproduces the historical addresses exactly.
+	MACOffset uint32
 	// Params: nil means params.Default().
 	Params *params.P
 	Seed   uint64
@@ -204,8 +210,13 @@ func (s *Spec) defaults() {
 	}
 }
 
-// Build assembles the testbed.
-func Build(spec Spec) *Testbed {
+// Build assembles the testbed on a fresh engine.
+func Build(spec Spec) *Testbed { return BuildOn(spec, sim.NewEngine()) }
+
+// BuildOn assembles the testbed on a caller-supplied engine. The fabric
+// builder uses it to put each rack on its own shard's engine; everything
+// else about the build is identical to Build.
+func BuildOn(spec Spec, eng *sim.Engine) *Testbed {
 	spec.defaults()
 	p := spec.Params
 	if p == nil {
@@ -227,7 +238,7 @@ func Build(spec Spec) *Testbed {
 	}
 
 	tb := &Testbed{
-		Eng:     sim.NewEngine(),
+		Eng:     eng,
 		P:       p,
 		Spec:    spec,
 		Metrics: trace.NewRegistry(),
@@ -264,7 +275,7 @@ func Build(spec Spec) *Testbed {
 		genNIC := tb.newNIC(fmt.Sprintf("gen%d", i), nicCfg, cable.AtoB)
 		cable.BtoA.SetReceiver(genNIC)
 		genCore := cpu.New(tb.Eng, fmt.Sprintf("gen%d-core", i), p.ContextSwitchCost)
-		vf := genNIC.AddVF(ethernet.NewMAC(macStationBase+uint32(i)), nic.ModeInterrupt)
+		vf := genNIC.AddVF(tb.mac(macStationBase+uint32(i)), nic.ModeInterrupt)
 		tb.GenCores = append(tb.GenCores, genCore)
 		tb.Stations = append(tb.Stations, workload.NewStation(tb.Eng, p, genCore, vf))
 	}
@@ -310,6 +321,12 @@ func Build(spec Spec) *Testbed {
 	return tb
 }
 
+// mac mints a MAC in this testbed's address block: the numbering plan's id
+// shifted by Spec.MACOffset, so racks of one fabric never collide.
+func (tb *Testbed) mac(id uint32) ethernet.MAC {
+	return ethernet.NewMAC(tb.Spec.MACOffset + id)
+}
+
 // newNIC builds a NIC attached to the testbed-wide buffer pool.
 func (tb *Testbed) newNIC(name string, cfg nic.Config, tx *link.Wire) *nic.NIC {
 	n := nic.New(tb.Eng, name, cfg, tx)
@@ -349,7 +366,7 @@ func (tb *Testbed) buildLocal(nicCfg nic.Config, mkHost func(hostIdx int, hostNI
 			if spec.BlkChain != nil && chain == nil {
 				chain = spec.BlkChain(hostIdx, v)
 			}
-			g := h.addVM(vmID, vmCore, ethernet.NewMAC(macGuestBase+uint32(vmID)), backend, chain)
+			g := h.addVM(vmID, vmCore, tb.mac(macGuestBase+uint32(vmID)), backend, chain)
 			tb.attachThreads(g)
 			tb.Guests = append(tb.Guests, g)
 			tb.GuestHost = append(tb.GuestHost, hostIdx)
@@ -402,7 +419,7 @@ func (tb *Testbed) attachIOhostUplink(i int, nicCfg nic.Config) {
 	tb.Fault.AttachCable(fault.Uplinks, fault.Any, i, up)
 	upNIC := tb.newNIC(iohostName(i)+"-uplink", nicCfg, up.AtoB)
 	up.BtoA.SetReceiver(upNIC)
-	vf := upNIC.AddVF(ethernet.NewMAC(macIOHostBase+100*uint32(i)), nic.ModePoll)
+	vf := upNIC.AddVF(tb.mac(macIOHostBase+100*uint32(i)), nic.ModePoll)
 	upNIC.Promiscuous = vf
 	tb.IOHyps[i].AttachUplink(vf)
 }
@@ -421,7 +438,7 @@ func (tb *Testbed) cableChannel(i, host int, nicCfg nic.Config) {
 	iohostNIC := tb.newNIC(fmt.Sprintf("%s-ch%d", iohostName(i), host), nicCfg, ch.BtoA)
 	ch.AtoB.SetReceiver(iohostNIC)
 	ch.BtoA.SetReceiver(vmhostNIC)
-	iohostVF := iohostNIC.AddVF(ethernet.NewMAC(macIOHostBase+100*uint32(i)+1+uint32(host)), nic.ModePoll)
+	iohostVF := iohostNIC.AddVF(tb.mac(macIOHostBase+100*uint32(i)+1+uint32(host)), nic.ModePoll)
 	port := tb.IOHyps[i].AttachChannelNIC(iohostVF)
 	tb.channels[i] = append(tb.channels[i], vrioChannel{
 		vmhostNIC: vmhostNIC, iohostMAC: iohostVF.MAC(), port: port,
@@ -459,7 +476,7 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 		tb.Switch.AttachPort(up2)
 		up2NIC := tb.newNIC("iohost2-uplink", nicCfg, up2.AtoB)
 		up2.BtoA.SetReceiver(up2NIC)
-		up2VF := up2NIC.AddVF(ethernet.NewMAC(macIOHostBase+100), nic.ModePoll)
+		up2VF := up2NIC.AddVF(tb.mac(macIOHostBase+100), nic.ModePoll)
 		up2NIC.Promiscuous = up2VF
 		tb.SecondaryIOHyp.AttachUplink(up2VF)
 	}
@@ -484,7 +501,7 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 			iohost2NIC := tb.newNIC(fmt.Sprintf("iohost2-ch%d", hostIdx), nicCfg, ch2.BtoA)
 			ch2.AtoB.SetReceiver(iohost2NIC)
 			ch2.BtoA.SetReceiver(vmhost2NIC)
-			io2VF := iohost2NIC.AddVF(ethernet.NewMAC(macIOHostBase+101+uint32(hostIdx)), nic.ModePoll)
+			io2VF := iohost2NIC.AddVF(tb.mac(macIOHostBase+101+uint32(hostIdx)), nic.ModePoll)
 			port2 := tb.SecondaryIOHyp.AttachChannelNIC(io2VF)
 			tb.secondaryChannels = append(tb.secondaryChannels, vrioChannel{
 				vmhostNIC: vmhost2NIC, iohostMAC: io2VF.MAC(), port: port2,
@@ -500,8 +517,8 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 		for v := 0; v < spec.VMsPerHost; v++ {
 			vmCore := cpu.New(tb.Eng, fmt.Sprintf("vm%d-core", vmID), p.ContextSwitchCost)
 			tb.VMCores = append(tb.VMCores, vmCore)
-			fMAC := ethernet.NewMAC(macGuestBase + uint32(vmID))
-			tMAC := ethernet.NewMAC(macTransportBase + uint32(vmID))
+			fMAC := tb.mac(macGuestBase + uint32(vmID))
+			tMAC := tb.mac(macTransportBase + uint32(vmID))
 			client := host.AddClient(core.VMConfig{
 				ID:           vmID,
 				Core:         vmCore,
@@ -644,7 +661,7 @@ func (tb *Testbed) MigrateVM(vm, dstHost int, done func()) {
 		// the blackout.
 		io := tb.ClientIOhost[vm]
 		tb.nextTMAC++
-		newMAC := ethernet.NewMAC(macTransportBase + 500 + tb.nextTMAC)
+		newMAC := tb.mac(macTransportBase + 500 + tb.nextTMAC)
 		ch := tb.channels[io][dstHost]
 		vf := ch.vmhostNIC.AddVF(newMAC, nic.ModeInterrupt)
 		client.AttachChannel(vf, ch.iohostMAC)

@@ -1,0 +1,291 @@
+// Fabric assembly: many racks, each a complete Testbed on its own
+// simulation shard, joined by a spine-leaf fabric whose ToR↔spine cables
+// cross shard boundaries.
+//
+// The sharding cut is fixed by the topology — one shard per rack plus one
+// for the spine tier — and only the worker count varies at run time, so the
+// same fabric produces byte-identical output whether its windows execute
+// serially or on eight cores (TestFabricShardedMatchesSerialByteIdentical).
+// The lookahead bound is params.FabricLinkLatency: every cross-shard wire is
+// a ToR↔spine cable with exactly that propagation latency, so no shard can
+// influence another sooner than one fabric-link flight time.
+package cluster
+
+import (
+	"fmt"
+
+	"vrio/internal/ethernet"
+	"vrio/internal/link"
+	"vrio/internal/params"
+	"vrio/internal/sim"
+)
+
+// macRackStride is the size of each rack's MAC address block: rack r mints
+// node ids in [r<<20, (r+1)<<20), so the locator recovers the rack of any
+// cluster MAC by arithmetic instead of a learned table.
+const macRackStride = 1 << 20
+
+// FabricSpec describes a multi-rack spine-leaf deployment.
+type FabricSpec struct {
+	// Rack is the per-rack testbed template: model, VMhosts, VMs, IOhosts,
+	// workload shape. Each rack gets a copy with its own MAC block and a
+	// decorrelated seed.
+	Rack Spec
+	// NumRacks is the number of racks (= leaf switches = rack shards).
+	NumRacks int
+	// NumSpines is the spine count; every ToR runs one uplink to each
+	// spine. 0 means 2.
+	NumSpines int
+	// Oversubscription is the ToR downlink:uplink capacity ratio (0 means
+	// 4, the classic datacenter default; 1 is non-blocking).
+	Oversubscription float64
+	// HostRacks optionally places VMhosts explicitly: entry h is the rack
+	// of global VMhost h, and rack r is built with as many VMhosts as
+	// entries name it (overriding Rack.VMHosts). An entry naming a
+	// nonexistent rack is a validation error, not a panic.
+	HostRacks []int
+	// InboxCap bounds each shard's per-window cross-shard inbox
+	// (0 = sim.DefaultInboxCap).
+	InboxCap int
+}
+
+func (fs *FabricSpec) defaults() {
+	if fs.NumSpines == 0 {
+		fs.NumSpines = 2
+	}
+	if fs.Oversubscription == 0 {
+		fs.Oversubscription = 4
+	}
+}
+
+// hostsPerRack returns each rack's VMhost count under the spec's placement.
+func (fs *FabricSpec) hostsPerRack() []int {
+	counts := make([]int, fs.NumRacks)
+	if len(fs.HostRacks) == 0 {
+		n := fs.Rack.VMHosts
+		if n == 0 {
+			n = 1 // mirrors Spec.defaults
+		}
+		for r := range counts {
+			counts[r] = n
+		}
+		return counts
+	}
+	for _, r := range fs.HostRacks {
+		if r >= 0 && r < fs.NumRacks {
+			counts[r]++
+		}
+	}
+	return counts
+}
+
+// linkSpec lowers the cluster-level description to the link layer's fabric
+// spec (which owns the topology-shape validation and the uplink-bandwidth
+// derivation).
+func (fs *FabricSpec) linkSpec(p *params.P, hosts []int) link.FabricSpec {
+	ls := link.FabricSpec{
+		Spines:           fs.NumSpines,
+		Oversubscription: fs.Oversubscription,
+		DownlinkBps:      p.LinkBandwidth10G,
+	}
+	numIO := fs.Rack.NumIOhosts
+	if numIO == 0 {
+		numIO = 1
+	}
+	vms := fs.Rack.VMsPerHost
+	if vms == 0 {
+		vms = 1
+	}
+	for r := 0; r < fs.NumRacks; r++ {
+		// ToR ports are what the rack build actually cables to its switch:
+		// load-generator stations (one per VMhost, or per VM) and the IOhost
+		// uplinks. The capacity model charges them all at the 10G downlink
+		// class; the 40G IOhost uplinks are a modest undercount that keeps
+		// the oversubscription ratio interpretable.
+		stations := hosts[r]
+		if fs.Rack.StationPerVM {
+			stations = hosts[r] * vms
+		}
+		ls.Tors = append(ls.Tors, link.TorSpec{
+			ID:      r,
+			Hosts:   stations + numIO,
+			Uplinks: fs.NumSpines,
+		})
+	}
+	return ls
+}
+
+// Validate checks the fabric spec, returning a descriptive error for every
+// way a topology can be unbuildable. CLI flags and experiment configs feed
+// this, so bad input must never panic.
+func (fs FabricSpec) Validate() error {
+	fs.defaults()
+	if fs.NumRacks <= 0 {
+		return fmt.Errorf("cluster: fabric needs at least one rack, got %d", fs.NumRacks)
+	}
+	for h, r := range fs.HostRacks {
+		if r < 0 || r >= fs.NumRacks {
+			return fmt.Errorf("cluster: VMhost %d assigned to nonexistent rack %d (fabric has %d racks)", h, r, fs.NumRacks)
+		}
+	}
+	hosts := fs.hostsPerRack()
+	for r, n := range hosts {
+		if n == 0 {
+			return fmt.Errorf("cluster: rack %d has no VMhosts (HostRacks places none there)", r)
+		}
+	}
+	p := fs.Rack.Params
+	if p == nil {
+		def := params.Default()
+		p = &def
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	return fs.linkSpec(p, hosts).Validate()
+}
+
+// Fabric is an assembled multi-rack deployment: one Testbed per rack, each
+// on its own shard, the spine switches on a shard of their own, and the
+// coordinator that advances them together.
+type Fabric struct {
+	Spec FabricSpec
+	P    *params.P
+
+	// Group coordinates the shards; Lookahead is its window size.
+	Group     *sim.ShardGroup
+	Lookahead sim.Time
+
+	// Racks[r] is rack r's complete testbed, built on RackShards[r].Eng.
+	Racks      []*Testbed
+	RackShards []*sim.Shard
+	// Spines are the spine switches, all on SpineShard's engine.
+	Spines     []*link.Switch
+	SpineShard *sim.Shard
+}
+
+// rackLocator maps any cluster MAC to its owning rack by decoding the node
+// id and dividing by the per-rack address stride.
+func rackLocator(numRacks int) func(ethernet.MAC) (int, bool) {
+	return func(m ethernet.MAC) (int, bool) {
+		id, ok := ethernet.NodeID(m)
+		if !ok {
+			return 0, false
+		}
+		r := int(id / macRackStride)
+		if r >= numRacks {
+			return 0, false
+		}
+		return r, true
+	}
+}
+
+// BuildFabric assembles the fabric. Build order is deterministic: racks in
+// index order (each an ordinary BuildOn onto its shard's engine), then the
+// spine tier, then the cross-shard uplink cables in (rack, spine) order.
+func BuildFabric(fs FabricSpec) (*Fabric, error) {
+	fs.defaults()
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	p := fs.Rack.Params
+	if p == nil {
+		def := params.Default()
+		p = &def
+	}
+	hosts := fs.hostsPerRack()
+	ls := fs.linkSpec(p, hosts)
+
+	f := &Fabric{
+		Spec:      fs,
+		P:         p,
+		Lookahead: p.FabricLinkLatency,
+		Group:     sim.NewShardGroup(p.FabricLinkLatency, fs.InboxCap),
+	}
+
+	for r := 0; r < fs.NumRacks; r++ {
+		sh := f.Group.AddShard()
+		rs := fs.Rack
+		rs.Params = p
+		rs.VMHosts = hosts[r]
+		rs.MACOffset = uint32(r) * macRackStride
+		// Decorrelate the racks' jitter/fault streams while keeping the
+		// whole fabric a pure function of the base seed.
+		rs.Seed = fs.Rack.Seed + uint64(r)*0x9e3779b97f4a7c15
+		if fs.Rack.FaultSeed != 0 {
+			rs.FaultSeed = fs.Rack.FaultSeed + uint64(r)*0x9e3779b97f4a7c15
+		}
+		f.RackShards = append(f.RackShards, sh)
+		f.Racks = append(f.Racks, BuildOn(rs, sh.Eng))
+	}
+
+	locate := rackLocator(fs.NumRacks)
+	f.SpineShard = f.Group.AddShard()
+	for s := 0; s < fs.NumSpines; s++ {
+		sw := link.NewSwitch(f.SpineShard.Eng, p.SpineLatency)
+		sw.SetLocator(-1, locate)
+		f.Spines = append(f.Spines, sw)
+	}
+
+	for r, tb := range f.Racks {
+		tb.Switch.SetLocator(r, locate)
+		upBps := ls.UplinkBps(ls.Tors[r])
+		rackShard := f.RackShards[r]
+		for s := 0; s < fs.NumSpines; s++ {
+			// The cable's two directions live on different shards: the
+			// up-direction wire on the rack's engine (the ToR transmits it),
+			// the down-direction wire on the spine's. Each posts completed
+			// deliveries into the far shard's inbox; sim.ShardGroup's
+			// barrier turns those posts into ordinary engine events in a
+			// fixed (time, shard, seq) order.
+			cable := &link.Duplex{
+				AtoB: link.NewWire(tb.Eng, upBps, p.FabricLinkLatency, nil),
+				BtoA: link.NewWire(f.SpineShard.Eng, upBps, p.FabricLinkLatency, nil),
+			}
+			up, down := cable.AtoB, cable.BtoA
+			spineShard := f.SpineShard
+			up.SetRemote(func(at sim.Time, frame []byte) {
+				spineShard.Post(rackShard, at, func() { up.RemoteDeliver(frame) })
+			})
+			down.SetRemote(func(at sim.Time, frame []byte) {
+				rackShard.Post(spineShard, at, func() { down.RemoteDeliver(frame) })
+			})
+			tb.Switch.AttachUplink(cable)
+			f.Spines[s].SetRackPort(r, f.Spines[s].AttachPort(cable))
+		}
+	}
+	return f, nil
+}
+
+// RunMeasured advances every shard through warmup then a measured window of
+// the given duration, with up to workers rack engines executing each window
+// concurrently (workers <= 1 is the serial reference run — byte-identical
+// to any parallel run). perRack[r] lists the collectors owned by rack r;
+// their start/stop toggles are scheduled on that rack's own engine, keeping
+// every mutation single-shard. Call once, from time zero.
+func (f *Fabric) RunMeasured(warmup, duration sim.Time, workers int, perRack [][]Measurable) sim.Time {
+	for r, tb := range f.Racks {
+		var cs []Measurable
+		if r < len(perRack) {
+			cs = perRack[r]
+		}
+		tb.Eng.At(warmup, func() {
+			for _, c := range cs {
+				c.StartMeasuring()
+			}
+		})
+		tb.Eng.At(warmup+duration, func() {
+			for _, c := range cs {
+				c.StopMeasuring()
+			}
+		})
+	}
+	f.Group.RunUntil(warmup+duration, workers)
+	return duration
+}
+
+// TotalExecuted sums simulation events executed across all shards.
+func (f *Fabric) TotalExecuted() uint64 { return f.Group.TotalExecutedInGroup() }
+
+// Close releases the coordinator's worker goroutines.
+func (f *Fabric) Close() { f.Group.Close() }

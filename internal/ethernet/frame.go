@@ -32,6 +32,17 @@ func NewMAC(node uint32) MAC {
 	return m
 }
 
+// NodeID recovers the 32-bit node id a MAC was minted from by NewMAC, and
+// reports whether the address carries one (broadcast and foreign addresses
+// do not). The fabric locator uses it to map any cluster MAC to its rack
+// arithmetically, without a learned table.
+func NodeID(m MAC) (uint32, bool) {
+	if m[0] != 0x02 || m[1] != 0x10 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(m[2:]), true
+}
+
 // EtherType values used by the reproduction.
 const (
 	// EtherTypeVRIO marks vRIO-encapsulated traffic (an experimental-range

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "table1", "table2", "fig3",
 		"table3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11",
 		"table4", "fig12", "fig13", "fig14", "fig15", "fig16a", "fig16b",
-		"heterogeneity", "rackscaling", "tablerack",
+		"heterogeneity", "rackscaling", "tablerack", "fabricscaling",
 		"ablation-mtu", "ablation-rxring", "ablation-retransmit", "ablation-steering",
 	}
 	ids := IDs()

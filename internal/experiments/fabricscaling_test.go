@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFabricScalingDeterministicQuick: the fabric study must be
+// byte-reproducible run-to-run (its rows carry no wall-clock quantities),
+// and the serial-vs-sharded equivalence cell must report identical output.
+func TestFabricScalingDeterministicQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	ra := Get("fabricscaling")(true)
+	rb := Get("fabricscaling")(true)
+	a, b := Format(ra), Format(rb)
+	if a != b {
+		t.Errorf("fabricscaling output differs between identical runs:\n%s\n---\n%s", a, b)
+	}
+	// The equivalence cell is the last column of row 0.
+	if got := ra.Rows[0][len(ra.Rows[0])-1]; got != "yes" {
+		t.Errorf("serial-vs-sharded equivalence = %q, want \"yes\":\n%s", got, a)
+	}
+	// Cross-rack traffic must actually flow and cross shards in every cell.
+	for i, row := range ra.Rows {
+		if row[7] == "0" {
+			t.Errorf("row %d (%s): zero cross-shard messages", i, row[0])
+		}
+	}
+}

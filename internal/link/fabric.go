@@ -1,0 +1,81 @@
+// Fabric topology: the spec for a spine-leaf fabric and its validation.
+//
+// A fabric is racks of hosts under ToR (leaf) switches, every ToR cabled to
+// the spine tier. Cross-rack paths are host → ToR → spine → ToR → host: each
+// hop is an ordinary Wire, so path latency is the sum of the hop latencies
+// and the minimum ToR↔spine wire latency is the lookahead bound a sharded
+// simulation of the fabric synchronizes on (see internal/sim's ShardGroup).
+//
+// Oversubscription follows datacenter convention: the ratio of downlink
+// capacity (host ports) to uplink capacity at the ToR. 1:1 is non-blocking;
+// 4:1 means hosts can offer four times what the uplinks carry, and the
+// uplink wires become the contention point — which is exactly the behavior
+// the spec's UplinkBps derives.
+package link
+
+import "fmt"
+
+// TorSpec describes one ToR (leaf) switch and its rack.
+type TorSpec struct {
+	// ID is the rack identifier; unique across the fabric.
+	ID int
+	// Hosts is the number of host-facing ports (VMhosts + IOhosts).
+	Hosts int
+	// Uplinks is the number of core-facing cables, spread across the
+	// spines round-robin. Zero means the rack is disconnected from the
+	// fabric — a validation error, not a silent island.
+	Uplinks int
+}
+
+// FabricSpec describes a spine-leaf fabric.
+type FabricSpec struct {
+	// Tors lists the leaves, one per rack.
+	Tors []TorSpec
+	// Spines is the number of spine switches.
+	Spines int
+	// Oversubscription is the downlink:uplink capacity ratio at each ToR
+	// (1 = non-blocking, 4 = classic 4:1). Must be positive.
+	Oversubscription float64
+	// DownlinkBps is the bandwidth of each host-facing port in bits/s.
+	DownlinkBps float64
+}
+
+// Validate checks the fabric is buildable and returns a descriptive error
+// naming the first problem found. It never panics: specs arrive from CLI
+// flags and experiment configs, so bad input is an expected condition.
+func (s FabricSpec) Validate() error {
+	if len(s.Tors) == 0 {
+		return fmt.Errorf("link: fabric has no ToR switches (no racks)")
+	}
+	if s.Spines <= 0 {
+		return fmt.Errorf("link: fabric needs at least one spine, got %d", s.Spines)
+	}
+	if s.Oversubscription <= 0 {
+		return fmt.Errorf("link: oversubscription ratio must be positive, got %g", s.Oversubscription)
+	}
+	if s.DownlinkBps <= 0 {
+		return fmt.Errorf("link: downlink bandwidth must be positive, got %g", s.DownlinkBps)
+	}
+	seen := make(map[int]bool, len(s.Tors))
+	for i, t := range s.Tors {
+		if seen[t.ID] {
+			return fmt.Errorf("link: duplicate ToR id %d (tor index %d)", t.ID, i)
+		}
+		seen[t.ID] = true
+		if t.Hosts <= 0 {
+			return fmt.Errorf("link: ToR %d has no host ports", t.ID)
+		}
+		if t.Uplinks <= 0 {
+			return fmt.Errorf("link: ToR %d has no uplinks — rack %d is disconnected from the fabric", t.ID, t.ID)
+		}
+	}
+	return nil
+}
+
+// UplinkBps derives the per-uplink bandwidth that realizes the fabric's
+// oversubscription ratio for one ToR: total downlink capacity divided by
+// (ratio × uplinks). With ratio 1 the uplinks collectively match the
+// downlinks; with ratio 4 they carry a quarter of the offered load.
+func (s FabricSpec) UplinkBps(t TorSpec) float64 {
+	return float64(t.Hosts) * s.DownlinkBps / (s.Oversubscription * float64(t.Uplinks))
+}

@@ -1,0 +1,258 @@
+package link
+
+import (
+	"strings"
+	"testing"
+
+	"vrio/internal/ethernet"
+	"vrio/internal/sim"
+)
+
+// validSpec is a buildable 2-rack fabric the error cases mutate.
+func validSpec() FabricSpec {
+	return FabricSpec{
+		Tors:             []TorSpec{{ID: 0, Hosts: 4, Uplinks: 2}, {ID: 1, Hosts: 4, Uplinks: 2}},
+		Spines:           2,
+		Oversubscription: 4,
+		DownlinkBps:      10e9,
+	}
+}
+
+func TestFabricSpecValidate(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*FabricSpec)
+		wantSub string
+	}{
+		{"no racks", func(s *FabricSpec) { s.Tors = nil }, "no ToR"},
+		{"no spines", func(s *FabricSpec) { s.Spines = 0 }, "spine"},
+		{"zero oversubscription", func(s *FabricSpec) { s.Oversubscription = 0 }, "oversubscription"},
+		{"negative oversubscription", func(s *FabricSpec) { s.Oversubscription = -2 }, "oversubscription"},
+		{"zero downlink", func(s *FabricSpec) { s.DownlinkBps = 0 }, "downlink"},
+		{"duplicate ToR id", func(s *FabricSpec) { s.Tors[1].ID = 0 }, "duplicate ToR id 0"},
+		{"no host ports", func(s *FabricSpec) { s.Tors[0].Hosts = 0 }, "host ports"},
+		{"disconnected rack", func(s *FabricSpec) { s.Tors[1].Uplinks = 0 }, "disconnected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(&s)
+			err := s.Validate() // must return an error, never panic
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestFabricSpecUplinkBps(t *testing.T) {
+	s := validSpec() // 4 hosts x 10G, 4:1 oversub, 2 uplinks
+	got := s.UplinkBps(s.Tors[0])
+	want := 4 * 10e9 / (4.0 * 2.0) // 5 Gb/s per uplink
+	if got != want {
+		t.Fatalf("UplinkBps = %g, want %g", got, want)
+	}
+	s.Oversubscription = 1 // non-blocking: uplinks collectively match downlinks
+	if got := s.UplinkBps(s.Tors[0]) * 2; got != 4*10e9 {
+		t.Fatalf("non-blocking uplink capacity = %g, want %g", got, 4*10e9)
+	}
+}
+
+// miniFabric is a hand-built 2-rack, 1-spine fabric on one engine: one host
+// per rack, locator mapping each host MAC to its rack.
+type miniFabric struct {
+	eng          *sim.Engine
+	leaf0, leaf1 *Switch
+	spine        *Switch
+	mac0, mac1   ethernet.MAC
+	hc0, hc1     *Duplex // host cables (host owns the A side)
+	got0, got1   [][]byte
+}
+
+func buildMiniFabric(t *testing.T) *miniFabric {
+	t.Helper()
+	m := &miniFabric{
+		eng:  sim.NewEngine(),
+		mac0: ethernet.NewMAC(100),
+		mac1: ethernet.NewMAC(200),
+	}
+	m.leaf0 = NewSwitch(m.eng, 10)
+	m.leaf1 = NewSwitch(m.eng, 10)
+	m.spine = NewSwitch(m.eng, 10)
+	locate := func(mac ethernet.MAC) (int, bool) {
+		switch mac {
+		case m.mac0:
+			return 0, true
+		case m.mac1:
+			return 1, true
+		}
+		return 0, false
+	}
+	m.leaf0.SetLocator(0, locate)
+	m.leaf1.SetLocator(1, locate)
+	m.spine.SetLocator(-1, locate)
+
+	m.hc0 = NewDuplex(m.eng, 10e9, 100)
+	m.leaf0.AttachPort(m.hc0)
+	m.hc0.BtoA.SetReceiver(ReceiverFunc(func(f []byte) { m.got0 = append(m.got0, f) }))
+	m.hc1 = NewDuplex(m.eng, 10e9, 100)
+	m.leaf1.AttachPort(m.hc1)
+	m.hc1.BtoA.SetReceiver(ReceiverFunc(func(f []byte) { m.got1 = append(m.got1, f) }))
+
+	// One uplink per leaf: the leaf owns the A side, the spine the B side.
+	up0 := NewDuplex(m.eng, 10e9, 500)
+	m.leaf0.AttachUplink(up0)
+	m.spine.SetRackPort(0, m.spine.AttachPort(up0))
+	up1 := NewDuplex(m.eng, 10e9, 500)
+	m.leaf1.AttachUplink(up1)
+	m.spine.SetRackPort(1, m.spine.AttachPort(up1))
+	return m
+}
+
+func TestFabricUnicastCrossRack(t *testing.T) {
+	m := buildMiniFabric(t)
+	m.hc0.AtoB.Send(frameBytes(t, m.mac0, m.mac1, "cross-rack"))
+	m.eng.Run()
+	if len(m.got1) != 1 {
+		t.Fatalf("host1 received %d frames, want 1", len(m.got1))
+	}
+	if len(m.got0) != 0 {
+		t.Fatalf("host0 received its own frame back")
+	}
+	if m.leaf0.Forwarded != 1 || m.spine.Forwarded != 1 {
+		t.Fatalf("leaf0 forwarded %d, spine forwarded %d; want 1 and 1",
+			m.leaf0.Forwarded, m.spine.Forwarded)
+	}
+	// leaf1 has never seen mac1 transmit, so the last hop floods its hosts
+	// (split horizon keeps it off the uplink).
+	if m.leaf1.Flooded != 1 {
+		t.Fatalf("leaf1 flooded %d, want 1", m.leaf1.Flooded)
+	}
+	// The reply takes the learned path end to end.
+	m.got0, m.got1 = nil, nil
+	m.hc1.AtoB.Send(frameBytes(t, m.mac1, m.mac0, "reply"))
+	m.eng.Run()
+	if len(m.got0) != 1 || len(m.got1) != 0 {
+		t.Fatalf("reply: host0 got %d, host1 got %d; want 1 and 0", len(m.got0), len(m.got1))
+	}
+	if total := m.leaf0.Drops.Total() + m.leaf1.Drops.Total() + m.spine.Drops.Total(); total != 0 {
+		t.Fatalf("fabric dropped %d frames", total)
+	}
+}
+
+func TestFabricUnicastIntraRack(t *testing.T) {
+	// A second host in rack 0: local traffic must never touch the uplink.
+	m := buildMiniFabric(t)
+	mac2 := ethernet.NewMAC(300)
+	hc2 := NewDuplex(m.eng, 10e9, 100)
+	m.leaf0.AttachPort(hc2)
+	var got2 [][]byte
+	hc2.BtoA.SetReceiver(ReceiverFunc(func(f []byte) { got2 = append(got2, f) }))
+
+	// mac2 is unknown to the locator: the leaf floods its host ports AND one
+	// uplink (it cannot prove the destination is local).
+	m.hc0.AtoB.Send(frameBytes(t, m.mac0, mac2, "unknown"))
+	m.eng.Run()
+	if len(got2) != 1 {
+		t.Fatalf("host2 received %d frames, want 1", len(got2))
+	}
+	// Once mac2 replies, the leaf has learned it and keeps traffic local.
+	spineSeen := m.spine.Forwarded + m.spine.Flooded + m.spine.Drops.Total()
+	got2 = nil
+	hc2.AtoB.Send(frameBytes(t, mac2, m.mac0, "learn me"))
+	m.hc0.AtoB.Send(frameBytes(t, m.mac0, mac2, "local now"))
+	m.eng.Run()
+	if len(got2) != 1 || len(m.got0) != 1 {
+		t.Fatalf("local exchange: host2 got %d, host0 got %d; want 1 and 1", len(got2), len(m.got0))
+	}
+	afterSpine := m.spine.Forwarded + m.spine.Flooded + m.spine.Drops.Total()
+	if afterSpine != spineSeen {
+		t.Fatalf("learned local traffic reached the spine (%d -> %d events)", spineSeen, afterSpine)
+	}
+}
+
+func TestFabricBroadcastReachesEveryHostOnce(t *testing.T) {
+	m := buildMiniFabric(t)
+	m.hc0.AtoB.Send(frameBytes(t, m.mac0, ethernet.Broadcast, "hello all"))
+	m.eng.Run()
+	if len(m.got0) != 0 {
+		t.Fatalf("broadcast echoed to its sender (%d copies)", len(m.got0))
+	}
+	if len(m.got1) != 1 {
+		t.Fatalf("host1 received %d broadcast copies, want exactly 1", len(m.got1))
+	}
+}
+
+func TestFabricSplitHorizonAndNoRoute(t *testing.T) {
+	// A leaf with a locator but no uplinks: remote traffic has no route.
+	eng := sim.NewEngine()
+	leaf := NewSwitch(eng, 10)
+	mac0, mac1 := ethernet.NewMAC(1), ethernet.NewMAC(2)
+	leaf.SetLocator(0, func(mac ethernet.MAC) (int, bool) {
+		if mac == mac1 {
+			return 1, true // remote rack
+		}
+		return 0, mac == mac0
+	})
+	hc := NewDuplex(eng, 10e9, 100)
+	leaf.AttachPort(hc)
+	hc.AtoB.Send(frameBytes(t, mac0, mac1, "nowhere to go"))
+	eng.Run()
+	if got := leaf.Drops.Get(DropNoRoute); got != 1 {
+		t.Fatalf("DropNoRoute = %d, want 1", got)
+	}
+
+	// A spine with no port registered for the destination rack drops too.
+	spine := NewSwitch(eng, 10)
+	spine.SetLocator(-1, func(mac ethernet.MAC) (int, bool) { return 7, mac == mac1 })
+	spine.SetRackPort(0, spine.AttachPort(NewDuplex(eng, 10e9, 100)))
+	in := NewDuplex(eng, 10e9, 100)
+	spine.SetRackPort(3, spine.AttachPort(in))
+	in.AtoB.Send(frameBytes(t, mac0, mac1, "rack 7 is not cabled"))
+	eng.Run()
+	if got := spine.Drops.Get(DropNoRoute); got != 1 {
+		t.Fatalf("spine DropNoRoute = %d, want 1", got)
+	}
+}
+
+func TestWireRemotePath(t *testing.T) {
+	eng := sim.NewEngine()
+	var postedAt sim.Time
+	var posted []byte
+	var received []byte
+	w := NewWire(eng, 8e9, 100, ReceiverFunc(func(f []byte) { received = f }))
+	w.SetRemote(func(at sim.Time, frame []byte) {
+		postedAt, posted = at, frame
+	})
+	frame := frameBytes(t, ethernet.NewMAC(1), ethernet.NewMAC(2), "over the boundary")
+	wireTime := sim.Time(float64((len(frame)+24)*8) / 8e9 * float64(sim.Second))
+	w.Send(frame)
+	eng.Run()
+	if posted == nil {
+		t.Fatal("remote hook never ran")
+	}
+	if want := wireTime + 100; postedAt != want {
+		t.Fatalf("posted delivery time %v, want %v", postedAt, want)
+	}
+	// The posted frame is a private copy: mutating the original must not
+	// leak across the shard boundary.
+	orig := append([]byte(nil), frame...)
+	frame[0] ^= 0xff
+	if string(posted) != string(orig) {
+		t.Fatal("remote hook received an aliased (not copied) frame")
+	}
+	if w.Delivered != 1 {
+		t.Fatalf("Delivered = %d, want 1 (counted at post time)", w.Delivered)
+	}
+	// The destination half: RemoteDeliver hands to the receiver untouched.
+	w.RemoteDeliver(posted)
+	if string(received) != string(orig) {
+		t.Fatal("RemoteDeliver did not hand the frame to the receiver")
+	}
+}

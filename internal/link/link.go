@@ -38,6 +38,11 @@ const (
 	DropCorruptFCS
 	// DropInjected: a fault injector consumed the frame (simulated loss).
 	DropInjected
+	// DropNoRoute: a fabric switch had no path toward the destination —
+	// a leaf with no uplinks, a frame for a remote rack arriving on an
+	// uplink (split horizon forbids re-forwarding it up), or a spine with
+	// no port registered for the destination's rack.
+	DropNoRoute
 
 	// NumDropReasons sizes DropStats; new reasons append above.
 	NumDropReasons
@@ -52,6 +57,8 @@ func (r DropReason) String() string {
 		return "corrupt_fcs"
 	case DropInjected:
 		return "injected"
+	case DropNoRoute:
+		return "no_route"
 	}
 	return "unknown"
 }
@@ -136,6 +143,16 @@ type Wire struct {
 	pendHead int
 	deliver  func()
 
+	// remote, when set, diverts delivery across a shard boundary: instead
+	// of scheduling on the local engine, the wire hands (deliverAt, frame)
+	// to the hook, which posts it into the destination shard's inbox. The
+	// frame passed to the hook is a private copy — the sender's pooled
+	// buffer never crosses the boundary, because buffer pools are
+	// single-threaded per shard. All wire accounting (including the FCS
+	// verdict of a faulted frame) happens on the sending shard, so every
+	// counter on this Wire stays owned by one goroutine.
+	remote func(deliverAt sim.Time, frame []byte)
+
 	// Bytes and Frames count traffic offered to the wire; Delivered counts
 	// frames handed to the receiver; Corrupted counts frames an injector
 	// damaged in flight (detected or not — with CRC32 they always are).
@@ -178,6 +195,49 @@ func (w *Wire) SetReceiver(dst Receiver) { w.dst = dst }
 // send path is untouched: no FCS work, no extra allocation.
 func (w *Wire) SetFault(f TxFault) { w.fault = f }
 
+// SetRemote marks the wire as crossing a shard boundary: post receives each
+// surviving frame (as a private copy) with its delivery time, and is
+// responsible for running RemoteDeliver on the destination shard at that
+// time. The wire's serialization, busy-tracking, fault injection, and drop
+// accounting all stay on the sending side.
+func (w *Wire) SetRemote(post func(deliverAt sim.Time, frame []byte)) { w.remote = post }
+
+// RemoteDeliver hands a frame to the receiver. It is the destination-shard
+// half of a remote wire's delivery and touches no counters, so it is safe
+// to run on a different goroutine than Send (the shard barrier orders them).
+func (w *Wire) RemoteDeliver(frame []byte) {
+	if w.dst != nil {
+		w.dst.ReceiveFrame(frame)
+	}
+}
+
+// sendRemote finishes a Send on a boundary wire: the fault verdict and the
+// FCS check both resolve on the sending shard (a corrupted frame dies here,
+// exactly as the receive-side check would have dropped it), and survivors
+// are copied and posted for delivery on the far shard.
+func (w *Wire) sendRemote(frame []byte, deliverAt sim.Time) {
+	if w.fault != nil {
+		fcs := ethernet.FCS(frame)
+		v := w.fault.Apply(frame)
+		switch v.Action {
+		case FaultDrop:
+			w.Drops.Count(DropInjected)
+			return
+		case FaultCorrupt:
+			w.Corrupted++
+		}
+		deliverAt += v.Extra
+		if ethernet.FCS(frame) != fcs {
+			w.Drops.Count(DropCorruptFCS)
+			return
+		}
+	}
+	w.Delivered++
+	cp := make([]byte, len(frame))
+	copy(cp, frame)
+	w.remote(deliverAt, cp)
+}
+
 // serialization returns the time to clock size bytes onto the wire.
 func (w *Wire) serialization(size int) sim.Time {
 	return sim.Time(float64(size*8) / w.bps * float64(sim.Second))
@@ -196,6 +256,10 @@ func (w *Wire) Send(frame []byte) {
 	depart := start + w.serialization(len(frame)+24)
 	w.busy = depart
 	deliverAt := depart + w.lat
+	if w.remote != nil {
+		w.sendRemote(frame, deliverAt)
+		return
+	}
 	if w.fault != nil {
 		w.sendFaulted(frame, deliverAt)
 		return
@@ -262,16 +326,43 @@ func NewDuplex(eng *sim.Engine, bps float64, latency sim.Time) *Duplex {
 	}
 }
 
-// Switch is a store-and-forward rack switch with MAC learning. Each port is
-// a Duplex cable; the switch owns the "B" side of every port.
+// swPort is one switch port: the wire the switch transmits on, and whether
+// the port faces the fabric core (uplink) rather than a host.
+type swPort struct {
+	tx     *Wire
+	uplink bool
+}
+
+// Switch is a store-and-forward switch with MAC learning. It serves three
+// roles with one forwarding pipeline:
+//
+//   - Classic rack switch (the seed behavior): host ports only, learned
+//     switching with flooding for unknown destinations. Nothing below
+//     changes a single-switch topology's output by a byte.
+//   - Fabric leaf (ToR): SetLocator teaches it which rack owns each MAC.
+//     Frames for remote racks ride a hash-chosen uplink; frames arriving ON
+//     an uplink are never re-forwarded up (split horizon), so the fabric
+//     cannot loop even with multiple spines. Remote MACs are routed by the
+//     locator, not learned — cross-fabric MAC learning would let the first
+//     frame of every flow flood through every rack.
+//   - Fabric spine: SetRackPort registers which port reaches each rack; the
+//     locator maps the destination MAC to its rack. A spine never floods
+//     unicast — an unroutable frame is dropped and tallied DropNoRoute.
 type Switch struct {
 	eng     *sim.Engine
 	latency sim.Time
-	ports   []*Duplex
+	ports   []swPort
 	fib     map[ethernet.MAC]int
 
+	// Fabric role state, all nil/zero for a classic rack switch.
+	rack      int                               // this leaf's rack id
+	locate    func(ethernet.MAC) (int, bool)    // MAC -> owning rack
+	uplinks   []int                             // leaf: uplink port indices
+	rackPorts map[int][]int                     // spine: rack -> ports
+
 	// Forwarded and Flooded count frames by forwarding decision; Drops
-	// tallies frames the switch discarded (runts that failed to decode).
+	// tallies frames the switch discarded (runts that failed to decode,
+	// and fabric frames with no route toward their destination).
 	Forwarded uint64
 	Flooded   uint64
 	Drops     DropStats
@@ -282,14 +373,58 @@ func NewSwitch(eng *sim.Engine, latency sim.Time) *Switch {
 	return &Switch{eng: eng, latency: latency, fib: make(map[ethernet.MAC]int)}
 }
 
-// AttachPort plugs a cable into the switch: frames arriving on cable.AtoB
-// enter the switch; the switch transmits to the device via cable.BtoA. It
-// returns the port index.
+// AttachPort plugs a host-facing cable into the switch: frames arriving on
+// cable.AtoB enter the switch; the switch transmits to the device via
+// cable.BtoA. It returns the port index.
 func (s *Switch) AttachPort(cable *Duplex) int {
 	idx := len(s.ports)
-	s.ports = append(s.ports, cable)
+	s.ports = append(s.ports, swPort{tx: cable.BtoA})
 	cable.AtoB.SetReceiver(ReceiverFunc(func(frame []byte) { s.ingress(idx, frame) }))
 	return idx
+}
+
+// AttachUplink plugs a core-facing cable into a leaf with the opposite
+// orientation: the leaf owns the "A" side (transmits on cable.AtoB, receives
+// from cable.BtoA), so the same Duplex plugs into a spine's AttachPort on
+// the "B" side. Returns the port index.
+func (s *Switch) AttachUplink(cable *Duplex) int {
+	idx := len(s.ports)
+	s.ports = append(s.ports, swPort{tx: cable.AtoB, uplink: true})
+	s.uplinks = append(s.uplinks, idx)
+	cable.BtoA.SetReceiver(ReceiverFunc(func(frame []byte) { s.ingress(idx, frame) }))
+	return idx
+}
+
+// SetLocator turns the switch into a fabric node of rack `rack` (spines pass
+// -1): locate maps a MAC to the rack that owns it. MACs the locator does not
+// know fall back to classic learned switching on a leaf.
+func (s *Switch) SetLocator(rack int, locate func(ethernet.MAC) (int, bool)) {
+	s.rack = rack
+	s.locate = locate
+}
+
+// SetRackPort turns the switch into a spine: frames for MACs in `rack` leave
+// via `port`. Multiple ports per rack load-balance by destination MAC hash.
+func (s *Switch) SetRackPort(rack, port int) {
+	if s.rackPorts == nil {
+		s.rackPorts = make(map[int][]int)
+	}
+	s.rackPorts[rack] = append(s.rackPorts[rack], port)
+}
+
+// Uplinks reports how many uplink ports the switch has.
+func (s *Switch) Uplinks() int { return len(s.uplinks) }
+
+// macHash is the deterministic FNV-1a hash used to spread flows across
+// equal-cost uplinks. It depends only on frame bytes, never on runtime
+// state, so path choice is reproducible per seed.
+func macHash(m ethernet.MAC) uint32 {
+	h := uint32(2166136261)
+	for _, b := range m {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
 }
 
 func (s *Switch) ingress(port int, frame []byte) {
@@ -305,20 +440,90 @@ func (s *Switch) ingress(port int, frame []byte) {
 }
 
 func (s *Switch) egress(ingress int, dst ethernet.MAC, frame []byte) {
+	if s.rackPorts != nil {
+		s.egressSpine(ingress, dst, frame)
+		return
+	}
 	if dst != ethernet.Broadcast {
+		if s.locate != nil {
+			if rack, ok := s.locate(dst); ok && rack != s.rack {
+				s.egressRemote(ingress, dst, frame)
+				return
+			}
+		}
 		if out, ok := s.fib[dst]; ok {
 			if out != ingress {
 				s.Forwarded++
-				s.ports[out].BtoA.Send(frame)
+				s.ports[out].tx.Send(frame)
 			}
 			return
 		}
 	}
-	// Unknown destination or broadcast: flood all ports but ingress.
+	// Unknown destination or broadcast: flood all host ports but ingress.
+	// A frame that came DOWN an uplink stays down (split horizon); a local
+	// frame additionally rides one hash-chosen uplink so broadcasts reach
+	// the rest of the fabric exactly once.
 	s.Flooded++
 	for i, p := range s.ports {
-		if i != ingress {
-			p.BtoA.Send(frame)
+		if i != ingress && !p.uplink {
+			p.tx.Send(frame)
 		}
 	}
+	if len(s.uplinks) > 0 && !s.ports[ingress].uplink {
+		// Suppress the uplink copy when the locator proves the destination
+		// is local to this rack — the flood above already covers it.
+		if rack, ok := s.locateRack(dst); !ok || rack != s.rack {
+			out := s.uplinks[macHash(dst)%uint32(len(s.uplinks))]
+			s.ports[out].tx.Send(frame)
+		}
+	}
+}
+
+// locateRack wraps locate for callers that must tolerate a nil locator.
+func (s *Switch) locateRack(m ethernet.MAC) (int, bool) {
+	if s.locate == nil {
+		return 0, false
+	}
+	return s.locate(m)
+}
+
+// egressRemote sends a unicast frame toward another rack via an uplink.
+func (s *Switch) egressRemote(ingress int, dst ethernet.MAC, frame []byte) {
+	if s.ports[ingress].uplink {
+		// Split horizon: a remote-rack frame arriving on an uplink means a
+		// spine misrouted it; re-forwarding up could loop, so drop loudly.
+		s.Drops.Count(DropNoRoute)
+		return
+	}
+	if len(s.uplinks) == 0 {
+		s.Drops.Count(DropNoRoute)
+		return
+	}
+	out := s.uplinks[macHash(dst)%uint32(len(s.uplinks))]
+	s.Forwarded++
+	s.ports[out].tx.Send(frame)
+}
+
+// egressSpine routes by the destination's rack. Spines never flood unicast.
+func (s *Switch) egressSpine(ingress int, dst ethernet.MAC, frame []byte) {
+	if dst == ethernet.Broadcast {
+		s.Flooded++
+		for i, p := range s.ports {
+			if i != ingress {
+				p.tx.Send(frame)
+			}
+		}
+		return
+	}
+	if rack, ok := s.locateRack(dst); ok {
+		if outs := s.rackPorts[rack]; len(outs) > 0 {
+			out := outs[macHash(dst)%uint32(len(outs))]
+			if out != ingress {
+				s.Forwarded++
+				s.ports[out].tx.Send(frame)
+			}
+			return
+		}
+	}
+	s.Drops.Count(DropNoRoute)
 }

@@ -106,6 +106,14 @@ type P struct {
 	// LinkBandwidth10G / LinkBandwidth40G are the two cable classes in §3.
 	LinkBandwidth10G float64
 	LinkBandwidth40G float64
+	// FabricLinkLatency is one ToR↔spine cable's propagation + PHY latency.
+	// Inter-rack fiber runs tens of meters, so this is ~10x a rack cable.
+	// It is also the sharded simulator's lookahead bound: every path between
+	// racks crosses at least one such wire, so no cross-rack influence can
+	// arrive sooner (see internal/sim's ShardGroup).
+	FabricLinkLatency sim.Time
+	// SpineLatency is a spine switch's store-and-forward latency.
+	SpineLatency sim.Time
 
 	// --- frames (§4.3/§4.4) ---
 
@@ -254,6 +262,9 @@ func Default() P {
 		LinkBandwidth10G: 10e9,
 		LinkBandwidth40G: 40e9,
 
+		FabricLinkLatency: 4 * sim.Microsecond,
+		SpineLatency:      1500 * sim.Nanosecond,
+
 		MTU:           8100,
 		MaxTSOMessage: 64 * 1024,
 		RxRingSize:    4096,
@@ -328,6 +339,7 @@ func (p *P) Validate() error {
 		{"IRQCoalesceDelay", p.IRQCoalesceDelay},
 		{"WireLatency", p.WireLatency},
 		{"SwitchLatency", p.SwitchLatency},
+		{"SpineLatency", p.SpineLatency},
 		{"NICProcessCost", p.NICProcessCost},
 		{"RetransmitTimeout", p.RetransmitTimeout},
 		{"RamdiskLatency", p.RamdiskLatency},
@@ -363,6 +375,11 @@ func (p *P) Validate() error {
 	}
 	if p.LinkBandwidth10G <= 0 || p.LinkBandwidth40G <= 0 {
 		return fmt.Errorf("params: link bandwidths must be positive")
+	}
+	if p.FabricLinkLatency <= 0 {
+		// Strictly positive, not merely non-negative: it is the conservative
+		// lookahead bound, and a zero-latency fabric cannot be sharded.
+		return fmt.Errorf("params: FabricLinkLatency must be positive (it bounds the shard lookahead)")
 	}
 	return nil
 }

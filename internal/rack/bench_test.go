@@ -38,3 +38,21 @@ func BenchmarkRackRebalance(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRebalanceTick isolates one policy evaluation: the gauge reads
+// and delta bookkeeping a rebalance window costs with no datapath running.
+// The controller resolves its metric handles at New and reuses its delta
+// scratch, so a tick must not allocate.
+func BenchmarkRebalanceTick(b *testing.B) {
+	tb := cluster.Build(cluster.Spec{
+		Model: core.ModelVRIO, VMHosts: 4, VMsPerHost: 4,
+		NumIOhosts: 4, Placement: Placement(Static(0), 4),
+		NoJitter: true, Seed: 7,
+	})
+	c := New(tb, Config{RebalanceInterval: sim.Millisecond})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.rebalanceTick()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"vrio/internal/cluster"
 	"vrio/internal/sim"
 	"vrio/internal/stats"
+	"vrio/internal/trace"
 )
 
 // Config tunes the control loops. Zero values take the documented defaults.
@@ -55,6 +56,9 @@ const (
 	EventRehome
 	// EventRebalance: the hottest guest moved off the busiest IOhost.
 	EventRebalance
+	// EventRackDark: an IOhost died with no surviving IOhost in the rack
+	// to re-home onto — the rack's guests have lost remote I/O service.
+	EventRackDark
 )
 
 func (k EventKind) String() string {
@@ -65,6 +69,8 @@ func (k EventKind) String() string {
 		return "rehome"
 	case EventRebalance:
 		return "rebalance"
+	case EventRackDark:
+		return "rack_dark"
 	}
 	return fmt.Sprintf("EventKind(%d)", int(k))
 }
@@ -93,6 +99,16 @@ type Controller struct {
 	cooldown   int
 	stops      []func()
 
+	// The rebalance policy reads exactly one gauge per IOhost (sidecore
+	// busy time) and two per guest (VF frame counts). The handles are
+	// resolved once here, and the per-window delta slices are reused, so a
+	// tick costs a handful of gauge reads — not a name-formatting pass and
+	// registry lookup per component, re-allocated every window.
+	busyMetrics []*trace.Metric
+	vfMetrics   [][2]*trace.Metric
+	busyDelta   []float64
+	frameDelta  []float64
+
 	// Events is the ordered control-plane action log.
 	Events []Event
 	// Counters: "heartbeats", "heartbeat_misses", "detections", "rehomes",
@@ -113,6 +129,17 @@ func New(tb *cluster.Testbed, cfg Config) *Controller {
 		misses:     make([]int, len(tb.IOHyps)),
 		lastBusy:   make([]float64, len(tb.IOHyps)),
 		lastFrames: make([]float64, len(tb.VRIOClients)),
+		busyDelta:  make([]float64, len(tb.IOHyps)),
+		frameDelta: make([]float64, len(tb.VRIOClients)),
+	}
+	for i := range tb.IOHyps {
+		c.busyMetrics = append(c.busyMetrics, tb.Metrics.Get(cluster.IOhypComponent(i), "busy_ns"))
+	}
+	for vm := range tb.VRIOClients {
+		comp := fmt.Sprintf("vm%d-vf", vm)
+		c.vfMetrics = append(c.vfMetrics, [2]*trace.Metric{
+			tb.Metrics.Get(comp, "rx_frames"), tb.Metrics.Get(comp, "tx_frames"),
+		})
 	}
 	for i := range c.alive {
 		c.alive[i] = true
@@ -195,12 +222,26 @@ func (c *Controller) declareDead(i int) {
 		}
 		dst := c.leastLoadedAlive()
 		if dst < 0 {
-			return // no survivors; the rack is dark
+			// No survivors: the rack is dark. Recorded once, loudly — a
+			// datacenter tier can only restore service by migrating the
+			// guests to another rack, not by re-homing within this one.
+			c.Counters.Inc("rack_dark", 1)
+			c.Events = append(c.Events, Event{T: c.tb.Eng.Now(), Kind: EventRackDark, IOhost: i, VM: -1, Dst: -1})
+			return
 		}
 		c.tb.RehomeClient(vm, dst)
 		c.Counters.Inc("rehomes", 1)
 		c.Events = append(c.Events, Event{T: c.tb.Eng.Now(), Kind: EventRehome, IOhost: i, VM: vm, Dst: dst})
 	}
+}
+
+// metricValue reads a cached gauge handle, tolerating metrics a model
+// variant never registered (same contract as Registry.Value's 0 default).
+func metricValue(m *trace.Metric) float64 {
+	if m == nil {
+		return 0
+	}
+	return m.Value()
 }
 
 // leastLoadedAlive picks the surviving IOhost with the fewest placed
@@ -228,16 +269,14 @@ func (c *Controller) leastLoadedAlive() int {
 // when the busy-time deltas differ by more than ImbalanceRatio.
 func (c *Controller) rebalanceTick() {
 	tb := c.tb
-	busyDelta := make([]float64, len(tb.IOHyps))
+	busyDelta, frameDelta := c.busyDelta, c.frameDelta
 	for i := range tb.IOHyps {
-		busy := tb.Metrics.Value(cluster.IOhypComponent(i), "busy_ns")
+		busy := metricValue(c.busyMetrics[i])
 		busyDelta[i] = busy - c.lastBusy[i]
 		c.lastBusy[i] = busy
 	}
-	frameDelta := make([]float64, len(tb.VRIOClients))
 	for vm := range tb.VRIOClients {
-		comp := fmt.Sprintf("vm%d-vf", vm)
-		f := tb.Metrics.Value(comp, "rx_frames") + tb.Metrics.Value(comp, "tx_frames")
+		f := metricValue(c.vfMetrics[vm][0]) + metricValue(c.vfMetrics[vm][1])
 		frameDelta[vm] = f - c.lastFrames[vm]
 		c.lastFrames[vm] = f
 	}

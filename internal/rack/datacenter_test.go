@@ -1,0 +1,145 @@
+package rack
+
+import (
+	"testing"
+
+	"vrio/internal/cluster"
+	"vrio/internal/core"
+	"vrio/internal/sim"
+	"vrio/internal/workload"
+)
+
+// dcFabric builds a 2-rack fabric with 2 IOhosts per rack and RR traffic on
+// every guest (heartbeats need nothing, but rebalance reads want load).
+func dcFabric(t *testing.T) (*cluster.Fabric, [][]cluster.Measurable) {
+	t.Helper()
+	f, err := cluster.BuildFabric(cluster.FabricSpec{
+		Rack: cluster.Spec{
+			Model: core.ModelVRIO, VMHosts: 1, VMsPerHost: 2,
+			NumIOhosts: 2, StationPerVM: true, NoJitter: true, Seed: 11,
+		},
+		NumRacks: 2,
+	})
+	if err != nil {
+		t.Fatalf("BuildFabric: %v", err)
+	}
+	perRack := make([][]cluster.Measurable, len(f.Racks))
+	for r, tb := range f.Racks {
+		for g, guest := range tb.Guests {
+			workload.InstallRRServer(guest, tb.P.NetperfRRProcessCost)
+			rr := workload.NewRR(tb.StationFor(g), guest.MAC(), 16)
+			rr.Start()
+			perRack[r] = append(perRack[r], &rr.Results)
+		}
+	}
+	return f, perRack
+}
+
+// TestDatacenterIntraRackRehome: an IOhost failure in one rack is detected
+// and healed entirely inside that rack; the other rack's controller never
+// acts.
+func TestDatacenterIntraRackRehome(t *testing.T) {
+	f, perRack := dcFabric(t)
+	defer f.Close()
+	d := NewDatacenter(f, Config{HeartbeatInterval: sim.Millisecond / 2})
+	d.Start()
+	f.Racks[1].Eng.At(5*sim.Millisecond, func() { f.Racks[1].IOHyps[0].Fail() })
+	f.RunMeasured(sim.Millisecond, 19*sim.Millisecond, 2, perRack)
+
+	if got := d.Controllers[1].Counters.Get("detections"); got != 1 {
+		t.Fatalf("rack 1 detections = %d, want 1", got)
+	}
+	if got := d.Controllers[0].Counters.Get("detections"); got != 0 {
+		t.Fatalf("rack 0 detected a failure it cannot see (%d)", got)
+	}
+	// Every re-home stayed inside rack 1, onto its surviving IOhost.
+	rehomed := false
+	for _, e := range d.Events() {
+		if e.Kind != EventRehome {
+			continue
+		}
+		rehomed = true
+		if e.Rack != 1 {
+			t.Fatalf("re-home recorded in rack %d, want 1", e.Rack)
+		}
+		if e.Dst != 1 {
+			t.Fatalf("re-home destination IOhost %d, want the rack's survivor (1)", e.Dst)
+		}
+	}
+	if !rehomed {
+		t.Fatal("no re-home events recorded")
+	}
+	for vm, io := range f.Racks[1].ClientIOhost {
+		if io != 1 {
+			t.Fatalf("rack 1 guest %d still on dead IOhost %d", vm, io)
+		}
+	}
+	if dark := d.DarkRacks(); len(dark) != 0 {
+		t.Fatalf("DarkRacks = %v, want none", dark)
+	}
+}
+
+// TestDatacenterDarkRack: when every IOhost in a rack dies, the controller
+// records the rack going dark instead of silently giving up.
+func TestDatacenterDarkRack(t *testing.T) {
+	f, perRack := dcFabric(t)
+	defer f.Close()
+	d := NewDatacenter(f, Config{HeartbeatInterval: sim.Millisecond / 2})
+	d.Start()
+	f.Racks[0].Eng.At(4*sim.Millisecond, func() {
+		f.Racks[0].IOHyps[0].Fail()
+		f.Racks[0].IOHyps[1].Fail()
+	})
+	f.RunMeasured(sim.Millisecond, 19*sim.Millisecond, 2, perRack)
+
+	if dark := d.DarkRacks(); len(dark) != 1 || dark[0] != 0 {
+		t.Fatalf("DarkRacks = %v, want [0]", dark)
+	}
+	if d.Counter("rack_dark") == 0 {
+		t.Fatal("no rack_dark counter increments")
+	}
+	sawDark := false
+	for _, e := range d.Events() {
+		if e.Kind == EventRackDark && e.Rack == 0 {
+			sawDark = true
+		}
+	}
+	if !sawDark {
+		t.Fatal("no EventRackDark in the merged log")
+	}
+	// Rack 1 is untouched and still fully alive.
+	if got := d.Controllers[1].AliveIOhosts(); got != 2 {
+		t.Fatalf("rack 1 alive IOhosts = %d, want 2", got)
+	}
+}
+
+// TestDatacenterEventOrderDeterministic: the merged log is byte-identical
+// across worker counts (the same property the fabric equivalence test
+// enforces for the datapath, applied to the control plane).
+func TestDatacenterEventOrderDeterministic(t *testing.T) {
+	run := func(workers int) []RackEvent {
+		f, perRack := dcFabric(t)
+		defer f.Close()
+		d := NewDatacenter(f, Config{HeartbeatInterval: sim.Millisecond / 2})
+		d.Start()
+		for r := range f.Racks {
+			r := r
+			f.Racks[r].Eng.At(5*sim.Millisecond, func() { f.Racks[r].IOHyps[0].Fail() })
+		}
+		f.RunMeasured(sim.Millisecond, 19*sim.Millisecond, workers, perRack)
+		return d.Events()
+	}
+	serial := run(1)
+	if len(serial) == 0 {
+		t.Fatal("no events to compare")
+	}
+	parallel := run(3)
+	if len(parallel) != len(serial) {
+		t.Fatalf("event count diverged: %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+}

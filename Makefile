@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric race-rack race-fault race-shard benchjson memprofile check
+.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric race-rack race-fault race-shard race-trace benchjson memprofile check
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,14 @@ bench-fabric:
 race-shard:
 	$(GO) test -race -run 'Shard|Fabric|Datacenter' ./internal/sim/ ./internal/link/ ./internal/cluster/ ./internal/rack/
 
+# The observability plane under the race detector: per-shard tracers, the
+# flight-recorder rings, the metrics rollup's per-shard tickers, and the
+# fabrictrace worker-equivalence run. Spans, rollup rows, and flight dumps
+# are recorded shard-locally and merged only between windows; a reader that
+# crosses a shard boundary mid-window must fail here.
+race-trace:
+	$(GO) test -race -run 'Trace|Flight|Rollup|Merge' ./internal/trace/ ./internal/sim/ ./internal/rack/ ./internal/experiments/
+
 # Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
 # events/sec for serial vs parallel RunAll.
 benchjson:
@@ -69,4 +77,4 @@ memprofile:
 	$(GO) run ./cmd/vrio-experiments -run all -quick -memprofile mem.pprof > /dev/null
 	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 15 mem.pprof
 
-check: build vet test race race-fault race-shard
+check: build vet test race race-fault race-shard race-trace

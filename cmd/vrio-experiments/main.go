@@ -9,6 +9,7 @@
 //	vrio-experiments -benchjson [-quick]            # emit BENCH_<date>.json
 //	vrio-experiments -run all -cpuprofile cpu.pprof -memprofile mem.pprof
 //	vrio-experiments -trace [-trace-out out.json] [-metrics-interval 500us]
+//	vrio-experiments -trace -racks 4 [-shards 2]    # traced spine-leaf fabric
 package main
 
 import (
@@ -63,14 +64,14 @@ func main() {
 	experiments.SetFabricOptions(*racks, *shards, *oversub)
 
 	if err := realMain(*list, *run, *quick, *parallel, *workers, *cpuprofile, *memprofile, *benchjson, *benchout,
-		*doTrace, *traceOut, *traceSeed, *metricsInterval); err != nil {
+		*doTrace, *traceOut, *traceSeed, *metricsInterval, *racks, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 }
 
 func realMain(list bool, run string, quick, parallel bool, workers int, cpuprofile, memprofile string, benchjson bool, benchout string,
-	doTrace bool, traceOut string, traceSeed uint64, metricsInterval time.Duration) error {
+	doTrace bool, traceOut string, traceSeed uint64, metricsInterval time.Duration, racks, shards int) error {
 	if list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
@@ -78,6 +79,9 @@ func realMain(list bool, run string, quick, parallel bool, workers int, cpuprofi
 		return nil
 	}
 	if doTrace {
+		if racks > 1 {
+			return writeFabricTrace(traceOut, traceSeed, metricsInterval, racks, shards)
+		}
 		return writeTrace(traceOut, traceSeed, metricsInterval)
 	}
 
@@ -168,6 +172,47 @@ func writeTrace(outPath string, seed uint64, interval time.Duration) error {
 	return nil
 }
 
+// writeFabricTrace runs the traced spine-leaf fabric scenario (-trace with
+// -racks > 1) and writes the merged cross-shard artifacts: the span export,
+// the fabric-wide rollup metrics stream, and the anomaly dump stream, then
+// prints the probe request's hop walk and the vrio-top summary table.
+func writeFabricTrace(outPath string, seed uint64, interval time.Duration, racks, shards int) error {
+	if shards <= 0 {
+		shards = runtime.NumCPU()
+	}
+	res, err := experiments.FabricTraceRun(seed, sim.Time(interval.Nanoseconds()), racks, shards)
+	if err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(outPath, ".json")
+	for _, art := range []struct {
+		suffix string
+		data   []byte
+	}{
+		{".spans.jsonl", res.Spans},
+		{".metrics.jsonl", res.Metrics},
+		{".anomalies.jsonl", res.Anomalies},
+	} {
+		path := base + art.suffix
+		if err := os.WriteFile(path, art.data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	fmt.Printf("%d merged spans across %d racks; probe flow:\n", res.NumSpans, racks)
+	for i, h := range res.Hops {
+		if i >= 8 {
+			fmt.Printf("  ... %d more hops (the probe ping-pongs for the rest of the run)\n", len(res.Hops)-i)
+			break
+		}
+		fmt.Printf("  %s %s shard=%d [%v..%v]\n", h.Cat, h.Name, h.Shard,
+			time.Duration(h.Start), time.Duration(h.End))
+	}
+	fmt.Println()
+	fmt.Print(res.Summary)
+	return nil
+}
+
 // benchRun is one timed pass for BENCH_<date>.json.
 type benchRun struct {
 	Workers      int     `json:"workers"`
@@ -206,6 +251,11 @@ type benchReport struct {
 	// zero-overhead-when-disabled contract.
 	EngineScheduleNsOp int64 `json:"engine_schedule_ns_op"`
 	TraceDisabledNsOp  int64 `json:"trace_disabled_ns_op"`
+	// FabricTraceOverheadNsOp is the sharded-datapath version of the same
+	// contract: one ShardGroup synchronization window (two shards, one pooled
+	// event each) with a disabled-tracer guard in the loop, minus the bare
+	// window. Best-of-three per side; must be noise (~0 ns).
+	FabricTraceOverheadNsOp int64 `json:"fabric_trace_overhead_ns_op"`
 	// Control-plane macrobenchmark (internal/rack BenchmarkRackRebalance):
 	// one full imbalance-healing run — 2 IOhosts, all-on-one placement,
 	// heartbeats and rebalancing on, 20 ms of sim traffic.
@@ -253,6 +303,35 @@ func benchEngine(withTracer bool) int64 {
 			}
 			e.After(1, fn)
 			e.RunUntil(e.Now() + 1)
+		}
+	})
+	return res.NsPerOp()
+}
+
+// benchShardGroup mirrors internal/sim's BenchmarkShardGroupBare /
+// BenchmarkShardGroupTraceDisabled: one conservative synchronization window
+// over two shards with a pooled event each, optionally guarded by the
+// disabled-tracer check every instrumented component runs per event.
+func benchShardGroup(withTracer bool) int64 {
+	var tr *trace.Tracer // nil: the disabled tracer
+	res := testing.Benchmark(func(b *testing.B) {
+		g := sim.NewShardGroup(100, 0)
+		g.AddShard()
+		g.AddShard()
+		fn := func() {}
+		var deadline sim.Time
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if withTracer && tr.Enabled() {
+				id := tr.BeginArg(trace.CatWorker, "bench", 0, uint64(i))
+				tr.End(id)
+			}
+			for _, s := range g.Shards() {
+				s.Eng.After(1, fn)
+			}
+			deadline += 100
+			g.RunUntil(deadline, 1)
 		}
 	})
 	return res.NsPerOp()
@@ -479,6 +558,16 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 	faultedNs, faultedAllocs := bestNs(benchDatapathNetTxFaulted)
 	report.FaultOverheadNsOp = faultedNs - plainNs
 	report.FaultNetTxAllocsOp = faultedAllocs
+	bestShard := func(withTracer bool) int64 {
+		ns := benchShardGroup(withTracer)
+		for i := 0; i < 2; i++ {
+			if n := benchShardGroup(withTracer); n < ns {
+				ns = n
+			}
+		}
+		return ns
+	}
+	report.FabricTraceOverheadNsOp = bestShard(true) - bestShard(false)
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", report.Date)
 	}
@@ -504,6 +593,8 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 		report.DatapathBlkNsOp, report.DatapathBlkAllocsOp)
 	fmt.Printf("fault overhead  %+d ns/op (%d allocs/op) with an empty fault plan attached\n",
 		report.FaultOverheadNsOp, report.FaultNetTxAllocsOp)
+	fmt.Printf("fabric trace overhead %+d ns/op on the sharded window path with tracing disabled\n",
+		report.FabricTraceOverheadNsOp)
 	if !identical {
 		return fmt.Errorf("parallel output diverged from serial")
 	}

@@ -8,23 +8,35 @@
 //	vrio-sim -model elvis -vms 7 -workload stream
 //	vrio-sim -model vrio -vms 2 -workload filebench -params '{"RamdiskLatency": 90000}'
 //	vrio-sim -model vrio -racks 16 -shards 8 -oversub 4 -measure 50ms
+//	vrio-sim -model vrio -racks 4 -trace -metrics-interval 1ms -trace-out fabric-out
 //
 // With -racks > 1 the run becomes a spine-leaf fabric: one testbed per rack
 // on its own simulation shard, every station driving a guest one rack over,
 // executed by -shards workers under the conservative coordinator (output is
 // identical for every -shards value; only wall clock changes).
+//
+// -trace and -metrics-interval turn on the fabric observability plane for
+// such a run: -trace records cross-shard spans (guest ring, ToR→spine and
+// spine→ToR hops, remote IOhyp worker, completion) and writes the merged
+// span export; -metrics-interval samples every rack's registry plus the
+// spine registry into one merged fabric-wide metrics stream. Both write
+// JSONL artifacts into -trace-out and print a vrio-top style summary table;
+// both exports are byte-identical at any -shards value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"vrio"
 	"vrio/internal/cluster"
 	"vrio/internal/core"
+	"vrio/internal/rack"
 	"vrio/internal/sim"
 	"vrio/internal/stats"
 	"vrio/internal/workload"
@@ -44,6 +56,9 @@ func main() {
 	racks := flag.Int("racks", 1, "number of racks; >1 builds a spine-leaf fabric (rr workload only)")
 	shards := flag.Int("shards", 0, "workers executing the fabric's shards (0 = one per CPU, 1 = serial)")
 	oversub := flag.Float64("oversub", 4, "ToR downlink:uplink oversubscription ratio for -racks > 1")
+	doTrace := flag.Bool("trace", false, "with -racks > 1: record cross-shard spans and write the merged span export")
+	traceOut := flag.String("trace-out", "fabric-trace", "output directory for the fabric span/metrics/anomaly JSONL artifacts")
+	metricsInterval := flag.Duration("metrics-interval", 0, "fabric metrics rollup sampling interval in sim time (0 = 1ms when -trace is set, otherwise off)")
 	flag.Parse()
 
 	valid := map[string]vrio.Model{
@@ -79,11 +94,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-racks > 1 does not take a fault profile yet")
 			os.Exit(2)
 		}
-		if err := runFabric(m, *racks, *shards, *oversub, *vms, *hosts, *seed, &p, *measure); err != nil {
+		if err := runFabric(m, *racks, *shards, *oversub, *vms, *hosts, *seed, &p, *measure,
+			*doTrace, *traceOut, *metricsInterval); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 		return
+	}
+	if *doTrace || *metricsInterval > 0 {
+		fmt.Fprintln(os.Stderr, "-trace/-metrics-interval here apply to fabric runs (-racks > 1); for a single-rack trace use vrio-experiments -trace")
+		os.Exit(2)
 	}
 
 	needsBlock := *wl == "filebench" || *wl == "webserver"
@@ -157,12 +177,17 @@ func main() {
 // with RR traffic from a station one rack over (all transactions cross the
 // spine tier), runs it under the conservative shard coordinator with the
 // requested worker count, and prints the measured results plus the
-// coordinator's accounting.
-func runFabric(m vrio.Model, racks, shards int, oversub float64, vms, hosts int, seed uint64, p *vrio.Params, measure time.Duration) error {
+// coordinator's accounting. With tracing or a metrics interval it also runs
+// the observability plane: per-rack controllers, the datacenter rollup, and
+// (for -trace) cross-shard span recording, exporting the merged artifacts.
+func runFabric(m vrio.Model, racks, shards int, oversub float64, vms, hosts int, seed uint64, p *vrio.Params, measure time.Duration,
+	doTrace bool, outDir string, metricsInterval time.Duration) error {
+	observe := doTrace || metricsInterval > 0
 	f, err := cluster.BuildFabric(cluster.FabricSpec{
 		Rack: cluster.Spec{
 			Model: m, VMHosts: hosts, VMsPerHost: vms,
 			StationPerVM: true, Seed: seed, Params: p,
+			Trace: doTrace,
 		},
 		NumRacks:         racks,
 		Oversubscription: oversub,
@@ -173,6 +198,16 @@ func runFabric(m vrio.Model, racks, shards int, oversub float64, vms, hosts int,
 	defer f.Close()
 	if shards <= 0 {
 		shards = runtime.NumCPU()
+	}
+
+	var ru *rack.Rollup
+	var dc *rack.Datacenter
+	if observe {
+		if f.Racks[0].IOHyp == nil {
+			return fmt.Errorf("fabric observability (-trace/-metrics-interval) requires a vrio model")
+		}
+		dc = rack.NewDatacenter(f, rack.Config{})
+		ru = rack.NewRollup(dc, rack.RollupConfig{Interval: sim.Time(metricsInterval.Nanoseconds())})
 	}
 
 	warm := sim.Time(measure.Nanoseconds()) / 5
@@ -187,11 +222,22 @@ func runFabric(m vrio.Model, racks, shards int, oversub float64, vms, hosts int,
 			rr.Start()
 			rrs = append(rrs, rr)
 			perRack[r] = append(perRack[r], &rr.Results)
+			if ru != nil {
+				ru.ObserveLatency(r, true, &rr.Results.Latency)
+			}
 		}
+	}
+	if observe {
+		dc.Start()
+		ru.Start()
 	}
 	t0 := time.Now()
 	f.RunMeasured(warm, dur, shards, perRack)
 	wall := time.Since(t0)
+	if observe {
+		ru.Stop()
+		dc.Stop()
+	}
 
 	var ops, errs uint64
 	var agg stats.Histogram
@@ -213,5 +259,41 @@ func runFabric(m vrio.Model, racks, shards int, oversub float64, vms, hosts int,
 		xshard, f.Group.Windows, time.Duration(f.Lookahead))
 	fmt.Printf("wall clock: %v for %d simulated events (%.0f events/sec)\n",
 		wall, f.TotalExecuted(), float64(f.TotalExecuted())/wall.Seconds())
+
+	if observe {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		write := func(name string, fn func(io.Writer) error) error {
+			path := filepath.Join(outDir, name)
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := fn(file); err != nil {
+				file.Close()
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+			return nil
+		}
+		fmt.Println()
+		if doTrace {
+			if err := write("spans.jsonl", f.WriteSpans); err != nil {
+				return err
+			}
+		}
+		if err := write("metrics.jsonl", ru.WriteMetricsJSONL); err != nil {
+			return err
+		}
+		if err := write("anomalies.jsonl", ru.WriteAnomaliesJSONL); err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(ru.Summary())
+	}
 	return nil
 }

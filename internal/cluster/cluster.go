@@ -24,6 +24,12 @@ import (
 	"vrio/internal/workload"
 )
 
+// flightCapacity bounds each shard's flight-recorder ring. 256 entries is
+// plenty to cover the events leading up to an anomaly (a heartbeat-miss
+// sequence, a burst of no-route drops) while keeping the recorder's memory
+// fixed regardless of run length.
+const flightCapacity = 256
+
 // MAC numbering plan.
 const (
 	macGuestBase     = 1000 // F addresses, by global VM index
@@ -157,6 +163,11 @@ type Testbed struct {
 	// Tracer records datapath spans when Spec.Trace is set (nil otherwise —
 	// the zero-cost disabled tracer).
 	Tracer *trace.Tracer
+	// Flight is the rack's always-on flight recorder: a bounded ring of
+	// recent anomaly-relevant events (switch drops, controller events,
+	// heartbeat misses), dumped on anomalies by the datacenter rollup. Fixed
+	// capacity, so it costs nothing proportional to run length.
+	Flight *trace.FlightRecorder
 	// Metrics is the per-component metrics registry, populated at Build
 	// time for every testbed. Experiments read component counters through
 	// it, and StartMetricsSampling snapshots it at sim-time intervals.
@@ -242,6 +253,7 @@ func BuildOn(spec Spec, eng *sim.Engine) *Testbed {
 		P:       p,
 		Spec:    spec,
 		Metrics: trace.NewRegistry(),
+		Flight:  trace.NewFlightRecorder(flightCapacity),
 		pool:    bufpool.New(),
 	}
 	if spec.Trace {
@@ -256,6 +268,9 @@ func BuildOn(spec Spec, eng *sim.Engine) *Testbed {
 	tb.Fault = fault.NewPlan(tb.Eng, spec.Fault, fseed)
 	tb.Fault.Tracer = tb.Tracer
 	tb.Switch = link.NewSwitch(tb.Eng, p.SwitchLatency)
+	tb.Switch.OnDrop = func(r link.DropReason) {
+		tb.Flight.Record(tb.Eng.Now(), "switch_drop", r.String(), 0)
+	}
 	nicCfg := nic.Config{
 		ProcessCost:   p.NICProcessCost,
 		CoalesceDelay: p.IRQCoalesceDelay,

@@ -13,11 +13,13 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 
 	"vrio/internal/ethernet"
 	"vrio/internal/link"
 	"vrio/internal/params"
 	"vrio/internal/sim"
+	"vrio/internal/trace"
 )
 
 // macRackStride is the size of each rack's MAC address block: rack r mints
@@ -162,6 +164,51 @@ type Fabric struct {
 	// Spines are the spine switches, all on SpineShard's engine.
 	Spines     []*link.Switch
 	SpineShard *sim.Shard
+
+	// SpineTracer records the spine shard's fabric-hop spans when the rack
+	// template has tracing on (nil — the disabled tracer — otherwise). Each
+	// rack's own hops land in its Testbed.Tracer; the merged export stitches
+	// them by Span.Flow.
+	SpineTracer *trace.Tracer
+	// SpineMetrics is the spine shard's registry: per-spine forwarding and
+	// drop tallies plus per-downlink wire stats.
+	SpineMetrics *trace.Registry
+	// SpineFlight is the spine shard's flight recorder (spine switch drops).
+	SpineFlight *trace.FlightRecorder
+
+	// Uplinks[r][s] is rack r's transmit wire toward spine s (it lives on
+	// rack r's engine); Downlinks[r][s] is the matching spine-to-rack wire
+	// (on the spine engine). Kept for the per-uplink gauges and the rollup.
+	Uplinks   [][]*link.Wire
+	Downlinks [][]*link.Wire
+}
+
+// Tracers returns the fabric's per-shard tracers in shard order — racks
+// first, spine last, matching ShardGroup's shard numbering — ready for
+// trace.Merge / trace.WriteMergedJSONL. All nil (disabled) when the fabric
+// was built without tracing.
+func (f *Fabric) Tracers() []*trace.Tracer {
+	out := make([]*trace.Tracer, 0, len(f.Racks)+1)
+	for _, tb := range f.Racks {
+		out = append(out, tb.Tracer)
+	}
+	return append(out, f.SpineTracer)
+}
+
+// WriteSpans writes the merged cross-shard span export: every shard's spans
+// in (start, shard, id) order, byte-identical at any worker count.
+func (f *Fabric) WriteSpans(w io.Writer) error {
+	return trace.WriteMergedJSONL(w, f.Tracers())
+}
+
+// Flights returns the per-shard flight recorders in shard order (racks
+// first, spine last).
+func (f *Fabric) Flights() []*trace.FlightRecorder {
+	out := make([]*trace.FlightRecorder, 0, len(f.Racks)+1)
+	for _, tb := range f.Racks {
+		out = append(out, tb.Flight)
+	}
+	return append(out, f.SpineFlight)
 }
 
 // rackLocator maps any cluster MAC to its owning rack by decoding the node
@@ -221,12 +268,31 @@ func BuildFabric(fs FabricSpec) (*Fabric, error) {
 
 	locate := rackLocator(fs.NumRacks)
 	f.SpineShard = f.Group.AddShard()
+	if fs.Rack.Trace {
+		f.SpineTracer = trace.New(f.SpineShard.Eng)
+	}
+	f.SpineMetrics = trace.NewRegistry()
+	f.SpineFlight = trace.NewFlightRecorder(flightCapacity)
 	for s := 0; s < fs.NumSpines; s++ {
+		s := s
 		sw := link.NewSwitch(f.SpineShard.Eng, p.SpineLatency)
 		sw.SetLocator(-1, locate)
+		sw.OnDrop = func(reason link.DropReason) {
+			f.SpineFlight.Record(f.SpineShard.Eng.Now(), "switch_drop", reason.String(), uint64(s))
+		}
 		f.Spines = append(f.Spines, sw)
+		comp := fmt.Sprintf("spine%d", s)
+		f.SpineMetrics.Gauge(comp, "forwarded", func() float64 { return float64(sw.Forwarded) })
+		f.SpineMetrics.Gauge(comp, "flooded", func() float64 { return float64(sw.Flooded) })
+		for reason := link.DropReason(0); reason < link.NumDropReasons; reason++ {
+			reason := reason
+			f.SpineMetrics.Gauge(comp, "drops_"+reason.String(),
+				func() float64 { return float64(sw.Drops.Get(reason)) })
+		}
 	}
 
+	f.Uplinks = make([][]*link.Wire, fs.NumRacks)
+	f.Downlinks = make([][]*link.Wire, fs.NumRacks)
 	for r, tb := range f.Racks {
 		tb.Switch.SetLocator(r, locate)
 		upBps := ls.UplinkBps(ls.Tors[r])
@@ -250,11 +316,60 @@ func BuildFabric(fs FabricSpec) (*Fabric, error) {
 			down.SetRemote(func(at sim.Time, frame []byte) {
 				rackShard.Post(spineShard, at, func() { down.RemoteDeliver(frame) })
 			})
+			// Per-hop spans: each direction records into the tracer of the
+			// shard that transmits it, so span recording stays single-
+			// threaded; the merged export stitches the two directions of a
+			// request back together by flow key.
+			up.SetHopTracer(tb.Tracer, fmt.Sprintf("tor%d-spine%d", r, s))
+			down.SetHopTracer(f.SpineTracer, fmt.Sprintf("spine%d-tor%d", s, r))
+			f.Uplinks[r] = append(f.Uplinks[r], up)
+			f.Downlinks[r] = append(f.Downlinks[r], down)
 			tb.Switch.AttachUplink(cable)
 			f.Spines[s].SetRackPort(r, f.Spines[s].AttachPort(cable))
 		}
+		f.registerUplinkMetrics(r, tb)
 	}
 	return f, nil
+}
+
+// registerUplinkMetrics publishes rack r's fabric-facing gauges: per-uplink
+// traffic/drops/utilization on the rack's own registry, per-downlink stats
+// on the spine registry, and the rack's ECMP imbalance — max over mean
+// tx_frames across its uplinks (1.0 when perfectly balanced or idle), the
+// number the oversubscription sweep reports.
+func (f *Fabric) registerUplinkMetrics(r int, tb *Testbed) {
+	for s, up := range f.Uplinks[r] {
+		up := up
+		comp := fmt.Sprintf("uplink%d", s)
+		tb.Metrics.Gauge(comp, "tx_bytes", func() float64 { return float64(up.Bytes) })
+		tb.Metrics.Gauge(comp, "tx_frames", func() float64 { return float64(up.Frames) })
+		tb.Metrics.Gauge(comp, "delivered", func() float64 { return float64(up.Delivered) })
+		tb.Metrics.Gauge(comp, "drops", func() float64 { return float64(up.Drops.Total()) })
+		tb.Metrics.Gauge(comp, "utilization", up.Utilization)
+	}
+	for s, down := range f.Downlinks[r] {
+		down := down
+		comp := fmt.Sprintf("downlink%d_%d", s, r)
+		f.SpineMetrics.Gauge(comp, "tx_bytes", func() float64 { return float64(down.Bytes) })
+		f.SpineMetrics.Gauge(comp, "tx_frames", func() float64 { return float64(down.Frames) })
+		f.SpineMetrics.Gauge(comp, "drops", func() float64 { return float64(down.Drops.Total()) })
+		f.SpineMetrics.Gauge(comp, "utilization", down.Utilization)
+	}
+	ups := f.Uplinks[r]
+	tb.Metrics.Gauge("fabric", "ecmp_imbalance", func() float64 {
+		var total, max float64
+		for _, up := range ups {
+			n := float64(up.Frames)
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		if total == 0 {
+			return 1
+		}
+		return max * float64(len(ups)) / total
+	})
 }
 
 // RunMeasured advances every shard through warmup then a measured window of

@@ -42,6 +42,11 @@ func (tb *Testbed) registerMetrics() {
 	}
 	r.Gauge("switch", "forwarded", func() float64 { return float64(tb.Switch.Forwarded) })
 	r.Gauge("switch", "flooded", func() float64 { return float64(tb.Switch.Flooded) })
+	for reason := link.DropReason(0); reason < link.NumDropReasons; reason++ {
+		reason := reason
+		r.Gauge("switch", "drops_"+reason.String(),
+			func() float64 { return float64(tb.Switch.Drops.Get(reason)) })
+	}
 	for i, h := range tb.IOHyps {
 		registerIOhyp(r, IOhypComponent(i), h)
 	}

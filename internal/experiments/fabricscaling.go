@@ -111,7 +111,34 @@ type fabOut struct {
 	p50, p99   float64
 	xshard     uint64
 	windows    uint64
-	identical  string // "yes"/"DIVERGED" for the equivalence cell, "-" otherwise
+	noRoute    uint64  // DropNoRoute summed over every ToR and spine switch
+	ecmpImb    float64 // worst per-rack uplink ECMP imbalance (1.0 = even)
+	identical  string  // "yes"/"DIVERGED" for the equivalence cell, "-" otherwise
+}
+
+// fabricNoRoute sums the no-route drop gauges across every ToR registry and
+// the spine registry — the fabric's misrouting health signal.
+func fabricNoRoute(f *cluster.Fabric) uint64 {
+	var n float64
+	for _, tb := range f.Racks {
+		n += tb.Metrics.Value("switch", "drops_no_route")
+	}
+	for s := range f.Spines {
+		n += f.SpineMetrics.Value(fmt.Sprintf("spine%d", s), "drops_no_route")
+	}
+	return uint64(n)
+}
+
+// fabricECMPImbalance reports the worst rack's uplink imbalance gauge:
+// max-uplink frames over the even share. 1.0 is a perfectly even spread.
+func fabricECMPImbalance(f *cluster.Fabric) float64 {
+	var worst float64
+	for _, tb := range f.Racks {
+		if v := tb.Metrics.Value("fabric", "ecmp_imbalance"); v > worst {
+			worst = v
+		}
+	}
+	return worst
 }
 
 // fabricScalingPlan is the tentpole's experiment: a serial-vs-sharded
@@ -148,6 +175,8 @@ func fabricScalingPlan(quick bool) Plan {
 				p99:        latencyPercentilesMicros(rrs)[2],
 				xshard:     fabricXshard(f),
 				windows:    f.Group.Windows,
+				noRoute:    fabricNoRoute(f),
+				ecmpImb:    fabricECMPImbalance(f),
 			}
 			return fabricFingerprint(f, rrs), o
 		}
@@ -183,6 +212,8 @@ func fabricScalingPlan(quick bool) Plan {
 				p50:        pcts[0], p99: pcts[2],
 				xshard:    fabricXshard(f),
 				windows:   f.Group.Windows,
+				noRoute:   fabricNoRoute(f),
+				ecmpImb:   fabricECMPImbalance(f),
 				identical: "-",
 			}
 		})
@@ -203,6 +234,8 @@ func fabricScalingPlan(quick bool) Plan {
 			p50:        pcts[0], p99: pcts[2],
 			xshard:    fabricXshard(f),
 			windows:   f.Group.Windows,
+			noRoute:   fabricNoRoute(f),
+			ecmpImb:   fabricECMPImbalance(f),
 			identical: "-",
 		}
 	})
@@ -215,7 +248,7 @@ func fabricScalingPlan(quick bool) Plan {
 				ID:    "fabricscaling",
 				Title: "Spine-leaf fabric: sharded simulation equivalence, oversubscription, and rack scale-out",
 				Header: []string{"cell", "racks", "VMs", "oversub", "kops/s",
-					"p50 [µs]", "p99 [µs]", "xshard msgs", "windows", "identical"},
+					"p50 [µs]", "p99 [µs]", "xshard msgs", "windows", "no_route", "ecmp", "identical"},
 			}
 			for range out {
 				o := next().(fabOut)
@@ -223,7 +256,8 @@ func fabricScalingPlan(quick bool) Plan {
 					o.name, fmt.Sprintf("%d", o.racks), fmt.Sprintf("%d", o.vms),
 					fmt.Sprintf("%g:1", o.oversub), f1(o.kopsPerSec),
 					f1(o.p50), f1(o.p99),
-					fmt.Sprintf("%d", o.xshard), fmt.Sprintf("%d", o.windows), o.identical,
+					fmt.Sprintf("%d", o.xshard), fmt.Sprintf("%d", o.windows),
+					fmt.Sprintf("%d", o.noRoute), fmt.Sprintf("%.2f", o.ecmpImb), o.identical,
 				})
 			}
 			res.Notes = append(res.Notes,
@@ -231,6 +265,7 @@ func fabricScalingPlan(quick bool) Plan {
 				"The equivalence cell runs the same fabric serially (workers=1) and sharded (one worker per core): 'identical' compares ops, latency histograms, per-shard event counts, and switch counters byte for byte.",
 				"Oversubscription divides the per-uplink bandwidth (downlink capacity / ratio x uplinks); the sweep pins each rack to one VMhost so the uplink stays the contended resource — latency rises and throughput falls as the ratio grows.",
 				"Wall-clock shard speedup is machine-dependent and reported in the BENCH json (shard_sweep), not here — these rows are byte-reproducible per seed.",
+				"no_route sums the DropNoRoute gauges over every ToR and spine switch (0 in a healthy fabric); ecmp is the worst rack's uplink imbalance — max uplink frames over the even share, 1.0 = perfectly spread.",
 			)
 			return res
 		},

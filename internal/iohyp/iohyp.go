@@ -567,7 +567,7 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 		h.Counters.Inc("copy_bytes", uint64(len(msg)))
 	}
 	// Peek at the device to steer before charging the worker.
-	hdr, _, err := transport.Decode(msg)
+	hdr, body, err := transport.Decode(msg)
 	key := devKey{src, 0}
 	if err == nil {
 		key.id = hdr.DeviceID
@@ -578,6 +578,7 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 	// roots measure submission-to-forwarded, so the root is taken and ended
 	// once the worker is done with the frame.
 	var parent, netRoot trace.SpanID
+	var flow uint64
 	name := "msg"
 	if h.Tracer.Enabled() && err == nil {
 		mac := trace.Key48(src)
@@ -591,6 +592,10 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 			netRoot = h.Tracer.Take(trace.FlowKey{Kind: transport.FlowNetRoot, A: mac, B: hdr.ReqID})
 			parent = netRoot
 			name = "net-tx"
+			// The message payload is the guest's ethernet frame; keying the
+			// worker span by its destination F-MAC joins the egress worker to
+			// the frame's fabric hops in a merged export.
+			flow = transport.NetFlow(body)
 		}
 	}
 	it := h.getSteer()
@@ -598,6 +603,7 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 	it.key = key
 	it.cost = cost
 	it.parent = parent
+	it.flow = flow
 	it.name = name
 	it.src = src
 	it.msg = msg
@@ -634,6 +640,12 @@ func (h *IOHypervisor) ingressPlain(frame []byte) {
 	it.key = dev.key
 	it.cost = cost
 	it.name = "net-in"
+	if h.Tracer.Enabled() {
+		// Inbound uplink frames are how cross-rack requests arrive; keying
+		// the worker span by the destination F-MAC joins it to the request's
+		// fabric hops in a merged export.
+		it.flow = trace.Key48(f.Dst)
+	}
 	it.dev = dev
 	it.raw = raw
 	h.steer(it)
@@ -694,6 +706,7 @@ type steerItem struct {
 	cost   sim.Time
 	parent trace.SpanID
 	name   string
+	flow   uint64 // fabric-global flow key for the worker span (0 = none)
 	fn     func()
 
 	// steerOpDeliver state.
@@ -740,7 +753,7 @@ func (h *IOHypervisor) steer(it *steerItem) {
 func (it *steerItem) run() {
 	h := it.h
 	if h.Tracer.Enabled() {
-		span := h.Tracer.BeginAt(trace.CatWorker, it.name, it.parent, uint64(it.key.id), h.eng.Now()-it.cost)
+		span := h.Tracer.BeginFlowAt(trace.CatWorker, it.name, it.parent, uint64(it.key.id), it.flow, h.eng.Now()-it.cost)
 		defer h.Tracer.End(span)
 	}
 	it.w.Processed++

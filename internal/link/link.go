@@ -14,6 +14,7 @@ package link
 import (
 	"vrio/internal/ethernet"
 	"vrio/internal/sim"
+	"vrio/internal/trace"
 )
 
 // Receiver consumes frames arriving at the end of a wire.
@@ -153,6 +154,13 @@ type Wire struct {
 	// counter on this Wire stays owned by one goroutine.
 	remote func(deliverAt sim.Time, frame []byte)
 
+	// hop, when set, records a CatFabric span per frame on this wire — the
+	// fabric cables of a multi-rack topology use it for per-hop timing. The
+	// tracer belongs to the sending shard (counters and spans alike stay
+	// single-goroutine); hopName labels the cable, e.g. "tor2-spine0".
+	hop     *trace.Tracer
+	hopName string
+
 	// Bytes and Frames count traffic offered to the wire; Delivered counts
 	// frames handed to the receiver; Corrupted counts frames an injector
 	// damaged in flight (detected or not — with CRC32 they always are).
@@ -194,6 +202,17 @@ func (w *Wire) SetReceiver(dst Receiver) { w.dst = dst }
 // SetFault attaches a fault injector (nil detaches). With no injector the
 // send path is untouched: no FCS work, no extra allocation.
 func (w *Wire) SetFault(f TxFault) { w.fault = f }
+
+// SetHopTracer arms per-hop span recording: each frame sent on this wire
+// becomes one completed CatFabric span named name, from serialization start
+// to modeled delivery, with the source MAC in Arg and the destination MAC
+// folded into Flow so the hop joins its request's other spans in a merged
+// export. A nil tracer (the disabled tracer) keeps Send on the untraced
+// path — the guard in Send is the same inlined nil test the datapath uses.
+func (w *Wire) SetHopTracer(t *trace.Tracer, name string) {
+	w.hop = t
+	w.hopName = name
+}
 
 // SetRemote marks the wire as crossing a shard boundary: post receives each
 // surviving frame (as a private copy) with its delivery time, and is
@@ -256,6 +275,16 @@ func (w *Wire) Send(frame []byte) {
 	depart := start + w.serialization(len(frame)+24)
 	w.busy = depart
 	deliverAt := depart + w.lat
+	if w.hop.Enabled() {
+		// The whole hop is determined at send time (FIFO serialization plus
+		// fixed propagation), so record it as one completed span now. Frames
+		// an injector later drops still occupied the wire; their hop span
+		// simply has no downstream spans sharing its Flow.
+		if f, err := ethernet.Decode(frame); err == nil {
+			w.hop.Complete(trace.CatFabric, w.hopName,
+				trace.Key48(f.Src), trace.Key48(f.Dst), start, deliverAt)
+		}
+	}
 	if w.remote != nil {
 		w.sendRemote(frame, deliverAt)
 		return
@@ -366,6 +395,19 @@ type Switch struct {
 	Forwarded uint64
 	Flooded   uint64
 	Drops     DropStats
+
+	// OnDrop, when set, observes every switch drop as it is tallied — the
+	// flight recorder hooks in here so a no-route storm leaves evidence even
+	// with full tracing off. Runs on the switch's shard, synchronously.
+	OnDrop func(DropReason)
+}
+
+// drop tallies a discarded frame and notifies the observer, if any.
+func (s *Switch) drop(r DropReason) {
+	s.Drops.Count(r)
+	if s.OnDrop != nil {
+		s.OnDrop(r)
+	}
 }
 
 // NewSwitch builds a switch with the given store-and-forward latency.
@@ -432,7 +474,7 @@ func (s *Switch) ingress(port int, frame []byte) {
 	if err != nil {
 		// Too short to carry a header: discard as hardware would, but
 		// never silently — the tally keeps frame conservation auditable.
-		s.Drops.Count(DropRunt)
+		s.drop(DropRunt)
 		return
 	}
 	s.fib[f.Src] = port
@@ -492,11 +534,11 @@ func (s *Switch) egressRemote(ingress int, dst ethernet.MAC, frame []byte) {
 	if s.ports[ingress].uplink {
 		// Split horizon: a remote-rack frame arriving on an uplink means a
 		// spine misrouted it; re-forwarding up could loop, so drop loudly.
-		s.Drops.Count(DropNoRoute)
+		s.drop(DropNoRoute)
 		return
 	}
 	if len(s.uplinks) == 0 {
-		s.Drops.Count(DropNoRoute)
+		s.drop(DropNoRoute)
 		return
 	}
 	out := s.uplinks[macHash(dst)%uint32(len(s.uplinks))]
@@ -525,5 +567,5 @@ func (s *Switch) egressSpine(ingress int, dst ethernet.MAC, frame []byte) {
 			return
 		}
 	}
-	s.Drops.Count(DropNoRoute)
+	s.drop(DropNoRoute)
 }

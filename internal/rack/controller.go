@@ -203,6 +203,7 @@ func (c *Controller) heartbeatTick() {
 		}
 		c.misses[i]++
 		c.Counters.Inc("heartbeat_misses", 1)
+		c.tb.Flight.Record(c.tb.Eng.Now(), "hb_miss", "iohost", uint64(i))
 		if c.misses[i] >= c.cfg.MissThreshold {
 			c.declareDead(i)
 		}
@@ -215,7 +216,7 @@ func (c *Controller) heartbeatTick() {
 func (c *Controller) declareDead(i int) {
 	c.alive[i] = false
 	c.Counters.Inc("detections", 1)
-	c.Events = append(c.Events, Event{T: c.tb.Eng.Now(), Kind: EventDetect, IOhost: i, VM: -1, Dst: -1})
+	c.logEvent(Event{T: c.tb.Eng.Now(), Kind: EventDetect, IOhost: i, VM: -1, Dst: -1})
 	for vm, io := range c.tb.ClientIOhost {
 		if io != i {
 			continue
@@ -226,13 +227,21 @@ func (c *Controller) declareDead(i int) {
 			// datacenter tier can only restore service by migrating the
 			// guests to another rack, not by re-homing within this one.
 			c.Counters.Inc("rack_dark", 1)
-			c.Events = append(c.Events, Event{T: c.tb.Eng.Now(), Kind: EventRackDark, IOhost: i, VM: -1, Dst: -1})
+			c.logEvent(Event{T: c.tb.Eng.Now(), Kind: EventRackDark, IOhost: i, VM: -1, Dst: -1})
 			return
 		}
 		c.tb.RehomeClient(vm, dst)
 		c.Counters.Inc("rehomes", 1)
-		c.Events = append(c.Events, Event{T: c.tb.Eng.Now(), Kind: EventRehome, IOhost: i, VM: vm, Dst: dst})
+		c.logEvent(Event{T: c.tb.Eng.Now(), Kind: EventRehome, IOhost: i, VM: vm, Dst: dst})
 	}
+}
+
+// logEvent appends a control-plane event and mirrors it into the rack's
+// flight recorder, so an anomaly dump shows the detector/re-homing sequence
+// that led up to it.
+func (c *Controller) logEvent(e Event) {
+	c.Events = append(c.Events, e)
+	c.tb.Flight.Record(e.T, "rack_event", e.Kind.String(), uint64(e.IOhost))
 }
 
 // metricValue reads a cached gauge handle, tolerating metrics a model
@@ -322,6 +331,6 @@ func (c *Controller) rebalanceTick() {
 	}
 	tb.RehomeClient(pick, cold)
 	c.Counters.Inc("rebalances", 1)
-	c.Events = append(c.Events, Event{T: tb.Eng.Now(), Kind: EventRebalance, IOhost: hot, VM: pick, Dst: cold})
+	c.logEvent(Event{T: tb.Eng.Now(), Kind: EventRebalance, IOhost: hot, VM: pick, Dst: cold})
 	c.cooldown = c.cfg.CooldownTicks
 }

@@ -1,0 +1,342 @@
+// Datacenter metrics rollup: the fabric-wide snapshot stream.
+//
+// Each rack already owns a per-shard trace.Registry (and the spine tier its
+// own); the Rollup samples all of them on a configurable sim-time interval
+// and merges the rows into one deterministic stream. The sampling tickers
+// run on each shard's own engine — shard-local, like every other mutation in
+// the simulation — so the per-shard series are byte-deterministic regardless
+// of how many workers execute the windows, and the merge walks racks in
+// index order (spine last), making the merged stream a pure function of the
+// per-shard series. The same tick also watches for anomalies (dark rack,
+// no-route storm, heartbeat miss) and snapshots the shard's flight-recorder
+// ring the first time each trigger fires, giving post-mortems without
+// full-trace cost.
+package rack
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vrio/internal/cluster"
+	"vrio/internal/sim"
+	"vrio/internal/stats"
+	"vrio/internal/trace"
+)
+
+// RollupConfig tunes the fabric-wide sampler. Zero values take defaults.
+type RollupConfig struct {
+	// Interval is the sampling period in sim time (default 1ms).
+	Interval sim.Time
+	// SLO is the request-latency objective: observed latency histograms
+	// count requests above it as SLO burn (default 200µs).
+	SLO sim.Time
+	// NoRouteStorm is how many DropNoRoute frames within one interval on a
+	// single shard count as a storm and trigger a flight-recorder dump
+	// (default 8).
+	NoRouteStorm uint64
+}
+
+func (c *RollupConfig) defaults() {
+	if c.Interval <= 0 {
+		c.Interval = sim.Millisecond
+	}
+	if c.SLO <= 0 {
+		c.SLO = 200 * sim.Microsecond
+	}
+	if c.NoRouteStorm == 0 {
+		c.NoRouteStorm = 8
+	}
+}
+
+// Rollup samples every rack's registry plus the spine registry into one
+// deterministic fabric-wide snapshot stream, and dumps flight recorders on
+// anomalies. Build it after the Datacenter, call ObserveLatency for the
+// workload's latency histograms, then Start before running the fabric.
+type Rollup struct {
+	d   *Datacenter
+	fab *cluster.Fabric
+	cfg RollupConfig
+
+	// Observed latency histograms by rack and locality class; the gauges
+	// they feed are registered at ObserveLatency time, so every histogram
+	// must be observed before Start (a Timeseries schema is fixed when
+	// created).
+	intra, cross  [][]*stats.Histogram
+	latRegistered [][2]bool
+
+	rackSeries  []*trace.Timeseries
+	spineSeries *trace.Timeseries
+	started     bool
+
+	// Per-shard anomaly state. Every slot is touched only by its own
+	// shard's ticker (shard NumRacks = spine), so parallel window execution
+	// never shares a map or slice element across goroutines.
+	lastNoRoute []float64
+	tripped     []map[string]bool
+	dumps       [][]trace.FlightDump
+
+	stops []func()
+}
+
+// NewRollup builds the sampler over a datacenter's fabric.
+func NewRollup(d *Datacenter, cfg RollupConfig) *Rollup {
+	cfg.defaults()
+	n := len(d.fab.Racks)
+	ru := &Rollup{
+		d: d, fab: d.fab, cfg: cfg,
+		intra:         make([][]*stats.Histogram, n),
+		cross:         make([][]*stats.Histogram, n),
+		latRegistered: make([][2]bool, n),
+		lastNoRoute:   make([]float64, n+1),
+		tripped:       make([]map[string]bool, n+1),
+		dumps:         make([][]trace.FlightDump, n+1),
+	}
+	for i := range ru.tripped {
+		ru.tripped[i] = make(map[string]bool)
+	}
+	return ru
+}
+
+// ObserveLatency adds a workload latency histogram (nanosecond round-trip
+// times) to rack r's rollup under the intra- or cross-rack class. The first
+// histogram of each (rack, class) registers that rack's latency and SLO-burn
+// gauges, so all calls must precede Start.
+func (ru *Rollup) ObserveLatency(r int, crossRack bool, h *stats.Histogram) {
+	if ru.started {
+		panic("rack: ObserveLatency after Rollup.Start — the snapshot schema is already fixed")
+	}
+	class, comp, idx := &ru.intra, "latency_intra", 0
+	if crossRack {
+		class, comp, idx = &ru.cross, "latency_cross", 1
+	}
+	(*class)[r] = append((*class)[r], h)
+	if ru.latRegistered[r][idx] {
+		return
+	}
+	ru.latRegistered[r][idx] = true
+	reg := ru.fab.Racks[r].Metrics
+	hists := class // closures read through the slot so later Observe calls are included
+	merged := func() *stats.Histogram {
+		m := &stats.Histogram{}
+		for _, h := range (*hists)[r] {
+			m.Merge(h)
+		}
+		return m
+	}
+	reg.Gauge(comp, "p50_us", func() float64 { return float64(merged().Percentile(50)) / 1e3 })
+	reg.Gauge(comp, "p99_us", func() float64 { return float64(merged().Percentile(99)) / 1e3 })
+	reg.Gauge(comp, "count", func() float64 { return float64(merged().Count()) })
+	slo := int64(ru.cfg.SLO)
+	reg.Gauge("slo", "burn_"+strings.TrimPrefix(comp, "latency_"), func() float64 {
+		var n uint64
+		for _, h := range (*hists)[r] {
+			n += h.CountAbove(slo)
+		}
+		return float64(n)
+	})
+}
+
+// fabricKeep selects which of a rack's registered metrics join the
+// fabric-wide snapshot stream: control-plane and fabric-facing components,
+// per-IOhost utilization, latency, and SLO burn — not the per-VM counter
+// fan-out, which stays available in the rack's own registry.
+func fabricKeep(component, name string) bool {
+	switch component {
+	case "rack", "fabric", "switch", "latency_intra", "latency_cross", "slo":
+		return true
+	}
+	if strings.HasPrefix(component, "uplink") {
+		return true
+	}
+	if strings.HasPrefix(component, "iohyp") {
+		return name == "utilization" || name == "busy_ns"
+	}
+	return false
+}
+
+// Start fixes each shard's snapshot schema and arms the sampling tickers —
+// one per rack engine, one on the spine engine. Call exactly once, before
+// running the fabric.
+func (ru *Rollup) Start() {
+	if ru.started {
+		panic("rack: Rollup started twice")
+	}
+	ru.started = true
+	for r, tb := range ru.fab.Racks {
+		r, tb := r, tb
+		series := tb.Metrics.NewTimeseriesFiltered(fabricKeep)
+		ru.rackSeries = append(ru.rackSeries, series)
+		ru.stops = append(ru.stops, tb.Eng.Ticker(ru.cfg.Interval, func() {
+			series.Sample(tb.Eng.Now())
+			ru.checkRack(r, tb)
+		}))
+	}
+	ru.spineSeries = ru.fab.SpineMetrics.NewTimeseries()
+	spineEng := ru.fab.SpineShard.Eng
+	ru.stops = append(ru.stops, spineEng.Ticker(ru.cfg.Interval, func() {
+		ru.spineSeries.Sample(spineEng.Now())
+		ru.checkSpine()
+	}))
+}
+
+// Stop cancels the sampling tickers.
+func (ru *Rollup) Stop() {
+	for _, stop := range ru.stops {
+		stop()
+	}
+	ru.stops = nil
+}
+
+// trip latches one (shard, trigger) anomaly and snapshots that shard's
+// flight-recorder ring. Latching bounds the dump stream: the first firing
+// carries the ring contents leading up to the anomaly, which is the
+// post-mortem; repeats would only replay the same window.
+func (ru *Rollup) trip(shard int, trigger string, now sim.Time, f *trace.FlightRecorder) {
+	if ru.tripped[shard][trigger] {
+		return
+	}
+	ru.tripped[shard][trigger] = true
+	ru.dumps[shard] = append(ru.dumps[shard], trace.FlightDump{
+		T: now, Shard: shard, Trigger: trigger, Entries: f.Entries(),
+	})
+}
+
+// checkRack runs rack r's anomaly detectors at its sampling tick.
+func (ru *Rollup) checkRack(r int, tb *cluster.Testbed) {
+	now := tb.Eng.Now()
+	c := ru.d.Controllers[r]
+	if c.AliveIOhosts() == 0 {
+		ru.trip(r, "dark_rack", now, tb.Flight)
+	}
+	if c.Counters.Get("heartbeat_misses") > 0 {
+		ru.trip(r, "hb_miss", now, tb.Flight)
+	}
+	noRoute := tb.Metrics.Value("switch", "drops_no_route")
+	if noRoute-ru.lastNoRoute[r] >= float64(ru.cfg.NoRouteStorm) {
+		ru.trip(r, "no_route_storm", now, tb.Flight)
+	}
+	ru.lastNoRoute[r] = noRoute
+}
+
+// checkSpine runs the spine shard's anomaly detector at its sampling tick.
+func (ru *Rollup) checkSpine() {
+	shard := len(ru.fab.Racks)
+	now := ru.fab.SpineShard.Eng.Now()
+	var noRoute float64
+	for s := range ru.fab.Spines {
+		noRoute += ru.fab.SpineMetrics.Value(fmt.Sprintf("spine%d", s), "drops_no_route")
+	}
+	if noRoute-ru.lastNoRoute[shard] >= float64(ru.cfg.NoRouteStorm) {
+		ru.trip(shard, "no_route_storm", now, ru.fab.SpineFlight)
+	}
+	ru.lastNoRoute[shard] = noRoute
+}
+
+// Anomalies returns every flight-recorder dump in the fabric's canonical
+// (time, shard, trigger) merge order.
+func (ru *Rollup) Anomalies() []trace.FlightDump {
+	var all []trace.FlightDump
+	for _, d := range ru.dumps {
+		all = append(all, d...)
+	}
+	return trace.MergeDumps(all)
+}
+
+// WriteAnomaliesJSONL emits the merged anomaly dumps as JSONL.
+func (ru *Rollup) WriteAnomaliesJSONL(w io.Writer) error {
+	return trace.WriteDumpsJSONL(w, ru.Anomalies())
+}
+
+// rows reports how many complete merged ticks the series hold. The shards
+// tick on identical intervals up to the same end time, so the counts agree;
+// the min guards a run stopped mid-window.
+func (ru *Rollup) rows() int {
+	n := len(ru.spineSeries.T)
+	for _, s := range ru.rackSeries {
+		if len(s.T) < n {
+			n = len(s.T)
+		}
+	}
+	return n
+}
+
+// WriteMetricsJSONL emits the merged fabric-wide snapshot stream: one JSON
+// object per tick holding every rack's sampled metrics (racks in index
+// order, spine last), keyed "rack0".."rackN-1" and "spine". Values format
+// via strconv's shortest round-trip form; the whole stream is byte-identical
+// at any worker count because every per-shard series is.
+func (ru *Rollup) WriteMetricsJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeRow := func(label string, s *trace.Timeseries, i int) {
+		fmt.Fprintf(bw, `,%q:{`, label)
+		for j, name := range s.Names {
+			if j > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, "%q:%s", name, strconv.FormatFloat(s.Rows[i][j], 'g', -1, 64))
+		}
+		bw.WriteByte('}')
+	}
+	for i := 0; i < ru.rows(); i++ {
+		fmt.Fprintf(bw, `{"t":%d`, int64(ru.rackSeries[0].T[i]))
+		for r, s := range ru.rackSeries {
+			writeRow(fmt.Sprintf("rack%d", r), s, i)
+		}
+		writeRow("spine", ru.spineSeries, i)
+		if _, err := bw.WriteString("}\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Summary renders the vrio-top table: one line per rack with its current
+// control-plane, uplink, and latency state, plus a spine line. Read it after
+// the run; values come from the live registries, so it reflects end state.
+func (ru *Rollup) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %6s %7s %10s %9s %9s %6s %9s %9s %9s\n",
+		"rack", "alive", "util%", "up_MB", "up_drops", "no_route", "ecmp", "p99intra", "p99cross", "slo_burn")
+	for r, tb := range ru.fab.Racks {
+		m := tb.Metrics
+		var util float64
+		nio := len(tb.IOHyps)
+		for i := 0; i < nio; i++ {
+			util += m.Value(cluster.IOhypComponent(i), "utilization")
+		}
+		if nio > 0 {
+			util /= float64(nio)
+		}
+		var upMB, upDrops float64
+		for s := range ru.fab.Uplinks[r] {
+			comp := fmt.Sprintf("uplink%d", s)
+			upMB += m.Value(comp, "tx_bytes") / 1e6
+			upDrops += m.Value(comp, "drops")
+		}
+		fmt.Fprintf(&b, "%-6d %6.0f %7.1f %10.2f %9.0f %9.0f %6.2f %9.1f %9.1f %9.0f\n",
+			r,
+			m.Value("rack", "alive_iohosts"),
+			100*util,
+			upMB,
+			upDrops,
+			m.Value("switch", "drops_no_route"),
+			m.Value("fabric", "ecmp_imbalance"),
+			m.Value("latency_intra", "p99_us"),
+			m.Value("latency_cross", "p99_us"),
+			m.Value("slo", "burn_intra")+m.Value("slo", "burn_cross"))
+	}
+	var fwd, noRoute float64
+	for s := range ru.fab.Spines {
+		comp := fmt.Sprintf("spine%d", s)
+		fwd += ru.fab.SpineMetrics.Value(comp, "forwarded")
+		noRoute += ru.fab.SpineMetrics.Value(comp, "drops_no_route")
+	}
+	fmt.Fprintf(&b, "%-6s %6s %7s %10s %9s %9.0f %6s %9s %9s %9s\n",
+		"spine", "-", "-", "-", "-", noRoute, "-", "-", "-", "-")
+	fmt.Fprintf(&b, "spine forwarded %.0f; anomaly dumps %d; ticks %d\n",
+		fwd, len(ru.Anomalies()), ru.rows())
+	return b.String()
+}

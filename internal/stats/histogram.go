@@ -138,6 +138,27 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return h.max
 }
 
+// CountAbove reports how many observations exceeded v — the SLO-burn query:
+// v is the latency objective, the return value the number of violating
+// requests. Buckets straddling v are charged entirely to the burn (a
+// conservative overcount bounded by the histogram's ~1/32 relative error).
+func (h *Histogram) CountAbove(v int64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v >= h.max {
+		return 0
+	}
+	cut := bucketIndex(v)
+	var n uint64
+	for i, c := range h.counts {
+		if i > cut {
+			n += c
+		}
+	}
+	return n
+}
+
 // Reset discards all observations.
 func (h *Histogram) Reset() {
 	h.counts = nil

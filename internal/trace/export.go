@@ -32,12 +32,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		}
 		id := SpanID(i + 1)
 		if s.End < 0 {
-			fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"B","ts":%s,"pid":1,"tid":%d,"args":{"id":%d,"parent":%d,"arg":%d}}`,
-				s.Name, string(s.Cat), microTS(int64(s.Start)), s.Root, id, s.Parent, s.Arg)
+			fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"B","ts":%s,"pid":1,"tid":%d,"args":{"id":%d,"parent":%d,"arg":%d,"flow":%d}}`,
+				s.Name, string(s.Cat), microTS(int64(s.Start)), s.Root, id, s.Parent, s.Arg, s.Flow)
 			continue
 		}
-		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"id":%d,"parent":%d,"arg":%d}}`,
-			s.Name, string(s.Cat), microTS(int64(s.Start)), microTS(int64(s.End-s.Start)), s.Root, id, s.Parent, s.Arg)
+		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"id":%d,"parent":%d,"arg":%d,"flow":%d}}`,
+			s.Name, string(s.Cat), microTS(int64(s.Start)), microTS(int64(s.End-s.Start)), s.Root, id, s.Parent, s.Arg, s.Flow)
 	}
 	if _, err := bw.WriteString("\n]}\n"); err != nil {
 		return err
@@ -58,8 +58,8 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for i := range t.Spans() {
 		s := &t.spans[i]
-		_, err := fmt.Fprintf(bw, `{"id":%d,"parent":%d,"root":%d,"cat":%q,"name":%q,"arg":%d,"start":%d,"end":%d}`+"\n",
-			i+1, s.Parent, s.Root, string(s.Cat), s.Name, s.Arg, int64(s.Start), int64(s.End))
+		_, err := fmt.Fprintf(bw, `{"id":%d,"parent":%d,"root":%d,"cat":%q,"name":%q,"arg":%d,"flow":%d,"start":%d,"end":%d}`+"\n",
+			i+1, s.Parent, s.Root, string(s.Cat), s.Name, s.Arg, s.Flow, int64(s.Start), int64(s.End))
 		if err != nil {
 			return err
 		}

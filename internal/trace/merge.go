@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"vrio/internal/sim"
+)
+
+// Merged cross-shard span export. A sharded fabric records spans into one
+// Tracer per shard (each single-threaded on its shard's engine); Merge folds
+// them into one stream ordered by (Start, Shard, ID) — the same discipline
+// the shard coordinator uses for cross-shard messages — so the merged export
+// is a pure function of the per-shard tracers and therefore byte-identical
+// at any worker count. Parent/Root references inside a MergedSpan remain
+// shard-local ids; cross-shard correlation rides on Span.Flow.
+
+// MergedSpan is one span tagged with the shard that recorded it.
+type MergedSpan struct {
+	Shard int
+	ID    SpanID
+	Span
+}
+
+// Merge collects every span of the given tracers (indexed by shard; nil
+// entries are skipped) into one deterministically ordered stream.
+func Merge(tracers []*Tracer) []MergedSpan {
+	n := 0
+	for _, t := range tracers {
+		n += t.NumSpans()
+	}
+	out := make([]MergedSpan, 0, n)
+	for shard, t := range tracers {
+		for i, s := range t.Spans() {
+			out = append(out, MergedSpan{Shard: shard, ID: SpanID(i + 1), Span: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// WriteMergedJSONL emits the merged stream, one JSON object per span with
+// the recording shard and shard-local ids. This is the machine-diffable
+// artifact the fabric determinism guarantee is stated over.
+func WriteMergedJSONL(w io.Writer, tracers []*Tracer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range Merge(tracers) {
+		_, err := fmt.Fprintf(bw, `{"shard":%d,"id":%d,"parent":%d,"root":%d,"cat":%q,"name":%q,"arg":%d,"flow":%d,"start":%d,"end":%d}`+"\n",
+			m.Shard, m.ID, m.Parent, m.Root, string(m.Cat), m.Name, m.Arg, m.Flow,
+			int64(m.Start), int64(m.End))
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FlowHop is one hop of an assembled cross-shard flow, in time order.
+type FlowHop struct {
+	Shard int
+	Cat   Category
+	Name  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// AssembleFlow extracts the time-ordered hops of one flow key from a merged
+// stream: every span carrying the key, across all shards. This is the
+// per-request attribution view — a cross-rack request's ToR uplink hop, its
+// spine downlink hop, and any datapath spans tagged with the same key, as
+// one sequence regardless of which shard recorded each piece.
+func AssembleFlow(merged []MergedSpan, flow uint64) []FlowHop {
+	var hops []FlowHop
+	for _, m := range merged {
+		if m.Flow != flow || flow == 0 {
+			continue
+		}
+		hops = append(hops, FlowHop{
+			Shard: m.Shard, Cat: m.Cat, Name: m.Name, Start: m.Start, End: m.End,
+		})
+	}
+	return hops
+}

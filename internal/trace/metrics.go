@@ -163,8 +163,20 @@ type Timeseries struct {
 
 // NewTimeseries fixes the column schema from the current registrations.
 func (r *Registry) NewTimeseries() *Timeseries {
-	ts := &Timeseries{cols: r.sorted()}
-	for _, m := range ts.cols {
+	return r.NewTimeseriesFiltered(nil)
+}
+
+// NewTimeseriesFiltered fixes a schema over the subset of current
+// registrations keep accepts (nil keeps everything). The datacenter rollup
+// uses it to sample each rack's fabric-relevant metrics without dragging
+// every per-VM counter into the fabric-wide snapshot stream.
+func (r *Registry) NewTimeseriesFiltered(keep func(component, name string) bool) *Timeseries {
+	ts := &Timeseries{}
+	for _, m := range r.sorted() {
+		if keep != nil && !keep(m.Component, m.Name) {
+			continue
+		}
+		ts.cols = append(ts.cols, m)
 		ts.Names = append(ts.Names, m.FullName())
 	}
 	return ts

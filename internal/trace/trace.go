@@ -49,6 +49,12 @@ const (
 	// flaps, worker stalls) as zero-length spans, so a trace timeline shows
 	// which requests a fault landed on.
 	CatFault Category = "fault"
+	// CatFabric is one fabric-cable hop (ToR uplink or spine downlink):
+	// serialization start through modeled delivery on the far side. Hop
+	// spans carry the destination MAC folded into Flow, so the hops of one
+	// request correlate across shards in the merged export even though each
+	// shard records into its own tracer.
+	CatFabric Category = "fabric_hop"
 )
 
 // SpanID identifies a span within one Tracer. 0 is the null span: every
@@ -65,8 +71,14 @@ type Span struct {
 	Cat    Category
 	Name   string
 	Arg    uint64 // request/flow id, for correlating spans in the export
-	Start  sim.Time
-	End    sim.Time // -1 while open
+	// Flow is a fabric-global correlation key (0 = none): spans recorded by
+	// different shards' tracers but belonging to one request carry the same
+	// Flow — by convention a Key48-folded wire-visible MAC — so the merged
+	// export can stitch a cross-rack request back together without any
+	// shared state between shards.
+	Flow  uint64
+	Start sim.Time
+	End   sim.Time // -1 while open
 }
 
 // FlowKey links spans across components that share no call path: the driver
@@ -125,6 +137,42 @@ func (t *Tracer) BeginAt(cat Category, name string, parent SpanID, arg uint64, s
 		return 0
 	}
 	return t.beginAt(cat, name, parent, arg, start)
+}
+
+// BeginFlow is BeginArg with a fabric-global flow key recorded on the span
+// (see Span.Flow). Within one tracer it behaves exactly like BeginArg.
+func (t *Tracer) BeginFlow(cat Category, name string, parent SpanID, arg, flow uint64) SpanID {
+	if t == nil {
+		return 0
+	}
+	return t.BeginFlowAt(cat, name, parent, arg, flow, t.clock.Now())
+}
+
+// BeginFlowAt is BeginAt with a flow key — for flow-tagged spans whose
+// interval began before the instrumentation point runs (worker completion
+// callbacks). flow 0 records a plain span.
+func (t *Tracer) BeginFlowAt(cat Category, name string, parent SpanID, arg, flow uint64, start sim.Time) SpanID {
+	if t == nil {
+		return 0
+	}
+	id := t.beginAt(cat, name, parent, arg, start)
+	t.spans[id-1].Flow = flow
+	return id
+}
+
+// Complete records an already-closed span in one call. The fabric wires use
+// it: at send time the delivery instant is already determined (serialization
+// plus fixed propagation), so the whole hop is known up front — end may lie
+// in the simulated future. Completed spans are roots (no parent); they
+// correlate through Flow, not through the span tree.
+func (t *Tracer) Complete(cat Category, name string, arg, flow uint64, start, end sim.Time) {
+	if t == nil {
+		return
+	}
+	id := t.beginAt(cat, name, 0, arg, start)
+	s := &t.spans[id-1]
+	s.Flow = flow
+	s.End = end
 }
 
 func (t *Tracer) beginAt(cat Category, name string, parent SpanID, arg uint64, start sim.Time) SpanID {

@@ -357,7 +357,10 @@ func (d *Driver) SendNet(devType uint8, deviceID uint16, frame []byte) {
 		// Root = submission occupancy (ends when the IOhyp worker finishes
 		// forwarding); child wire span ends on IOhost message pickup.
 		mac := trace.Key48(d.port.LocalMAC())
-		ring := d.Tracer.BeginArg(trace.CatGuestRing, "net-tx", 0, id)
+		// The frame's destination F-MAC keys the fabric-global flow, tying
+		// this submission to the fabric-hop and remote-side spans of a
+		// cross-rack request in the merged export.
+		ring := d.Tracer.BeginFlow(trace.CatGuestRing, "net-tx", 0, id, NetFlow(frame))
 		wire := d.Tracer.BeginArg(trace.CatWire, "net-tx", ring, id)
 		d.Tracer.Link(trace.FlowKey{Kind: FlowNetRoot, A: mac, B: id}, ring)
 		d.Tracer.Link(trace.FlowKey{Kind: FlowNetWire, A: mac, B: id}, wire)

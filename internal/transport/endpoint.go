@@ -240,7 +240,10 @@ func (e *Endpoint) evictOldestAsm() {
 func (e *Endpoint) SendNetRx(dst ethernet.MAC, deviceID uint16, frame []byte) {
 	e.nextID++
 	if e.Tracer.Enabled() {
-		comp := e.Tracer.BeginArg(trace.CatCompletion, "net-rx", 0, e.nextID)
+		// Flow-key the completion by the inner frame's destination F-MAC —
+		// the same key the fabric hops recorded — so a cross-rack request's
+		// final delivery joins its hops in the merged export.
+		comp := e.Tracer.BeginFlow(trace.CatCompletion, "net-rx", 0, e.nextID, NetFlow(frame))
 		e.Tracer.Link(trace.FlowKey{Kind: FlowNetRx, A: trace.Key48(dst), B: e.nextID}, comp)
 	}
 	e.sendEncoded(dst, Header{

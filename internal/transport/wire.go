@@ -10,6 +10,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"vrio/internal/trace"
 )
 
 // MsgType discriminates transport messages.
@@ -62,6 +64,20 @@ const (
 	FlowNetWire                  // in-flight net-tx wire span, by ReqID
 	FlowNetRx                    // net-rx completion span, by endpoint ReqID
 )
+
+// NetFlow derives the fabric-global flow key of a guest Ethernet frame: its
+// destination F-MAC folded to 48 bits — the same key the fabric wires record
+// on their per-hop spans (they see the identical dst on the wire), so every
+// span of one cross-rack request shares it in a merged export. Returns 0
+// (no flow) for frames too short to carry an address.
+func NetFlow(frame []byte) uint64 {
+	if len(frame) < 6 {
+		return 0
+	}
+	var dst [6]byte
+	copy(dst[:], frame[:6])
+	return trace.Key48(dst)
+}
 
 // Header is the transport header prepended to every message. ReqID is the
 // §4.5 unique identifier: a fresh one is assigned per block transmission

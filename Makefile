@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric race-rack race-fault race-shard race-trace benchjson memprofile check
+.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric bench-realwire race-rack race-fault race-shard race-trace loadgen-smoke benchjson memprofile check
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,17 @@ race-shard:
 race-trace:
 	$(GO) test -race -run 'Trace|Flight|Rollup|Merge' ./internal/trace/ ./internal/sim/ ./internal/rack/ ./internal/experiments/
 
+# Real-wire microbenchmarks: frame seal+decode overhead and a 4 KiB block
+# roundtrip over real loopback UDP sockets (both must stay 0 allocs/op).
+bench-realwire:
+	$(GO) test -run TestSealDecodeNoAlloc -bench . -benchmem ./internal/netwire/
+
+# Two-process loopback smoke test for the real-wire carrier: vrio-loadgen
+# server+driver over 127.0.0.1, once over UDP with injected loss (retransmit
+# recovery) and once over TCP+TLS. Hash-verified, bounded wall time.
+loadgen-smoke:
+	./scripts/loadgen_smoke.sh
+
 # Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
 # events/sec for serial vs parallel RunAll.
 benchjson:
@@ -77,4 +88,4 @@ memprofile:
 	$(GO) run ./cmd/vrio-experiments -run all -quick -memprofile mem.pprof > /dev/null
 	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 15 mem.pprof
 
-check: build vet test race race-fault race-shard race-trace
+check: build vet test race race-fault race-shard race-trace loadgen-smoke

@@ -23,10 +23,13 @@ import (
 	"testing"
 	"time"
 
+	"vrio/internal/bufpool"
 	"vrio/internal/cluster"
 	"vrio/internal/core"
+	"vrio/internal/ethernet"
 	"vrio/internal/experiments"
 	"vrio/internal/fault"
+	"vrio/internal/netwire"
 	"vrio/internal/rack"
 	"vrio/internal/sim"
 	"vrio/internal/trace"
@@ -276,6 +279,16 @@ type benchReport struct {
 	// nothing unless a profile actually asks for them.
 	FaultOverheadNsOp  int64 `json:"fault_overhead_ns_op"`
 	FaultNetTxAllocsOp int64 `json:"fault_nettx_allocs_op"`
+	// Real-wire carrier benchmarks (internal/netwire): the per-frame
+	// seal/decode overhead the carrier adds to every transport message, and
+	// one 4 KiB block echo over real UDP loopback sockets — the socket-borne
+	// sibling of the datapath_blk figure. Both must stay at 0 allocs/op in
+	// steady state: the zero-allocation contract holds on a real wire, not
+	// just simulated cables.
+	RealwireSealNsOp       int64 `json:"realwire_seal_ns_op"`
+	RealwireSealAllocsOp   int64 `json:"realwire_seal_allocs_op"`
+	RealwireUDPBlkNsOp     int64 `json:"realwire_udp_blk_ns_op"`
+	RealwireUDPBlkAllocsOp int64 `json:"realwire_udp_blk_allocs_op"`
 }
 
 // sweep1Speedup computes a sweep entry's speedup against the sweep's
@@ -443,6 +456,85 @@ func benchDatapathNetTxFaulted() (nsOp, allocsOp int64) {
 	return res.NsPerOp(), res.AllocsPerOp()
 }
 
+// benchRealwireSeal mirrors internal/netwire BenchmarkSealDecode: the
+// CRC32 preamble seal plus the receiver's validation for a 1400 B frame —
+// the only per-frame work the real-wire carrier adds to the §4.2 bytes.
+func benchRealwireSeal() (nsOp, allocsOp int64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		src, dst := ethernet.NewMAC(1), ethernet.NewMAC(2)
+		buf := make([]byte, netwire.PreambleSize+1400)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			netwire.SealFrame(buf, netwire.KindData, src, dst)
+			if _, _, err := netwire.DecodeFrame(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return res.NsPerOp(), res.AllocsPerOp()
+}
+
+// benchRealwireUDPBlk mirrors internal/netwire BenchmarkUDPLoopbackRoundtrip:
+// one 4 KiB block echo end to end over real loopback sockets — driver cell,
+// UDP datagrams both ways, endpoint cell — after pools, timer shells, and
+// reader scratch have warmed up.
+func benchRealwireUDPBlk() (nsOp, allocsOp int64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		cfg := transport.Config{MaxChunk: 32 << 10, InitialTimeout: 50 * sim.Millisecond}
+
+		sLoop := netwire.NewLoop()
+		sMAC := ethernet.NewMAC(2)
+		srv, err := netwire.ListenUDP(sLoop, bufpool.New(), sMAC, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ep *transport.Endpoint
+		srv.OnMessage = func(src ethernet.MAC, msg []byte) { _ = ep.Deliver(src, msg) }
+		ep = transport.NewEndpoint(sLoop, srv, cfg)
+		ep.BlkReq = func(src ethernet.MAC, h transport.Header, req *bufpool.Frame) {
+			ep.RespondBlk(src, h, req.B)
+			req.Release()
+		}
+		go sLoop.Run()
+		defer sLoop.Close()
+		defer srv.Close()
+
+		cLoop := netwire.NewLoop()
+		cli, err := netwire.ListenUDP(cLoop, bufpool.New(), ethernet.NewMAC(1), "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cli.AddPeer(sMAC, srv.LocalAddrPort())
+		var drv *transport.Driver
+		cli.OnMessage = func(_ ethernet.MAC, msg []byte) { _ = drv.Deliver(msg) }
+		drv = transport.NewDriver(cLoop, cli, sMAC, cfg)
+		go cLoop.Run()
+		defer cLoop.Close()
+		defer cli.Close()
+
+		req := make([]byte, 4096)
+		done := make(chan error, 1)
+		complete := func(resp []byte, err error) { done <- err }
+		submit := func() { drv.SendBlk(2, 1, req, complete) }
+		roundtrip := func() {
+			cLoop.Post(submit)
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			roundtrip()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			roundtrip()
+		}
+	})
+	return res.NsPerOp(), res.AllocsPerOp()
+}
+
 // sweepWorkers is the BENCH worker ladder: 1/2/4/8, capped at the machine's
 // CPU count so a 1-CPU box degrades to a serial-only sweep instead of timing
 // oversubscribed goroutines.
@@ -568,6 +660,8 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 		return ns
 	}
 	report.FabricTraceOverheadNsOp = bestShard(true) - bestShard(false)
+	report.RealwireSealNsOp, report.RealwireSealAllocsOp = benchRealwireSeal()
+	report.RealwireUDPBlkNsOp, report.RealwireUDPBlkAllocsOp = benchRealwireUDPBlk()
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", report.Date)
 	}

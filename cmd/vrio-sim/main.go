@@ -29,8 +29,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"vrio"
@@ -113,6 +115,14 @@ func main() {
 		Fault: prof, FaultSeed: *faultSeed,
 		Seed: *seed, Params: &p,
 	})
+	eng := tb.Raw().Eng
+	stopOnSignal(eng.Interrupt)
+	defer func() {
+		if eng.Interrupted() {
+			fmt.Printf("\ninterrupted at t=%v — results above cover the elapsed portion only\n",
+				time.Duration(eng.Now()))
+		}
+	}()
 
 	fmt.Printf("model=%s vms=%d vmhosts=%d sidecores=%d workload=%s measure=%v",
 		*model, *vms, *hosts, *sidecores, *wl, *measure)
@@ -173,6 +183,22 @@ func main() {
 	}
 }
 
+// stopOnSignal requests a graceful stop on the first SIGINT/SIGTERM: the
+// running engine (or shard group) parks at its next interrupt check, the
+// measured results and JSONL artifacts are flushed for the elapsed
+// portion, and the summary still prints. A second signal kills the
+// process the classic way.
+func stopOnSignal(interrupt func()) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		interrupt()
+		<-sigc
+		os.Exit(130)
+	}()
+}
+
 // runFabric builds a spine-leaf fabric of racks testbeds, drives every guest
 // with RR traffic from a station one rack over (all transactions cross the
 // spine tier), runs it under the conservative shard coordinator with the
@@ -231,9 +257,13 @@ func runFabric(m vrio.Model, racks, shards int, oversub float64, vms, hosts int,
 		dc.Start()
 		ru.Start()
 	}
+	stopOnSignal(f.Group.Interrupt)
 	t0 := time.Now()
 	f.RunMeasured(warm, dur, shards, perRack)
 	wall := time.Since(t0)
+	if f.Group.Interrupted() {
+		fmt.Println("interrupted — results below cover the elapsed portion only")
+	}
 	if observe {
 		ru.Stop()
 		dc.Stop()

@@ -9,6 +9,12 @@
 // Never share one Pool between cells. The contract is exercised under the
 // race detector by the pool stress tests.
 //
+// Real-wire mode keeps the same rule with a different cell boundary: each
+// netwire.Loop goroutine is one cell owning one pool (the loadgen gives
+// every worker its own loop, pool, and driver). Socket reader goroutines
+// never touch a pool — they circulate private scratch buffers and the loop
+// copies each frame into a pool slab before the transport sees it.
+//
 // Two ownership styles coexist, chosen by lifetime shape:
 //
 //   - GetRaw/PutRaw loans: a plain []byte slab with a single owner at any

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"vrio/internal/core"
+)
+
+// TestSpecCarrier pins the Spec.Carrier contract: the default and "sim"
+// build simulated cables, the real-socket carriers are rejected with a
+// pointer at the loadgen process pair, and a typo'd carrier fails loudly
+// instead of silently building the wrong testbed.
+func TestSpecCarrier(t *testing.T) {
+	mustPanic := func(carrier, wantSub string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("Carrier=%q: Build did not panic", carrier)
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, wantSub) {
+				t.Fatalf("Carrier=%q: panic %v, want mention of %q", carrier, r, wantSub)
+			}
+		}()
+		Build(Spec{Model: core.ModelVRIO, Carrier: carrier, Seed: 1})
+	}
+	mustPanic(CarrierUDP, "vrio-loadgen")
+	mustPanic(CarrierTCP, "vrio-loadgen")
+	mustPanic("infiniband", "unknown carrier")
+
+	for _, carrier := range []string{"", CarrierSim} {
+		tb := Build(Spec{Model: core.ModelVRIO, Carrier: carrier, Seed: 1})
+		if tb.Spec.Carrier != CarrierSim {
+			t.Fatalf("Carrier=%q: built spec has carrier %q, want %q", carrier, tb.Spec.Carrier, CarrierSim)
+		}
+	}
+}

@@ -101,6 +101,14 @@ type Spec struct {
 	// so the same workload can replay under different fault draws. Zero
 	// derives it from Seed.
 	FaultSeed uint64
+	// Carrier selects what carries §4.2 transport messages in this testbed:
+	// CarrierSim (the default) cables the rack with simulated link.Wires on
+	// the build engine. CarrierUDP/CarrierTCP name the real-socket carriers
+	// of internal/netwire; those run one process per side of the wire, so a
+	// single-process Build cannot assemble them — Build rejects them with a
+	// pointer at cmd/vrio-loadgen, which is the process pair that does.
+	// Anything else is a typo and also rejected.
+	Carrier string
 	// MACOffset shifts every MAC this testbed mints (guests, transports,
 	// stations, IOhosts) by a constant, so several racks built into one
 	// fabric own disjoint address blocks. The fabric builder gives rack r
@@ -111,6 +119,16 @@ type Spec struct {
 	Params *params.P
 	Seed   uint64
 }
+
+// Carrier names for Spec.Carrier.
+const (
+	// CarrierSim is the simulated-cable carrier (link.Wire); the default.
+	CarrierSim = "sim"
+	// CarrierUDP and CarrierTCP are the real-socket carriers implemented by
+	// internal/netwire and assembled by the cmd/vrio-loadgen process pair.
+	CarrierUDP = "udp"
+	CarrierTCP = "tcp"
+)
 
 // Testbed is an assembled rack.
 type Testbed struct {
@@ -219,6 +237,9 @@ func (s *Spec) defaults() {
 	if s.NumIOhosts == 0 {
 		s.NumIOhosts = 1
 	}
+	if s.Carrier == "" {
+		s.Carrier = CarrierSim
+	}
 }
 
 // Build assembles the testbed on a fresh engine.
@@ -239,6 +260,14 @@ func BuildOn(spec Spec, eng *sim.Engine) *Testbed {
 	}
 	if spec.BlockLatency == 0 {
 		spec.BlockLatency = p.RamdiskLatency
+	}
+	switch spec.Carrier {
+	case "", CarrierSim:
+		// Simulated cables, built below.
+	case CarrierUDP, CarrierTCP:
+		panic(fmt.Sprintf("cluster: the %q carrier is a real-socket transport spanning two processes; run cmd/vrio-loadgen -serve/-drive instead of a single-process Build", spec.Carrier))
+	default:
+		panic(fmt.Sprintf("cluster: unknown carrier %q (want %q, %q, or %q)", spec.Carrier, CarrierSim, CarrierUDP, CarrierTCP))
 	}
 	isVRIO := spec.Model == core.ModelVRIO || spec.Model == core.ModelVRIONoPoll
 	if spec.NumIOhosts > 1 && spec.SecondaryIOhost {

@@ -75,6 +75,14 @@ func (d *DropStats) Count(r DropReason) { d[r]++ }
 // Get returns the tally for one reason.
 func (d *DropStats) Get(r DropReason) uint64 { return d[r] }
 
+// Merge folds another tally into this one — how the loadgen's per-worker
+// carriers and the fabric's per-wire stats roll up to one breakdown.
+func (d *DropStats) Merge(other *DropStats) {
+	for i, n := range other {
+		d[i] += n
+	}
+}
+
 // Total sums drops across all reasons.
 func (d *DropStats) Total() uint64 {
 	var t uint64

@@ -360,3 +360,24 @@ func TestSwitchLatencyAddsUp(t *testing.T) {
 		t.Errorf("arrival = %v, want ≈520-600", arrival)
 	}
 }
+
+// Merge folds per-carrier drop tallies into one breakdown, reason by
+// reason, preserving the conservation identity across the roll-up.
+func TestDropStatsMerge(t *testing.T) {
+	var a, b DropStats
+	a.Count(DropRunt)
+	a.Count(DropInjected)
+	b.Count(DropInjected)
+	b.Count(DropCorruptFCS)
+	b.Count(DropCorruptFCS)
+	a.Merge(&b)
+	if a.Get(DropRunt) != 1 || a.Get(DropInjected) != 2 || a.Get(DropCorruptFCS) != 2 {
+		t.Fatalf("merged tallies wrong: %v", a)
+	}
+	if a.Total() != 5 {
+		t.Fatalf("merged total = %d, want 5", a.Total())
+	}
+	if b.Total() != 3 {
+		t.Fatalf("merge mutated its argument: %v", b)
+	}
+}

@@ -1,0 +1,36 @@
+package netwire
+
+import (
+	"vrio/internal/link"
+	"vrio/internal/sim"
+)
+
+// lossFault is the deterministic per-frame injector for the UDP carrier:
+// the same seed replays the same verdict sequence, so a lossy loadgen run
+// is reproducible frame for frame. Draw order matches fault.wireFault
+// (loss first, then corrupt, at most one applies).
+type lossFault struct {
+	rng           *sim.RNG
+	loss, corrupt float64
+}
+
+// LossFault returns a link.TxFault that drops each frame with probability
+// loss and flips one random bit with probability corrupt. Corrupted frames
+// die at the receiver's checksum as corrupt_fcs — delivered garbage never
+// reaches the transport — so both faults are recovered by §4.5
+// retransmission. Loop goroutine only, like any carrier state.
+func LossFault(loss, corrupt float64, seed uint64) link.TxFault {
+	return &lossFault{rng: sim.NewRNG(seed ^ 0x9e77), loss: loss, corrupt: corrupt}
+}
+
+// Apply implements link.TxFault.
+func (f *lossFault) Apply(frame []byte) link.FaultVerdict {
+	if f.loss > 0 && f.rng.Bool(f.loss) {
+		return link.FaultVerdict{Action: link.FaultDrop}
+	}
+	if f.corrupt > 0 && len(frame) > 0 && f.rng.Bool(f.corrupt) {
+		frame[f.rng.Intn(len(frame))] ^= 1 << f.rng.Intn(8)
+		return link.FaultVerdict{Action: link.FaultCorrupt}
+	}
+	return link.FaultVerdict{}
+}

@@ -1,0 +1,334 @@
+package netwire
+
+import (
+	"crypto/tls"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+
+	"vrio/internal/bufpool"
+	"vrio/internal/ethernet"
+	"vrio/internal/link"
+)
+
+// tcpScratch is the per-stream count of circulating receive buffers,
+// sized for the common frame (header + one chunk) and grown on demand.
+const (
+	tcpScratch     = 4
+	tcpScratchSize = 64 << 10
+)
+
+// writeFrame builds [4-byte big-endian length][sealed frame] in one pooled
+// buffer and writes it with a single Write, so frames from one goroutine
+// never interleave on the stream.
+func writeFrame(pool *bufpool.Pool, conn net.Conn, kind Kind, src, dst ethernet.MAC, payload []byte) error {
+	n := PreambleSize + len(payload)
+	if n > MaxStreamFrame {
+		panic(fmt.Sprintf("netwire: %d-byte message exceeds MaxStreamFrame (transport MaxChunk too large for the TCP carrier)", len(payload)))
+	}
+	buf := pool.GetRaw(4 + n)
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	copy(buf[4+PreambleSize:], payload)
+	SealFrame(buf[4:], kind, src, dst)
+	_, err := conn.Write(buf)
+	pool.PutRaw(buf)
+	return err
+}
+
+// readFrames runs on a reader goroutine: it slices the stream into
+// length-prefixed frames and posts each to the loop for sink. A malformed
+// length poisons the whole stream (framing is lost), so the connection is
+// cut and badFrame is posted for accounting. Returns when the stream or
+// loop closes.
+func readFrames(loop *Loop, conn net.Conn, free chan []byte, sink frameSink, badFrame func()) {
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n < PreambleSize || n > MaxStreamFrame {
+			conn.Close()
+			loop.post(work{fn: badFrame})
+			return
+		}
+		buf := <-free
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			free <- buf
+			return
+		}
+		if !loop.post(work{sink: sink, frame: buf, recycle: free}) {
+			return
+		}
+	}
+}
+
+func newScratch(n int) chan []byte {
+	free := make(chan []byte, n)
+	for i := 0; i < n; i++ {
+		free <- make([]byte, tcpScratchSize)
+	}
+	return free
+}
+
+// TCPCarrier is the client end of one stream carrier: transport messages
+// ride a length-prefixed TCP (optionally TLS) connection where the kernel
+// provides delivery and ordering. All methods except Close belong to the
+// loop goroutine.
+type TCPCarrier struct {
+	loop *Loop
+	pool *bufpool.Pool
+	mac  ethernet.MAC
+	conn net.Conn
+	free chan []byte
+
+	// Callbacks and accounting as on UDPCarrier.
+	OnMessage func(src ethernet.MAC, msg []byte)
+	OnReady   func(src ethernet.MAC)
+
+	Frames    uint64
+	Delivered uint64
+	Sent      uint64
+	Drops     link.DropStats
+}
+
+// DialTCP connects to a listening TCP carrier at raddr. A non-nil tlsConf
+// upgrades the stream to TLS (see ClientTLSConfig).
+func DialTCP(loop *Loop, pool *bufpool.Pool, mac ethernet.MAC, raddr string, tlsConf *tls.Config) (*TCPCarrier, error) {
+	conn, err := net.Dial("tcp", raddr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	if tlsConf != nil {
+		conn = tls.Client(conn, tlsConf)
+	}
+	c := &TCPCarrier{
+		loop: loop,
+		pool: pool,
+		mac:  mac,
+		conn: conn,
+		free: newScratch(tcpScratch),
+	}
+	go readFrames(loop, conn, c.free, c, func() { c.Drops.Count(link.DropRunt) })
+	return c, nil
+}
+
+// LocalMAC implements transport.Port.
+func (c *TCPCarrier) LocalMAC() ethernet.MAC { return c.mac }
+
+// BufPool implements transport.Pooler.
+func (c *TCPCarrier) BufPool() *bufpool.Pool { return c.pool }
+
+// Close shuts the stream down. Safe from any goroutine.
+func (c *TCPCarrier) Close() error { return c.conn.Close() }
+
+// SendHello announces this carrier; the server learns our MAC and acks.
+func (c *TCPCarrier) SendHello(dst ethernet.MAC) {
+	if err := writeFrame(c.pool, c.conn, KindHello, c.mac, dst, nil); err != nil {
+		c.Drops.Count(link.DropNoRoute)
+	}
+}
+
+// Send implements transport.Port. The single stream ignores routing: dst
+// only names the peer inside the frame. A write error counts as no_route —
+// the stream is gone and so is every message sent on it.
+func (c *TCPCarrier) Send(dst ethernet.MAC, payload []byte) {
+	if err := writeFrame(c.pool, c.conn, KindData, c.mac, dst, payload); err != nil {
+		c.Drops.Count(link.DropNoRoute)
+		return
+	}
+	c.Sent++
+}
+
+// handleFrame implements frameSink on the loop goroutine.
+func (c *TCPCarrier) handleFrame(frame []byte, _ netip.AddrPort) {
+	c.Frames++
+	p, payload, err := DecodeFrame(frame)
+	if err != nil {
+		// TCP delivers bytes intact, so any decode failure is a framing
+		// bug or a hostile peer, not line noise.
+		c.Drops.Count(link.DropRunt)
+		return
+	}
+	if p.Dst != c.mac && p.Dst != ethernet.Broadcast {
+		c.Drops.Count(link.DropNoRoute)
+		return
+	}
+	switch p.Kind {
+	case KindHelloAck:
+		if c.OnReady != nil {
+			c.OnReady(p.Src)
+		}
+	case KindData:
+		c.Delivered++
+		if c.OnMessage == nil {
+			return
+		}
+		msg := c.pool.GetRaw(len(payload))
+		copy(msg, payload)
+		c.OnMessage(p.Src, msg)
+	}
+}
+
+// TCPServer is the listening end of the stream carrier: it accepts any
+// number of client connections, learns which MAC speaks on which stream
+// from the frames themselves, and routes Send by destination MAC — the
+// same one-port-serves-all contract as the UDP carrier. All methods and
+// callbacks except Close belong to the loop goroutine.
+type TCPServer struct {
+	loop    *Loop
+	pool    *bufpool.Pool
+	mac     ethernet.MAC
+	ln      net.Listener
+	tlsConf *tls.Config
+
+	conns map[ethernet.MAC]*tcpConn
+
+	// mu guards all (appended by the accept goroutine, swept by Close).
+	mu  sync.Mutex
+	all []net.Conn
+
+	OnMessage func(src ethernet.MAC, msg []byte)
+	OnHello   func(src ethernet.MAC)
+
+	Frames    uint64
+	Delivered uint64
+	Sent      uint64
+	Drops     link.DropStats
+}
+
+// tcpConn is one accepted stream; it implements frameSink so the loop can
+// attribute frames to the connection they arrived on.
+type tcpConn struct {
+	srv   *TCPServer
+	conn  net.Conn
+	free  chan []byte
+	mac   ethernet.MAC
+	bound bool
+}
+
+// ListenTCP starts the server carrier on laddr. A non-nil tlsConf serves
+// TLS (see ServerTLSConfig).
+func ListenTCP(loop *Loop, pool *bufpool.Pool, mac ethernet.MAC, laddr string, tlsConf *tls.Config) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{
+		loop:    loop,
+		pool:    pool,
+		mac:     mac,
+		ln:      ln,
+		tlsConf: tlsConf,
+		conns:   make(map[ethernet.MAC]*tcpConn),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// LocalMAC implements transport.Port.
+func (s *TCPServer) LocalMAC() ethernet.MAC { return s.mac }
+
+// BufPool implements transport.Pooler.
+func (s *TCPServer) BufPool() *bufpool.Pool { return s.pool }
+
+// LocalAddrPort reports the bound listener address.
+func (s *TCPServer) LocalAddrPort() netip.AddrPort {
+	return s.ln.Addr().(*net.TCPAddr).AddrPort()
+}
+
+// Close stops the listener and cuts every accepted stream. Safe from any
+// goroutine.
+func (s *TCPServer) Close() error {
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.all {
+		c.Close()
+	}
+	s.all = nil
+	s.mu.Unlock()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		if s.tlsConf != nil {
+			conn = tls.Server(conn, s.tlsConf)
+		}
+		s.mu.Lock()
+		s.all = append(s.all, conn)
+		s.mu.Unlock()
+		cc := &tcpConn{srv: s, conn: conn, free: newScratch(tcpScratch)}
+		go readFrames(s.loop, conn, cc.free, cc, func() { s.Drops.Count(link.DropRunt) })
+	}
+}
+
+// Send implements transport.Port, routing to the stream whose peer
+// announced dst. Unknown destinations and dead streams count as no_route.
+func (s *TCPServer) Send(dst ethernet.MAC, payload []byte) {
+	c := s.conns[dst]
+	if c == nil {
+		s.Drops.Count(link.DropNoRoute)
+		return
+	}
+	if err := writeFrame(s.pool, c.conn, KindData, s.mac, dst, payload); err != nil {
+		s.Drops.Count(link.DropNoRoute)
+		return
+	}
+	s.Sent++
+}
+
+// handleFrame implements frameSink on the loop goroutine.
+func (c *tcpConn) handleFrame(frame []byte, _ netip.AddrPort) {
+	s := c.srv
+	s.Frames++
+	p, payload, err := DecodeFrame(frame)
+	if err != nil {
+		s.Drops.Count(link.DropRunt)
+		return
+	}
+	if p.Dst != s.mac && p.Dst != ethernet.Broadcast {
+		s.Drops.Count(link.DropNoRoute)
+		return
+	}
+	if !c.bound || c.mac != p.Src {
+		// Learn (or re-learn after a reconnect) which stream speaks for
+		// this MAC; latest stream wins, like a switch's FIB.
+		c.mac, c.bound = p.Src, true
+		s.conns[p.Src] = c
+	}
+	switch p.Kind {
+	case KindHello:
+		if err := writeFrame(s.pool, c.conn, KindHelloAck, s.mac, p.Src, nil); err != nil {
+			s.Drops.Count(link.DropNoRoute)
+		}
+		if s.OnHello != nil {
+			s.OnHello(p.Src)
+		}
+	case KindData:
+		s.Delivered++
+		if s.OnMessage == nil {
+			return
+		}
+		msg := s.pool.GetRaw(len(payload))
+		copy(msg, payload)
+		s.OnMessage(p.Src, msg)
+	}
+}

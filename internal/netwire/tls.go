@@ -1,0 +1,94 @@
+package netwire
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"math/big"
+	"net"
+	"time"
+)
+
+// SelfSignedCert mints an ephemeral ECDSA P-256 certificate for the given
+// hosts (DNS names or IP literals; defaults to "localhost"/127.0.0.1/::1),
+// returning PEM-encoded certificate and key. The vRIO channel is a
+// dedicated point-to-point network, so there is no CA hierarchy to defer
+// to: the server generates a certificate at startup, hands the cert PEM to
+// its clients out of band (a file, for the loadgen), and the clients pin
+// exactly that certificate.
+func SelfSignedCert(hosts ...string) (certPEM, keyPEM []byte, err error) {
+	if len(hosts) == 0 {
+		hosts = []string{"localhost", "127.0.0.1", "::1"}
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "vrio-netwire"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	certPEM = pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM = pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	return certPEM, keyPEM, nil
+}
+
+// ServerTLSConfig builds the listening side's TLS config from a PEM pair
+// (for instance one minted by SelfSignedCert).
+func ServerTLSConfig(certPEM, keyPEM []byte) (*tls.Config, error) {
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return nil, err
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}
+
+// ClientTLSConfig builds a dialing config that accepts exactly the
+// certificates in certPEM — certificate pinning, the right trust model for
+// a dedicated channel with no CA.
+func ClientTLSConfig(certPEM []byte, serverName string) (*tls.Config, error) {
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(certPEM) {
+		return nil, errors.New("netwire: no certificates in PEM")
+	}
+	if serverName == "" {
+		serverName = "localhost"
+	}
+	return &tls.Config{
+		RootCAs:    pool,
+		ServerName: serverName,
+		MinVersion: tls.VersionTLS13,
+	}, nil
+}

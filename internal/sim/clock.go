@@ -1,0 +1,72 @@
+package sim
+
+// Clock is the timer service the transport layer (and anything else with
+// timeout logic) schedules against. It exists so the same retransmission
+// and control-retry state machines run on two carriers:
+//
+//   - *Engine implements Clock directly: AfterFunc is Engine.After and Now
+//     is the discrete-event clock. Simulated runs are untouched — the
+//     interface dispatches to exactly the calls the transport made before
+//     the abstraction existed, so per-seed output stays byte-identical.
+//   - netwire.Loop implements Clock over the OS wall clock for real-wire
+//     mode: AfterFunc arms a wall timer whose callback is posted back onto
+//     the loop goroutine, preserving the transport's single-threaded
+//     execution model over real sockets.
+//
+// A Clock hands out TimerIDs, not EventIDs, so one pending-request struct
+// can hold a timer from either implementation.
+type Clock interface {
+	// Now reports the current time: simulated nanoseconds on an engine,
+	// nanoseconds since the loop epoch on a wall clock.
+	Now() Time
+	// AfterFunc schedules fn to run d nanoseconds from now, on the clock's
+	// single execution context (the engine's event loop, or the wall
+	// clock's run loop — never a bare goroutine).
+	AfterFunc(d Time, fn func()) TimerID
+	// CancelTimer stops a pending timer. Cancelling an already-fired or
+	// already-cancelled timer is a harmless no-op, exactly like
+	// Engine.Cancel. A wall clock cannot guarantee the callback isn't
+	// already in flight; implementations must make a late fire a no-op.
+	CancelTimer(id TimerID)
+}
+
+// ExternalTimer is the cancel handle of a non-engine timer. *time.Timer
+// satisfies it directly.
+type ExternalTimer interface {
+	Stop() bool
+}
+
+// TimerID identifies a timer armed through a Clock. It is a small value (no
+// allocation to create or store): engine timers carry their EventID, wall
+// timers carry the implementation's cancel handle.
+type TimerID struct {
+	ev  EventID
+	ext ExternalTimer
+}
+
+// ExternalTimerID wraps a non-engine timer handle as a TimerID. Used by
+// wall-clock Clock implementations.
+func ExternalTimerID(t ExternalTimer) TimerID { return TimerID{ext: t} }
+
+// External returns the wrapped external handle (nil for engine timers).
+func (id TimerID) External() ExternalTimer { return id.ext }
+
+// AfterFunc implements Clock on the engine: identical to After, wrapped in
+// a TimerID.
+func (e *Engine) AfterFunc(d Time, fn func()) TimerID {
+	return TimerID{ev: e.After(d, fn)}
+}
+
+// CancelTimer implements Clock on the engine. A TimerID that carries an
+// external handle (a wall timer that migrated here by mistake) is still
+// stopped rather than leaked.
+func (e *Engine) CancelTimer(id TimerID) {
+	if id.ext != nil {
+		id.ext.Stop()
+		return
+	}
+	e.Cancel(id.ev)
+}
+
+// The engine is the canonical Clock.
+var _ Clock = (*Engine)(nil)

@@ -96,6 +96,12 @@ type Engine struct {
 	stopped    bool
 	running    bool
 
+	// interrupted is the one cross-goroutine control on an engine: a signal
+	// handler (or any watchdog) may request that Run return at the next
+	// event boundary. Checked every 256 events so the hot loop pays one
+	// masked branch, not an atomic load per event.
+	interrupted atomic.Bool
+
 	// Stats
 	executed uint64
 }
@@ -301,6 +307,9 @@ func (e *Engine) RunUntil(deadline Time) {
 		totalExecuted.Add(e.executed - startExecuted)
 	}()
 	for len(e.heap) > 0 && !e.stopped {
+		if e.executed&255 == 0 && e.interrupted.Load() {
+			return
+		}
 		next := e.heap[0]
 		if next.canceled {
 			e.heapPop()
@@ -329,6 +338,19 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // Stop halts Run/RunUntil after the current event returns.
 func (e *Engine) Stop() { e.stopped = true }
+
+// Interrupt requests that Run/RunUntil return at an event boundary soon
+// (within 256 events). Unlike Stop it is safe to call from another
+// goroutine — it is how a SIGINT handler drains a long simulation instead
+// of killing it mid-write. The flag is sticky: once interrupted, further
+// Run calls return immediately until ClearInterrupt.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
+
+// ClearInterrupt re-arms the engine after an Interrupt.
+func (e *Engine) ClearInterrupt() { e.interrupted.Store(false) }
 
 // Ticker invokes fn every period until the returned stop function is called.
 // The first tick fires one period from now.

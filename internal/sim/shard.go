@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultInboxCap bounds each shard's per-window inbox. A window's worth of
@@ -137,6 +138,11 @@ type ShardGroup struct {
 	// Windows counts synchronization windows executed (barrier crossings).
 	Windows uint64
 
+	// interrupted mirrors Engine.interrupted at the group level: a signal
+	// handler may ask the coordinator to stop at the next window barrier,
+	// where every shard is drained and the merged state is consistent.
+	interrupted atomic.Bool
+
 	// worker pool, created lazily on the first parallel run and reused
 	// across windows so a window costs two channel hops, not a goroutine
 	// spawn per shard.
@@ -195,6 +201,9 @@ func (g *ShardGroup) RunUntil(deadline Time, workers int) {
 		workers = len(g.shards)
 	}
 	for g.cursor <= deadline {
+		if g.interrupted.Load() {
+			return
+		}
 		end := g.cursor + g.lookahead // exclusive window end
 		runTo := end - 1              // inclusive engine deadline
 		if runTo > deadline || end < g.cursor /* overflow */ {
@@ -221,6 +230,17 @@ func (g *ShardGroup) RunUntil(deadline Time, workers int) {
 
 // Run advances the group until every shard is quiescent.
 func (g *ShardGroup) Run(workers int) { g.RunUntil(MaxTime, workers) }
+
+// Interrupt requests that RunUntil return at the next window barrier. Safe
+// to call from another goroutine (a signal handler); the flag is sticky
+// until ClearInterrupt, so a warmup/measure pair both stop.
+func (g *ShardGroup) Interrupt() { g.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func (g *ShardGroup) Interrupted() bool { return g.interrupted.Load() }
+
+// ClearInterrupt re-arms the group after an Interrupt.
+func (g *ShardGroup) ClearInterrupt() { g.interrupted.Store(false) }
 
 // runWindowParallel executes one window on the persistent worker pool.
 // Worker w owns shards w, w+workers, w+2*workers, ... — a static partition,

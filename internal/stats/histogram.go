@@ -94,6 +94,16 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
+// Percentiles reports the values at several percentiles in one call —
+// the p50/p95/p99 row of a latency report.
+func (h *Histogram) Percentiles(ps ...float64) []int64 {
+	out := make([]int64, len(ps))
+	for i, p := range ps {
+		out[i] = h.Percentile(p)
+	}
+	return out
+}
+
 // Min reports the smallest observation, or 0 with none.
 func (h *Histogram) Min() int64 { return h.min }
 

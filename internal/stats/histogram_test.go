@@ -229,6 +229,24 @@ func TestHistogramPercentileClamped(t *testing.T) {
 	}
 }
 
+// Percentiles is Percentile applied element-wise, in argument order.
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	got := h.Percentiles(50, 95, 99)
+	want := []int64{h.Percentile(50), h.Percentile(95), h.Percentile(99)}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if n := len((&Histogram{}).Percentiles()); n != 0 {
+		t.Errorf("empty argument list produced %d values", n)
+	}
+}
+
 // Values spanning up to 2^62 must keep bounded relative error — the bucket
 // math shifts by (exp-5) and has to stay correct at the top of the range.
 func TestHistogramHugeValues(t *testing.T) {

@@ -97,6 +97,13 @@ func (r *Registry) Gauge(component, name string, fn func() float64) *Metric {
 	return r.add(&Metric{Component: component, Name: name, Kind: KindGauge, gauge: fn})
 }
 
+// PercentileGauge registers a gauge that reads one percentile of an
+// existing histogram in microseconds at snapshot time — a tail-latency
+// column for a timeseries without copying the histogram per sample.
+func (r *Registry) PercentileGauge(component, name string, h *stats.Histogram, p float64) *Metric {
+	return r.Gauge(component, name, func() float64 { return float64(h.Percentile(p)) / 1e3 })
+}
+
 // Histogram registers a fresh histogram and returns it for recording.
 func (r *Registry) Histogram(component, name string) *stats.Histogram {
 	h := &stats.Histogram{}

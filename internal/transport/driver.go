@@ -45,7 +45,20 @@ type Config struct {
 	// MaxChunk caps the payload per transport message; block requests
 	// larger than this are chunked (the 64 KiB TSO ceiling minus headers).
 	MaxChunk int
+	// MaxReassembly caps the bytes a chunked message may reassemble into.
+	// On the simulated carrier this is a formality (the sim only produces
+	// well-formed traffic); on a real-wire carrier the peer is untrusted,
+	// and without the cap a single hostile header (ChunkCount 65535 × a
+	// 64 KiB stride) would make the receiver allocate gigabytes. Messages
+	// that would exceed it — or whose ChunkCount no legitimate MaxChunk
+	// stride could produce within it — are dropped and counted.
+	MaxReassembly int
 }
+
+// maxChunks bounds ChunkCount for untrusted messages: a legitimate sender
+// strides non-final chunks at MaxChunk, so a message within MaxReassembly
+// carries at most MaxReassembly/MaxChunk full chunks plus a final one.
+func (c Config) maxChunks() int { return c.MaxReassembly/c.MaxChunk + 1 }
 
 // DefaultConfig mirrors the paper's settings.
 func DefaultConfig() Config {
@@ -53,6 +66,7 @@ func DefaultConfig() Config {
 		InitialTimeout: 10 * sim.Millisecond,
 		MaxRetransmits: 6,
 		MaxChunk:       ethernet.MaxMessage - HeaderSize,
+		MaxReassembly:  16 << 20, // 16 MiB; far above any modeled request
 	}
 }
 
@@ -76,7 +90,7 @@ type BlkCallback func(resp []byte, err error)
 // recycled through free lists, and chunked responses reassemble directly
 // into one pooled buffer.
 type Driver struct {
-	eng    *sim.Engine
+	clk    sim.Clock
 	port   Port
 	iohost ethernet.MAC
 	cfg    Config
@@ -92,8 +106,14 @@ type Driver struct {
 
 	// NetRx is invoked for every frame the IOhost delivers to a net
 	// front-end. The frame may be retained by the guest (it escapes into
-	// the tenant stack), so net-rx buffers are never recycled.
+	// the tenant stack), so net-rx buffers are never recycled by default.
 	NetRx func(deviceID uint16, frame []byte)
+	// RecycleNetRx tightens the NetRx contract: when set, the frame is
+	// only borrowed for the duration of the callback and its buffer is
+	// returned to the pool as soon as NetRx returns. Opt in only when the
+	// receiver consumes frames synchronously (vrio-loadgen does; the
+	// simulated guest stack, which defers processing, must not).
+	RecycleNetRx bool
 	// CreateDev / DestroyDev are invoked for I/O-hypervisor control
 	// commands (§4.1: "receiving commands from the I/O hypervisor to
 	// create and destroy paravirtual devices").
@@ -120,7 +140,7 @@ type pendingBlk struct {
 	chunks   [][]byte // raw payload chunks for retransmission (alias the request)
 	timeout  sim.Time
 	retries  int
-	timer    sim.EventID
+	timer    sim.TimerID
 	done     BlkCallback
 	// expireFn is the prebound timeout callback; it survives recycling, so
 	// arming a retransmission timer does not allocate.
@@ -135,6 +155,7 @@ type pendingBlk struct {
 type chunkAsm struct {
 	seq      uint64 // insertion order, for endpoint-side eviction
 	count    int
+	limit    int    // reassembly byte cap; add refuses to allocate past it
 	stride   int    // len of non-final chunks; 0 until the first one arrives
 	buf      []byte // pooled assembly buffer, stride*count capacity
 	seen     []bool
@@ -143,9 +164,10 @@ type chunkAsm struct {
 	finalLen int
 }
 
-func (a *chunkAsm) reset(count int, seq uint64) {
+func (a *chunkAsm) reset(count int, seq uint64, limit int) {
 	a.seq = seq
 	a.count = count
+	a.limit = limit
 	a.stride = 0
 	a.buf = nil
 	a.got = 0
@@ -168,10 +190,18 @@ func (a *chunkAsm) add(pool *bufpool.Pool, idx int, body []byte) bool {
 	if idx < 0 || idx >= a.count || a.seen[idx] {
 		return false
 	}
+	if len(body) > a.limit {
+		return false // one chunk alone past the reassembly cap
+	}
 	if idx < a.count-1 {
 		if a.stride == 0 {
 			if len(body) == 0 {
 				return false // degenerate non-final chunk; drop
+			}
+			if len(body)*a.count > a.limit {
+				// A hostile stride×count would allocate past the cap; never
+				// set the stride, so the assembly stays empty and cheap.
+				return false
 			}
 			a.stride = len(body)
 			a.buf = pool.GetRaw(a.stride * a.count)
@@ -227,8 +257,11 @@ func (a *chunkAsm) release(pool *bufpool.Pool) {
 	}
 }
 
-// NewDriver builds a transport driver bound to its IOhost's MAC.
-func NewDriver(eng *sim.Engine, port Port, iohost ethernet.MAC, cfg Config) *Driver {
+// NewDriver builds a transport driver bound to its IOhost's MAC. clk is the
+// timer service: the simulation engine for simulated carriers, a
+// netwire.Loop wall clock for real sockets — the driver itself cannot tell
+// the difference.
+func NewDriver(clk sim.Clock, port Port, iohost ethernet.MAC, cfg Config) *Driver {
 	if cfg.InitialTimeout <= 0 {
 		cfg.InitialTimeout = DefaultConfig().InitialTimeout
 	}
@@ -238,8 +271,11 @@ func NewDriver(eng *sim.Engine, port Port, iohost ethernet.MAC, cfg Config) *Dri
 	if cfg.MaxChunk <= 0 {
 		cfg.MaxChunk = DefaultConfig().MaxChunk
 	}
+	if cfg.MaxReassembly <= 0 {
+		cfg.MaxReassembly = DefaultConfig().MaxReassembly
+	}
 	return &Driver{
-		eng:     eng,
+		clk:     clk,
 		port:    port,
 		iohost:  iohost,
 		cfg:     cfg,
@@ -319,7 +355,7 @@ func (d *Driver) getAsm(count int) *chunkAsm {
 	} else {
 		a = &chunkAsm{}
 	}
-	a.reset(count, 0)
+	a.reset(count, 0, d.cfg.MaxReassembly)
 	return a
 }
 
@@ -426,7 +462,7 @@ func (d *Driver) transmit(p *pendingBlk) {
 			ChunkCount: uint16(len(p.chunks)),
 		}, chunk)
 	}
-	p.timer = d.eng.After(p.timeout, p.expireFn)
+	p.timer = d.clk.AfterFunc(p.timeout, p.expireFn)
 }
 
 func (d *Driver) expire(p *pendingBlk) {
@@ -456,7 +492,7 @@ func (d *Driver) expire(p *pendingBlk) {
 // model calls this once a full message is reassembled from wire fragments.
 // The driver takes ownership of payload: block-response and control buffers
 // are recycled to the pool; net-rx frames escape into the guest and are
-// left to the garbage collector.
+// left to the garbage collector unless RecycleNetRx is set.
 func (d *Driver) Deliver(payload []byte) error {
 	h, body, err := Decode(payload)
 	if err != nil {
@@ -472,6 +508,9 @@ func (d *Driver) Deliver(payload []byte) error {
 		}
 		if d.NetRx != nil {
 			d.NetRx(h.DeviceID, body)
+		}
+		if d.RecycleNetRx {
+			d.pool().PutRaw(payload)
 		}
 	case MsgBlkResp:
 		d.deliverBlkResp(h, body)
@@ -511,7 +550,7 @@ func (d *Driver) deliverBlkResp(h Header, body []byte) {
 		return
 	}
 	count := int(h.ChunkCount)
-	if count == 0 || int(h.Chunk) >= count {
+	if count == 0 || int(h.Chunk) >= count || count > d.cfg.maxChunks() {
 		d.Counters.Inc("stale", 1)
 		return
 	}
@@ -539,7 +578,7 @@ func (d *Driver) deliverBlkResp(h Header, body []byte) {
 		resp = asm.assembled()
 	}
 	delete(d.pending, h.OrigID)
-	d.eng.Cancel(p.timer)
+	d.clk.CancelTimer(p.timer)
 	d.Counters.Inc("blk_completed", 1)
 	if d.Tracer.Enabled() {
 		d.Tracer.End(d.Tracer.Take(trace.FlowKey{

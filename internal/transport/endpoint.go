@@ -22,7 +22,7 @@ import (
 // the pooled reassembly buffer. The handler Releases the frame when the
 // request's payload is no longer needed.
 type Endpoint struct {
-	eng  *sim.Engine
+	clk  sim.Clock
 	port Port
 	cfg  Config
 
@@ -74,12 +74,13 @@ type pendingCtrl struct {
 	dst     ethernet.MAC
 	timeout sim.Time
 	retries int
-	timer   sim.EventID
+	timer   sim.TimerID
 	done    func(acked bool)
 }
 
-// NewEndpoint builds the IOhost transport peer.
-func NewEndpoint(eng *sim.Engine, port Port, cfg Config) *Endpoint {
+// NewEndpoint builds the IOhost transport peer. clk is the timer service —
+// the simulation engine or a real-wire wall clock (see NewDriver).
+func NewEndpoint(clk sim.Clock, port Port, cfg Config) *Endpoint {
 	if cfg.InitialTimeout <= 0 {
 		cfg.InitialTimeout = DefaultConfig().InitialTimeout
 	}
@@ -89,8 +90,11 @@ func NewEndpoint(eng *sim.Engine, port Port, cfg Config) *Endpoint {
 	if cfg.MaxChunk <= 0 {
 		cfg.MaxChunk = DefaultConfig().MaxChunk
 	}
+	if cfg.MaxReassembly <= 0 {
+		cfg.MaxReassembly = DefaultConfig().MaxReassembly
+	}
 	return &Endpoint{
-		eng:    eng,
+		clk:    clk,
 		port:   port,
 		cfg:    cfg,
 		reqAsm: make(map[endpointKey]*chunkAsm),
@@ -122,7 +126,7 @@ func (e *Endpoint) getAsm(count int) *chunkAsm {
 		a = &chunkAsm{}
 	}
 	e.asmSeq++
-	a.reset(count, e.asmSeq)
+	a.reset(count, e.asmSeq, e.cfg.MaxReassembly)
 	return a
 }
 
@@ -183,6 +187,13 @@ func (e *Endpoint) deliverBlkReq(src ethernet.MAC, h Header, payload, body []byt
 		} else {
 			e.pool().PutRaw(payload)
 		}
+		return
+	}
+	if int(h.ChunkCount) > e.cfg.maxChunks() {
+		// No legitimate MaxChunk stride yields this many chunks within the
+		// reassembly cap — an untrusted peer probing for an allocation DoS.
+		e.Counters.Inc("bad_msgs", 1)
+		e.pool().PutRaw(payload)
 		return
 	}
 	key := endpointKey{src, h.ReqID}
@@ -323,7 +334,7 @@ func (e *Endpoint) sendCtrl(dst ethernet.MAC, t MsgType, devType uint8, deviceID
 
 func (e *Endpoint) transmitCtrl(p *pendingCtrl) {
 	e.port.Send(p.dst, p.msg)
-	p.timer = e.eng.After(p.timeout, func() { e.expireCtrl(p) })
+	p.timer = e.clk.AfterFunc(p.timeout, func() { e.expireCtrl(p) })
 }
 
 func (e *Endpoint) expireCtrl(p *pendingCtrl) {
@@ -349,7 +360,7 @@ func (e *Endpoint) ackCtrl(reqID uint64) {
 		return // duplicate ack
 	}
 	delete(e.ctrl, reqID)
-	e.eng.Cancel(p.timer)
+	e.clk.CancelTimer(p.timer)
 	e.Counters.Inc("ctrl_acked", 1)
 	if p.done != nil {
 		p.done(true)

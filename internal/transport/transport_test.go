@@ -288,6 +288,46 @@ func TestNetTxRx(t *testing.T) {
 	}
 }
 
+// RecycleNetRx tightens the net-rx contract: the frame is only borrowed for
+// the callback, and the payload slab goes straight back to the pool — the
+// steady state takes no allocations. Off (the default), the buffer escapes
+// to the garbage collector exactly as before.
+func TestNetRxRecycle(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.driver.RecycleNetRx = true
+	got := 0
+	h.driver.NetRx = func(_ uint16, frame []byte) { got++ }
+	p := h.driver.pool()
+	payload := []byte("inbound-frame-bytes")
+	deliver := func() {
+		buf := p.GetRaw(EncodedSize(len(payload)))
+		EncodeInto(buf, Header{Type: MsgNetRx, DeviceID: 1, ReqID: 1, ChunkCount: 1}, payload)
+		if err := h.driver.Deliver(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deliver() // first delivery warms the size class
+	base := p.Stats.Misses
+	for i := 0; i < 100; i++ {
+		deliver()
+	}
+	if got != 101 {
+		t.Fatalf("NetRx ran %d times, want 101", got)
+	}
+	if p.Stats.Misses != base {
+		t.Errorf("misses grew %d -> %d; recycled slab not reused", base, p.Stats.Misses)
+	}
+
+	// Default contract unchanged: the slab leaves the pool and never
+	// returns (the guest may retain it).
+	h.driver.RecycleNetRx = false
+	free := p.FreeSlabs()
+	deliver()
+	if p.FreeSlabs() != free-1 {
+		t.Errorf("FreeSlabs = %d after escaping delivery, want %d", p.FreeSlabs(), free-1)
+	}
+}
+
 func TestNetIsUnreliable(t *testing.T) {
 	h := newHarness(t, Config{})
 	h.fabric.drop = func([]byte) bool { return true }

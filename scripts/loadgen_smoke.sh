@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Two-process loopback smoke test for the real-wire carrier (DESIGN.md §14):
+# a vrio-loadgen server and driver talk over 127.0.0.1 twice — once over UDP
+# with injected loss and corruption (the §4.5 retransmit path must recover
+# every request) and once over TCP with TLS. Every response is SHA-256
+# verified; the run fails on any digest mismatch, on a lossy leg that never
+# retransmitted (fault injection silently off), or on a leg exceeding its
+# wall-time bound. Wired into `make check` as loadgen-smoke.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/vrio-loadgen-smoke.XXXXXX")"
+BIN="$OUT/vrio-loadgen"
+SERVER_PID=""
+
+cleanup() {
+	if [[ -n "$SERVER_PID" ]]; then
+		kill "$SERVER_PID" 2>/dev/null || true
+		wait "$SERVER_PID" 2>/dev/null || true
+	fi
+	rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/vrio-loadgen
+
+# Each leg is bounded: quota mode (-requests) ends the drive as soon as the
+# count completes, and `timeout` caps a hung leg well under the CI budget.
+REQUESTS=20000
+LEG_TIMEOUT=90
+
+# check SUMMARY LEG WANT_RETRANSMITS — assert on the machine-readable summary.
+check() {
+	python3 - "$1" "$2" "$3" <<-'EOF'
+	import json, sys
+	s = json.load(open(sys.argv[1]))
+	leg, want_rt = sys.argv[2], sys.argv[3] == "yes"
+	ok = True
+	def need(cond, msg):
+	    global ok
+	    if not cond:
+	        ok = False
+	        print(f"FAIL [{leg}]: {msg}")
+	need(s["digest_mismatches"] == 0, f"{s['digest_mismatches']} digest mismatches")
+	need(s["requests"] >= 5000, f"only {s['requests']} hash-verified requests")
+	if want_rt:
+	    need(s["retransmits"] > 0, "no retransmits despite injected loss")
+	    need(s["drops_injected"] > 0, "no injected drops — fault plan inactive")
+	print(f"ok [{leg}]: {s['requests']} hash-verified requests, "
+	      f"{s['retransmits']} retransmits, {s['digest_mismatches']} mismatches")
+	sys.exit(0 if ok else 1)
+	EOF
+}
+
+echo "== loadgen smoke: udp with injected loss =="
+"$BIN" -serve -carrier udp -addr 127.0.0.1:17931 >"$OUT/udp-serve.log" 2>&1 &
+SERVER_PID=$!
+sleep 0.3
+timeout "$LEG_TIMEOUT" "$BIN" -drive -carrier udp -addr 127.0.0.1:17931 \
+	-workers 2 -guests 8 -loss 0.05 -corrupt 0.01 -netfrac 0.1 \
+	-warmup 500ms -requests "$REQUESTS" -seed 1 \
+	-summary "$OUT/udp.json" >"$OUT/udp-drive.log"
+kill -INT "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+check "$OUT/udp.json" udp yes
+
+echo "== loadgen smoke: tcp+tls =="
+"$BIN" -serve -carrier tcp -tls -certout "$OUT/cert.pem" \
+	-addr 127.0.0.1:17932 >"$OUT/tls-serve.log" 2>&1 &
+SERVER_PID=$!
+sleep 0.3
+timeout "$LEG_TIMEOUT" "$BIN" -drive -carrier tcp -tls -tlscert "$OUT/cert.pem" \
+	-addr 127.0.0.1:17932 -workers 2 -guests 8 -netfrac 0.1 \
+	-warmup 500ms -requests "$REQUESTS" -seed 1 \
+	-summary "$OUT/tls.json" >"$OUT/tls-drive.log"
+kill -INT "$SERVER_PID" && wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+check "$OUT/tls.json" tcp+tls no
+
+echo "loadgen smoke passed"

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric bench-realwire race-rack race-fault race-shard race-trace loadgen-smoke benchjson memprofile check
+.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric bench-realwire bench-mq race-rack race-fault race-shard race-trace race-mq loadgen-smoke benchjson memprofile check
 
 build:
 	$(GO) build ./...
@@ -77,6 +77,19 @@ bench-realwire:
 loadgen-smoke:
 	./scripts/loadgen_smoke.sh
 
+# Multi-queue block path: the QD=8 x NQ=4 datapath benchmark plus its
+# zero-allocation guard (datapath_blk_mq_* in BENCH json must stay 0
+# allocs/op).
+bench-mq:
+	$(GO) test -run TestHotPathZeroAllocMQ -bench 'BenchmarkDatapathBlkMQ' -benchmem ./internal/transport/
+
+# The multi-queue submission path under the race detector: queue-tagged
+# transport ids, per-queue in-flight tables and pinned workers in iohyp, the
+# range-conflict scheduler, and the mqscaling cells (which run concurrently
+# under -parallel).
+race-mq:
+	$(GO) test -race -run 'MQ|Queue|Scheduler' ./internal/transport/ ./internal/iohyp/ ./internal/blockdev/ ./internal/experiments/
+
 # Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
 # events/sec for serial vs parallel RunAll.
 benchjson:
@@ -88,4 +101,4 @@ memprofile:
 	$(GO) run ./cmd/vrio-experiments -run all -quick -memprofile mem.pprof > /dev/null
 	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 15 mem.pprof
 
-check: build vet test race race-fault race-shard race-trace loadgen-smoke
+check: build vet test race race-fault race-shard race-trace race-mq bench-mq loadgen-smoke

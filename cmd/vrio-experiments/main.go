@@ -289,6 +289,15 @@ type benchReport struct {
 	RealwireSealAllocsOp   int64 `json:"realwire_seal_allocs_op"`
 	RealwireUDPBlkNsOp     int64 `json:"realwire_udp_blk_ns_op"`
 	RealwireUDPBlkAllocsOp int64 `json:"realwire_udp_blk_allocs_op"`
+	// Multi-queue block datapath (internal/transport BenchmarkDatapathBlkMQ):
+	// 32 outstanding 4 KiB echoes — QD=8 over NQ=4 queue-tagged queues — with
+	// completions reissuing on their own queue. The allocs/op figure is the
+	// zero-allocation contract extended to the queue-pair path;
+	// TestHotPathZeroAllocMQ enforces it at exactly 0.
+	DatapathBlkMQNsOp     int64 `json:"datapath_blk_mq_ns_op"`
+	DatapathBlkMQAllocsOp int64 `json:"datapath_blk_mq_allocs_op"`
+	// Notes carries caveats about the machine the numbers came from.
+	Notes []string `json:"notes"`
 }
 
 // sweep1Speedup computes a sweep entry's speedup against the sweep's
@@ -424,6 +433,49 @@ func benchDatapathBlk() (nsOp, allocsOp int64) {
 		for i := 0; i < b.N; i++ {
 			send()
 		}
+	})
+	return res.NsPerOp(), res.AllocsPerOp()
+}
+
+// benchDatapathBlkMQ mirrors BenchmarkDatapathBlkMQ: QD=8 over NQ=4 queues,
+// 32 outstanding 4 KiB echoes, completions reissuing on their own queue.
+func benchDatapathBlkMQ() (nsOp, allocsOp int64) {
+	const nq, qd = 4, 8
+	res := testing.Benchmark(func(b *testing.B) {
+		r := transport.NewRig()
+		req := make([]byte, 4096)
+		remaining := 0
+		var cbs [nq]transport.BlkCallback
+		for q := 0; q < nq; q++ {
+			queue := uint8(q)
+			var cb transport.BlkCallback
+			cb = func(resp []byte, err error) {
+				if err != nil {
+					b.Fatalf("blk mq roundtrip: %v", err)
+				}
+				if remaining > 0 {
+					remaining--
+					r.Driver.SendBlkQ(2, 1, queue, req, cb)
+				}
+			}
+			cbs[q] = cb
+		}
+		run := func(n int) {
+			inflight := n
+			if inflight > nq*qd {
+				inflight = nq * qd
+			}
+			remaining = n - inflight
+			for i := 0; i < inflight; i++ {
+				q := i % nq
+				r.Driver.SendBlkQ(2, 1, uint8(q), req, cbs[q])
+			}
+			r.Step()
+		}
+		run(100)
+		b.ReportAllocs()
+		b.ResetTimer()
+		run(b.N)
 	})
 	return res.NsPerOp(), res.AllocsPerOp()
 }
@@ -662,6 +714,11 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 	report.FabricTraceOverheadNsOp = bestShard(true) - bestShard(false)
 	report.RealwireSealNsOp, report.RealwireSealAllocsOp = benchRealwireSeal()
 	report.RealwireUDPBlkNsOp, report.RealwireUDPBlkAllocsOp = benchRealwireUDPBlk()
+	report.DatapathBlkMQNsOp, report.DatapathBlkMQAllocsOp = benchDatapathBlkMQ()
+	if runtime.NumCPU() == 1 {
+		report.Notes = append(report.Notes,
+			"num_cpu:1 — the mqscaling worker-count speedups are capped by a single host CPU; re-run on a multi-core machine for the paper's worker-scaling figures")
+	}
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", report.Date)
 	}
@@ -685,6 +742,8 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 	fmt.Printf("datapath net-tx %d ns/op (%d allocs/op)  blk %d ns/op (%d allocs/op)\n",
 		report.DatapathNetTxNsOp, report.DatapathNetTxAllocsOp,
 		report.DatapathBlkNsOp, report.DatapathBlkAllocsOp)
+	fmt.Printf("datapath blk-mq %d ns/op (%d allocs/op) at QD=8 x NQ=4\n",
+		report.DatapathBlkMQNsOp, report.DatapathBlkMQAllocsOp)
 	fmt.Printf("fault overhead  %+d ns/op (%d allocs/op) with an empty fault plan attached\n",
 		report.FaultOverheadNsOp, report.FaultNetTxAllocsOp)
 	fmt.Printf("fabric trace overhead %+d ns/op on the sharded window path with tracing disabled\n",

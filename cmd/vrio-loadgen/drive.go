@@ -71,10 +71,13 @@ type worker struct {
 // guest is one closed-loop requester: exactly one request in flight,
 // submitting the next from its completion callback. Request buffers and
 // callbacks are allocated once here, so the steady-state submit path
-// allocates nothing.
+// allocates nothing. With -blk-queues/-blk-depth above 1, each configured
+// guest expands into queues×depth requesters sharing one device id, each
+// stamping its queue into the §4.2 header — the NVMe queue-pair shape.
 type guest struct {
 	w       *worker
 	id      uint16
+	queue   uint8
 	rng     *sim.RNG
 	blkReq  []byte
 	netBuf  []byte
@@ -144,11 +147,12 @@ func newWorker(cfg *config, id int, quota uint64, readyCh chan<- int, tlsConf *t
 	return w, nil
 }
 
-func (w *worker) addGuest(id uint16) {
+func (w *worker) addGuest(id uint16, queue uint8, lane int) {
 	g := &guest{
 		w:      w,
 		id:     id,
-		rng:    sim.NewRNG(w.cfg.seed ^ (uint64(id) * 0x9e3779b97f4a7c15)),
+		queue:  queue,
+		rng:    sim.NewRNG(w.cfg.seed ^ ((uint64(id)<<16 | uint64(lane)) * 0x9e3779b97f4a7c15)),
 		blkReq: make([]byte, w.cfg.blkSize),
 		netBuf: make([]byte, w.cfg.netSize),
 	}
@@ -253,7 +257,7 @@ func (g *guest) next() {
 func (g *guest) sendBlk() {
 	fillPayload(g.rng, g.blkReq)
 	g.want = sha256.Sum256(g.blkReq)
-	g.w.drv.SendBlk(devTypeBlk, g.id, g.blkReq, g.blkDone)
+	g.w.drv.SendBlkQ(devTypeBlk, g.id, g.queue, g.blkReq, g.blkDone)
 }
 
 func (g *guest) sendNet() {
@@ -418,8 +422,15 @@ func runDrive(cfg *config) int {
 		}
 		workers[i] = w
 	}
+	// Each guest expands into blkQueues×blkDepth closed-loop requesters, all
+	// on the same worker so per-queue submission order is preserved.
 	for g := 0; g < cfg.guests; g++ {
-		workers[g%cfg.workers].addGuest(uint16(g + 1))
+		w := workers[g%cfg.workers]
+		for q := 0; q < cfg.blkQueues; q++ {
+			for d := 0; d < cfg.blkDepth; d++ {
+				w.addGuest(uint16(g+1), uint8(q), q*cfg.blkDepth+d)
+			}
+		}
 	}
 	if cfg.metricsPath != "" {
 		for _, w := range workers {
@@ -500,6 +511,8 @@ type summaryJSON struct {
 	Workers   int     `json:"workers"`
 	Guests    int     `json:"guests"`
 	BlkSize   int     `json:"blk_size"`
+	BlkQueues int     `json:"blk_queues"`
+	BlkDepth  int     `json:"blk_depth"`
 	NetFrac   float64 `json:"net_frac"`
 	Loss      float64 `json:"loss"`
 	Corrupt   float64 `json:"corrupt"`
@@ -556,6 +569,9 @@ func report(cfg *config, workers []*worker, elapsed time.Duration) int {
 
 	fmt.Printf("\nvrio-loadgen: %s, %d workers x %d guests, blk %d B",
 		carrierName(cfg), cfg.workers, cfg.guests, cfg.blkSize)
+	if cfg.blkQueues > 1 || cfg.blkDepth > 1 {
+		fmt.Printf(", %d queues x QD%d per guest", cfg.blkQueues, cfg.blkDepth)
+	}
 	if cfg.loss > 0 || cfg.corrupt > 0 {
 		fmt.Printf(", injected loss %.0f%% corrupt %.1f%%", cfg.loss*100, cfg.corrupt*100)
 	}
@@ -590,7 +606,8 @@ func report(cfg *config, workers []*worker, elapsed time.Duration) int {
 	if cfg.summaryPath != "" {
 		s := summaryJSON{
 			Carrier: carrierName(cfg), Workers: cfg.workers, Guests: cfg.guests,
-			BlkSize: cfg.blkSize, NetFrac: cfg.netFrac, Loss: cfg.loss, Corrupt: cfg.corrupt,
+			BlkSize: cfg.blkSize, BlkQueues: cfg.blkQueues, BlkDepth: cfg.blkDepth,
+			NetFrac: cfg.netFrac, Loss: cfg.loss, Corrupt: cfg.corrupt,
 			Seconds: secs, Requests: ops, ReqPerSec: float64(ops) / secs, MBPerSec: mbs,
 			BlkDone: total.Get("blk_done"), BlkErrors: total.Get("blk_errors"),
 			BlkP50us: float64(blkPct[0]) / 1e3,

@@ -74,6 +74,8 @@ type config struct {
 	warmup   time.Duration
 
 	blkSize    int
+	blkQueues  int
+	blkDepth   int
 	netSize    int
 	netFrac    float64
 	netTimeout time.Duration
@@ -108,6 +110,8 @@ func main() {
 	flag.DurationVar(&cfg.duration, "duration", 10*time.Second, "drive: measured run length when -requests is 0")
 	flag.DurationVar(&cfg.warmup, "warmup", 2*time.Second, "drive: warmup before the statistics reset")
 	flag.IntVar(&cfg.blkSize, "blksize", 4096, "drive: block request payload bytes")
+	flag.IntVar(&cfg.blkQueues, "blk-queues", 1, "drive: NVMe-style submission queues per guest (queue id rides the §4.2 header)")
+	flag.IntVar(&cfg.blkDepth, "blk-depth", 1, "drive: outstanding block requests per queue (queue depth)")
 	flag.IntVar(&cfg.netSize, "netsize", 1024, "drive: net frame bytes (first 8 are the sequence number)")
 	flag.Float64Var(&cfg.netFrac, "netfrac", 0, "drive: fraction of requests that are (unreliable) net sends")
 	flag.DurationVar(&cfg.netTimeout, "nettimeout", 250*time.Millisecond, "drive: net echo loss timeout")
@@ -155,6 +159,12 @@ func validate(cfg *config, serve, drive bool) error {
 		}
 		if cfg.blkSize < 1 {
 			return fmt.Errorf("-blksize must be at least 1")
+		}
+		if cfg.blkQueues < 1 || cfg.blkQueues > 256 {
+			return fmt.Errorf("-blk-queues must be in [1, 256] (the queue id is one header byte)")
+		}
+		if cfg.blkDepth < 1 {
+			return fmt.Errorf("-blk-depth must be at least 1")
 		}
 		maxNet := transportConfig(cfg).MaxChunk
 		if maxNet == 0 {

@@ -373,3 +373,57 @@ func TestOpString(t *testing.T) {
 		t.Error("unknown op misprinted")
 	}
 }
+
+// TestSchedulerPerQueueFIFOProperty models the multi-queue submission shape:
+// NQ closed-loop queues each keep QD writes outstanding against their own
+// sector through one range-conflict Scheduler over a 4-way device. Because
+// every request in a queue targets the same sector, the scheduler serializes
+// them — and its drain must hand them to the device strictly in submission
+// order, at any depth.
+func TestSchedulerPerQueueFIFOProperty(t *testing.T) {
+	const queues = 4
+	for _, depth := range []int{2, 8, 16} {
+		e := sim.NewEngine()
+		s := NewScheduler(NewDevice(e, NewStore(512, 64), 100, 4), 512)
+		const perQueue = 200
+		issued := make([]int, queues)    // next sequence number to issue
+		completed := make([]int, queues) // next sequence number expected back
+		violations := 0
+		var issue func(q int)
+		issue = func(q int) {
+			if issued[q] >= perQueue {
+				return
+			}
+			seq := issued[q]
+			issued[q]++
+			s.Submit(Request{Op: OpWrite, Sector: uint64(q), Data: make([]byte, 512)},
+				func(Response) {
+					if seq != completed[q] {
+						violations++
+					}
+					completed[q]++
+					issue(q)
+				})
+		}
+		for q := 0; q < queues; q++ {
+			for d := 0; d < depth; d++ {
+				issue(q)
+			}
+		}
+		e.Run()
+		if violations != 0 {
+			t.Errorf("depth %d: %d out-of-order completions across %d queues",
+				depth, violations, queues)
+		}
+		for q := 0; q < queues; q++ {
+			if completed[q] != perQueue {
+				t.Errorf("depth %d: queue %d completed %d of %d requests",
+					depth, q, completed[q], perQueue)
+			}
+		}
+		if s.Outstanding() != 0 || s.Waiting() != 0 {
+			t.Errorf("depth %d: scheduler leaked state: outstanding=%d waiting=%d",
+				depth, s.Outstanding(), s.Waiting())
+		}
+	}
+}

@@ -64,6 +64,9 @@ type Device struct {
 
 	busy    int
 	waiting []queued
+	// wHead indexes the front of waiting; popping advances it instead of
+	// re-slicing, so the queue's capacity is reused across bursts.
+	wHead int
 
 	// FailNext injects a failure into the next request (fault testing).
 	FailNext bool
@@ -93,7 +96,16 @@ func NewDevice(eng *sim.Engine, store *Store, latency sim.Time, ways int) *Devic
 func (d *Device) Store() *Store { return d.store }
 
 // QueueLen reports requests waiting for a free bank.
-func (d *Device) QueueLen() int { return len(d.waiting) }
+func (d *Device) QueueLen() int { return len(d.waiting) - d.wHead }
+
+// InFlight reports requests currently occupying a bank. QueueLen alone
+// under-reports device load: a device with every bank busy but an empty
+// backlog shows 0 there, so rebalancers and the metrics rollup also need
+// the in-service count.
+func (d *Device) InFlight() int { return d.busy }
+
+// Ways reports the device's internal parallelism.
+func (d *Device) Ways() int { return d.ways }
 
 // Submit implements Backend.
 func (d *Device) Submit(req Request, done func(Response)) {
@@ -113,9 +125,14 @@ func (d *Device) start(req Request, done func(Response)) {
 		resp := d.execute(req)
 		d.busy--
 		d.Served++
-		if len(d.waiting) > 0 {
-			next := d.waiting[0]
-			d.waiting = d.waiting[1:]
+		if d.QueueLen() > 0 {
+			next := d.waiting[d.wHead]
+			d.waiting[d.wHead] = queued{} // drop references for the collector
+			d.wHead++
+			if d.wHead == len(d.waiting) {
+				d.waiting = d.waiting[:0]
+				d.wHead = 0
+			}
 			d.start(next.req, next.done)
 		}
 		done(resp)
@@ -150,6 +167,9 @@ type Scheduler struct {
 	// locked marks sectors with an outstanding request.
 	locked  map[uint64]bool
 	waiting []queued
+	// blocked is drain's scratch set of ranges held back by an earlier
+	// deferred request; kept across calls so draining never allocates.
+	blocked map[uint64]bool
 
 	// Deferred counts requests that had to wait for an overlapping range.
 	Deferred uint64
@@ -210,8 +230,17 @@ func (s *Scheduler) dispatch(req Request, done func(Response), sector, n uint64)
 
 // drain re-attempts deferred requests in order, preserving per-range FIFO.
 func (s *Scheduler) drain() {
+	if len(s.waiting) == 0 {
+		return
+	}
+	if s.blocked == nil {
+		s.blocked = make(map[uint64]bool)
+	}
+	blockedRanges := s.blocked
+	for k := range blockedRanges {
+		delete(blockedRanges, k)
+	}
 	remaining := s.waiting[:0]
-	blockedRanges := make(map[uint64]bool)
 	for _, q := range s.waiting {
 		sector, n := s.span(q.req)
 		// Preserve ordering: if an earlier deferred request overlaps this

@@ -54,6 +54,14 @@ type Spec struct {
 	WithBlock bool
 	// BlockLatency overrides the ramdisk latency (0 = params default).
 	BlockLatency sim.Time
+	// BlkQueues gives every vRIO block device NQ submission queues with
+	// NVMe-style queue-pair passthrough: each queue pinned to an IOhost
+	// worker, range conflicts arbitrated by a blockdev.Scheduler in front
+	// of the device. 0 or 1 keeps the legacy single-queue path (vRIO
+	// models only; local models have no queues to pin).
+	BlkQueues int
+	// BlockWays overrides the per-device bank parallelism (0 = 4).
+	BlockWays int
 	// NetChain, if set, builds the interposition chain for VM (host, vm).
 	NetChain func(host, vm int) *interpose.Chain
 	// BlkChain likewise for block devices.
@@ -168,6 +176,9 @@ type Testbed struct {
 	VRIOClients []*core.VRIOClient
 	// BlockDevices by global VM index (when WithBlock).
 	BlockDevices []*blockdev.Device
+	// BlockSchedulers are the per-device range-conflict arbiters, in device
+	// order, present only when BlkQueues > 1 (the registered backends).
+	BlockSchedulers []*blockdev.Scheduler
 	// Threads by global VM index (when WithThreads).
 	Threads []*guestos.VCPU
 
@@ -215,10 +226,11 @@ type vrioChannel struct {
 // plane can re-register them on another IOhost (automatic re-home after a
 // failure, or a rebalancing move).
 type ClientReg struct {
-	FMAC     ethernet.MAC
-	Backend  blockdev.Backend // nil without WithBlock
-	NetChain *interpose.Chain // nil means the IOhost's default chain
-	BlkChain *interpose.Chain
+	FMAC      ethernet.MAC
+	Backend   blockdev.Backend // nil without WithBlock
+	NetChain  *interpose.Chain // nil means the IOhost's default chain
+	BlkChain  *interpose.Chain
+	BlkQueues int // submission queues to re-register with (<=1 single-queue)
 }
 
 func (s *Spec) defaults() {
@@ -275,6 +287,12 @@ func BuildOn(spec Spec, eng *sim.Engine) *Testbed {
 	}
 	if (spec.NumIOhosts > 1 || spec.Placement != nil) && !isVRIO {
 		panic(fmt.Sprintf("cluster: NumIOhosts/Placement require a vRIO model, got %q", spec.Model))
+	}
+	if spec.BlkQueues > 1 && !isVRIO {
+		panic(fmt.Sprintf("cluster: BlkQueues requires a vRIO model, got %q", spec.Model))
+	}
+	if spec.BlkQueues > 256 {
+		panic("cluster: queue ids are one byte; BlkQueues must be <= 256")
 	}
 
 	tb := &Testbed{
@@ -601,26 +619,36 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 				blkChain = spec.BlkChain(hostIdx, v)
 			}
 			hyp.RegisterNetDevice(tMAC, client.NetDeviceID(), fMAC, netChain)
-			var dev *blockdev.Device
+			var blkBackend blockdev.Backend
 			if spec.WithBlock {
-				dev = tb.newBlockDevice()
-				hyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), dev, blkChain)
+				dev := tb.newBlockDevice()
+				blkBackend = dev
+				if spec.BlkQueues > 1 {
+					// Multi-queue submission breaks the guest-side
+					// one-outstanding-per-range guarantee, so the IOhost
+					// arbitrates: a range-conflict scheduler in front of the
+					// device serializes overlapping writes across queues
+					// while disjoint I/O runs on the device's banks.
+					blkBackend = blockdev.NewScheduler(dev, tb.P.SectorSize)
+					tb.BlockSchedulers = append(tb.BlockSchedulers, blkBackend.(*blockdev.Scheduler))
+				}
+				hyp.RegisterBlkDeviceMQ(tMAC, client.BlkDeviceID(), blkBackend, blkChain, spec.BlkQueues)
 			}
 			if spec.SecondaryIOhost {
 				// Mirror the registrations on the fallback: the F address
 				// and the (shared, distributed-storage) block backend.
 				tb.SecondaryIOHyp.BindClient(tMAC, tb.secondaryChannels[hostIdx].port)
 				tb.SecondaryIOHyp.RegisterNetDevice(tMAC, client.NetDeviceID(), fMAC, netChain)
-				if dev != nil {
-					tb.SecondaryIOHyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), dev, blkChain)
+				if blkBackend != nil {
+					tb.SecondaryIOHyp.RegisterBlkDeviceMQ(tMAC, client.BlkDeviceID(), blkBackend, blkChain, spec.BlkQueues)
 				}
 			}
 			tb.attachThreads(client.Guest)
 			tb.VRIOClients = append(tb.VRIOClients, client)
 			tb.ClientIOhost = append(tb.ClientIOhost, io)
-			reg := ClientReg{FMAC: fMAC, NetChain: netChain, BlkChain: blkChain}
-			if dev != nil {
-				reg.Backend = dev
+			reg := ClientReg{FMAC: fMAC, NetChain: netChain, BlkChain: blkChain, BlkQueues: spec.BlkQueues}
+			if blkBackend != nil {
+				reg.Backend = blkBackend
 			}
 			tb.ClientRegs = append(tb.ClientRegs, reg)
 			tb.Guests = append(tb.Guests, client.Guest)
@@ -633,8 +661,12 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 // newBlockDevice builds one guest's 1 GB backing device.
 func (tb *Testbed) newBlockDevice() *blockdev.Device {
 	const gig = 1 << 30
+	ways := tb.Spec.BlockWays
+	if ways == 0 {
+		ways = 4
+	}
 	store := blockdev.NewStore(tb.P.SectorSize, gig/uint64(tb.P.SectorSize))
-	dev := blockdev.NewDevice(tb.Eng, store, tb.Spec.BlockLatency, 4)
+	dev := blockdev.NewDevice(tb.Eng, store, tb.Spec.BlockLatency, ways)
 	tb.BlockDevices = append(tb.BlockDevices, dev)
 	return dev
 }
@@ -750,7 +782,7 @@ func (tb *Testbed) RehomeClient(vm, dst int) {
 	hyp.BindClient(tMAC, ch.port)
 	hyp.RegisterNetDevice(tMAC, client.NetDeviceID(), reg.FMAC, reg.NetChain)
 	if reg.Backend != nil {
-		hyp.RegisterBlkDevice(tMAC, client.BlkDeviceID(), reg.Backend, reg.BlkChain)
+		hyp.RegisterBlkDeviceMQ(tMAC, client.BlkDeviceID(), reg.Backend, reg.BlkChain, reg.BlkQueues)
 	}
 	tb.ClientIOhost[vm] = dst
 	hyp.AnnounceAddresses()

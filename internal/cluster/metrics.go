@@ -59,6 +59,11 @@ func (tb *Testbed) registerMetrics() {
 		comp := fmt.Sprintf("blkdev%d", i)
 		r.Gauge(comp, "served", func() float64 { return float64(dev.Served) })
 		r.Gauge(comp, "queue", func() float64 { return float64(dev.QueueLen()) })
+		r.Gauge(comp, "inflight", func() float64 { return float64(dev.InFlight()) })
+	}
+	for i, s := range tb.BlockSchedulers {
+		comp := fmt.Sprintf("blkdev%d", i)
+		r.Gauge(comp, "deferred", func() float64 { return float64(s.Deferred) })
 	}
 	for i, c := range tb.VRIOClients {
 		comp := fmt.Sprintf("vm%d-vf", i)
@@ -67,6 +72,25 @@ func (tb *Testbed) registerMetrics() {
 		r.Gauge(comp, "rx_frames", func() float64 { return float64(c.Port.VF().RxFrames) })
 		r.Gauge(comp, "tx_frames", func() float64 { return float64(c.Port.VF().TxFrames) })
 		r.Gauge(comp, "drops", func() float64 { return float64(c.Port.VF().Drops) })
+	}
+	if tb.Spec.BlkQueues > 1 {
+		for i, c := range tb.VRIOClients {
+			i, c := i, c
+			comp := fmt.Sprintf("vm%d-blkq", i)
+			for q := 0; q < tb.Spec.BlkQueues; q++ {
+				q := q
+				// Read through the serving IOhost: a re-home moves the
+				// registration (and its queue tables) to the survivor.
+				r.Gauge(comp, fmt.Sprintf("q%d_depth", q), func() float64 {
+					hyp := tb.IOHyps[tb.ClientIOhost[i]]
+					return float64(hyp.BlkQueueDepth(c.TransportMAC(), c.BlkDeviceID(), q))
+				})
+				r.Gauge(comp, fmt.Sprintf("q%d_worker", q), func() float64 {
+					hyp := tb.IOHyps[tb.ClientIOhost[i]]
+					return float64(hyp.BlkQueueWorker(c.TransportMAC(), c.BlkDeviceID(), q))
+				})
+			}
+		}
 	}
 	if pl := tb.Fault; pl.Active() {
 		for _, name := range faultCounterNames {

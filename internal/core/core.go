@@ -54,6 +54,11 @@ type Guest struct {
 	blkWrite func(sector uint64, data []byte, done func(error))
 	blkRead  func(sector uint64, sectors int, done func([]byte, error))
 	blkCPU   func(bytes int) sim.Time
+	// Multi-queue variants; set only by models that support per-queue block
+	// submission (the vRIO transport). When unset, WriteBlockQ/ReadBlockQ
+	// fall back to the single-queue hooks and the queue id is ignored.
+	blkWriteQ func(queue uint8, sector uint64, data []byte, done func(error))
+	blkReadQ  func(queue uint8, sector uint64, sectors int, done func([]byte, error))
 
 	// onNetRx is the workload's receive handler.
 	onNetRx func(f ethernet.Frame)
@@ -104,6 +109,26 @@ func (g *Guest) ReadBlock(sector uint64, sectors int, done func([]byte, error)) 
 		panic("core: guest has no block device")
 	}
 	g.blkRead(sector, sectors, done)
+}
+
+// WriteBlockQ writes through submission queue `queue` of the guest's block
+// device. Models without multi-queue support ignore the queue id.
+func (g *Guest) WriteBlockQ(queue uint8, sector uint64, data []byte, done func(error)) {
+	if g.blkWriteQ != nil {
+		g.blkWriteQ(queue, sector, data, done)
+		return
+	}
+	g.WriteBlock(sector, data, done)
+}
+
+// ReadBlockQ reads through submission queue `queue` of the guest's block
+// device. Models without multi-queue support ignore the queue id.
+func (g *Guest) ReadBlockQ(queue uint8, sector uint64, sectors int, done func([]byte, error)) {
+	if g.blkReadQ != nil {
+		g.blkReadQ(queue, sector, sectors, done)
+		return
+	}
+	g.ReadBlock(sector, sectors, done)
 }
 
 // HasBlock reports whether a block device is attached.

@@ -196,12 +196,12 @@ func (h *VRIOHost) AddClient(cfg VMConfig) *VRIOClient {
 				perByte(h.p.EncapPerByte, bytes) +
 				h.p.ELIDeliveryCost + h.p.GuestIRQCost
 		}
-		c.Guest.blkWrite = func(sector uint64, data []byte, done func(error)) {
+		writeQ := func(queue uint8, sector uint64, data []byte, done func(error)) {
 			req := virtio.BlkHdr{Type: virtio.BlkOut, Sector: sector}.Encode(nil)
 			req = append(req, data...)
 			cost := h.p.GuestNetStackCost + h.p.EncapCost + perByte(h.p.EncapPerByte, len(data))
 			c.Guest.VM.Compute(cost, func() {
-				c.Driver.SendBlk(uint8(virtio.DeviceBlk), c.blkID, req, func(resp []byte, err error) {
+				c.Driver.SendBlkQ(uint8(virtio.DeviceBlk), c.blkID, queue, req, func(resp []byte, err error) {
 					if err == nil && (len(resp) < 1 || resp[0] != virtio.BlkOK) {
 						err = virtio.ErrBadChain
 					}
@@ -209,7 +209,7 @@ func (h *VRIOHost) AddClient(cfg VMConfig) *VRIOClient {
 				})
 			})
 		}
-		c.Guest.blkRead = func(sector uint64, sectors int, done func([]byte, error)) {
+		readQ := func(queue uint8, sector uint64, sectors int, done func([]byte, error)) {
 			req := virtio.BlkHdr{Type: virtio.BlkIn, Sector: sector}.Encode(nil)
 			var n [4]byte
 			binary.LittleEndian.PutUint32(n[:], uint32(sectors))
@@ -219,7 +219,7 @@ func (h *VRIOHost) AddClient(cfg VMConfig) *VRIOClient {
 			cost := h.p.GuestNetStackCost + h.p.EncapCost +
 				perByte(h.p.EncapPerByte, sectors*h.p.SectorSize)
 			c.Guest.VM.Compute(cost, func() {
-				c.Driver.SendBlk(uint8(virtio.DeviceBlk), c.blkID, req, func(resp []byte, err error) {
+				c.Driver.SendBlkQ(uint8(virtio.DeviceBlk), c.blkID, queue, req, func(resp []byte, err error) {
 					if err != nil {
 						done(nil, err)
 						return
@@ -231,6 +231,14 @@ func (h *VRIOHost) AddClient(cfg VMConfig) *VRIOClient {
 					done(resp[1:], nil)
 				})
 			})
+		}
+		c.Guest.blkWriteQ = writeQ
+		c.Guest.blkReadQ = readQ
+		c.Guest.blkWrite = func(sector uint64, data []byte, done func(error)) {
+			writeQ(0, sector, data, done)
+		}
+		c.Guest.blkRead = func(sector uint64, sectors int, done func([]byte, error)) {
+			readQ(0, sector, sectors, done)
 		}
 	}
 	return c

@@ -8,6 +8,7 @@ import (
 	"vrio/internal/fault"
 	"vrio/internal/rack"
 	"vrio/internal/sim"
+	"vrio/internal/workload"
 )
 
 func init() {
@@ -174,6 +175,129 @@ func runFaultCell(quick bool, prof *fault.Profile) ftOut {
 	return out
 }
 
+// ftMQOut is a multi-queue fault cell's measurements: the ftOut ledger plus
+// the IOhost-side per-queue in-flight tables, which must be empty after the
+// drain (an entry left behind would mean a stall or crash leaked a request
+// into — or out of — a queue table more than once).
+type ftMQOut struct {
+	ftOut
+	tablesLeft int
+	stalls     uint64
+}
+
+// tallyMQ folds an MQBlock ledger into out (the MQ analogue of
+// blkWriter.tally).
+func tallyMQ(m *workload.MQBlock, out *ftOut) {
+	dup, lost := m.Ledger()
+	out.dup += dup
+	out.lost += lost
+	out.issued += m.Issued()
+	out.completed += m.Issued() - lost
+	out.devErrors += m.Errs
+}
+
+// runFaultCellMQ is runFaultCell at QD>1/NQ>1 with injected worker stalls:
+// closed-loop multi-queue writes over a lossy channel while every sidecore
+// freezes twice mid-run. Exactly-once must survive the combination, and the
+// per-queue in-flight tables must drain.
+func runFaultCellMQ(quick bool, prof *fault.Profile, qd, nq int) ftMQOut {
+	_, dur := durations(quick, 0, 50*sim.Millisecond)
+	tb := cluster.Build(cluster.Spec{
+		Model: core.ModelVRIO, VMHosts: 1, VMsPerHost: 4,
+		WithBlock: true, BlkQueues: nq, IOhostSidecores: 2,
+		Seed: 901, Fault: prof, FaultSeed: faultSeed(),
+	})
+	var loads []*workload.MQBlock
+	for _, g := range tb.Guests {
+		m := workload.NewMQBlock(tb.Eng, g, nq, qd, 4096)
+		m.Start()
+		loads = append(loads, m)
+	}
+	// Freeze every sidecore twice, early enough that the closed loops are
+	// still flowing (under heavy loss they park on retransmit timers fast):
+	// queued multi-queue work must wait behind the stall, and the per-queue
+	// tables must still balance afterwards.
+	tb.Eng.At(dur/8, func() { tb.IOHyp.StallWorkers(2 * sim.Millisecond) })
+	tb.Eng.At(dur/3, func() { tb.IOHyp.StallWorkers(2 * sim.Millisecond) })
+	var doneAtStop uint64
+	tb.Eng.At(dur, func() {
+		for _, m := range loads {
+			m.Stop()
+			doneAtStop += m.Done()
+		}
+	})
+	tb.Eng.RunUntil(dur + ftDrain)
+
+	var out ftMQOut
+	for _, m := range loads {
+		tallyMQ(m, &out.ftOut)
+	}
+	for _, c := range tb.VRIOClients {
+		out.retrans += c.Driver.Counters.Get("retransmits")
+		if n := c.Driver.InFlightBlk(); n != 0 {
+			out.lost += uint64(n)
+		}
+	}
+	for _, h := range tb.IOHyps {
+		out.tablesLeft += h.BlkInFlight()
+	}
+	out.stalls = tb.IOHyp.Counters.Get("stalls")
+	out.frLost = tb.Fault.Counters.Get("frames_dropped")
+	out.frCorrupt = tb.Fault.Counters.Get("frames_corrupted")
+	out.opsPerSec = float64(doneAtStop) / dur.Seconds()
+	return out
+}
+
+// runFaultCrashCellMQ is the crash/re-home cell at QD>1/NQ>1: the dying
+// IOhost strands multi-queue requests mid-flight; retransmission rides them
+// onto the survivor, which re-registers the device with fresh queue tables.
+// Both hosts' tables must balance to zero after the drain.
+func runFaultCrashCellMQ(quick bool, qd, nq int) ftMQOut {
+	_, dur := durations(quick, 0, 50*sim.Millisecond)
+	tb := cluster.Build(cluster.Spec{
+		Model: core.ModelVRIO, VMHosts: 2, VMsPerHost: 2,
+		NumIOhosts: 2, Placement: rack.Placement(&rack.RoundRobin{}, 2),
+		WithBlock: true, BlkQueues: nq, IOhostSidecores: 2, Seed: 902,
+		Fault: fault.Lossy(0.01), FaultSeed: faultSeed(),
+	})
+	c := rack.New(tb, rack.Config{HeartbeatInterval: sim.Millisecond / 2, MissThreshold: 3})
+	c.Start()
+
+	var loads []*workload.MQBlock
+	for _, g := range tb.Guests {
+		m := workload.NewMQBlock(tb.Eng, g, nq, qd, 4096)
+		m.Start()
+		loads = append(loads, m)
+	}
+	tb.Eng.At(dur/2, func() { tb.IOHyps[1].Fail() })
+	var doneAtStop uint64
+	tb.Eng.At(dur, func() {
+		for _, m := range loads {
+			m.Stop()
+			doneAtStop += m.Done()
+		}
+	})
+	tb.Eng.RunUntil(dur + ftDrain)
+
+	var out ftMQOut
+	for _, m := range loads {
+		tallyMQ(m, &out.ftOut)
+	}
+	for _, cl := range tb.VRIOClients {
+		out.retrans += cl.Driver.Counters.Get("retransmits")
+		if n := cl.Driver.InFlightBlk(); n != 0 {
+			out.lost += uint64(n)
+		}
+	}
+	for _, h := range tb.IOHyps {
+		out.tablesLeft += h.BlkInFlight()
+	}
+	out.frLost = tb.Fault.Counters.Get("frames_dropped")
+	out.frCorrupt = tb.Fault.Counters.Get("frames_corrupted")
+	out.opsPerSec = float64(doneAtStop) / dur.Seconds()
+	return out
+}
+
 // ftCrashOut is the lossy-crash cell: an IOhost dies mid-run while every
 // channel loses frames; the rack controller must still detect the crash and
 // re-home the victims, and the exactly-once ledger must stay clean.
@@ -259,6 +383,10 @@ func faultTolerancePlan(quick bool) Plan {
 		cells = append(cells, func() any { return runFaultCell(quick, pt.prof) })
 	}
 	cells = append(cells, func() any { return runFaultCrashCell(quick) })
+	// Multi-queue regime: the same exactly-once claims at QD=4/NQ=2, once
+	// under loss + injected worker stalls, once under loss + IOhost crash.
+	cells = append(cells, func() any { return runFaultCellMQ(quick, fault.Lossy(0.02), 4, 2) })
+	cells = append(cells, func() any { return runFaultCrashCellMQ(quick, 4, 2) })
 
 	assemble := func(outs []any) Result {
 		res := Result{
@@ -293,9 +421,23 @@ func faultTolerancePlan(quick bool) Plan {
 			fmt.Sprintf("%d", cr.dup), fmt.Sprintf("%d", cr.lost),
 			fmt.Sprintf("%d", cr.devErrors),
 		})
+		mqRow := func(name string, o ftMQOut) {
+			res.Rows = append(res.Rows, []string{
+				name, f1(o.opsPerSec / 1000), "-",
+				fmt.Sprintf("%d", o.retrans),
+				fmt.Sprintf("%d", o.frLost), fmt.Sprintf("%d", o.frCorrupt),
+				fmt.Sprintf("%d", o.dup), fmt.Sprintf("%d", o.lost),
+				fmt.Sprintf("%d", o.devErrors),
+			})
+		}
+		mqStall := next().(ftMQOut)
+		mqRow("2% QD4xNQ2 + stalls", mqStall)
+		mqCrash := next().(ftMQOut)
+		mqRow("1% QD4xNQ2 + crash", mqCrash)
 		res.Notes = append(res.Notes,
 			"dup and never-completed must be 0 at every loss rate: §4.5 retransmission with stale filtering gives exactly-once completion, not at-least-once.",
 			fmt.Sprintf("crash cell: heartbeats detected the dead IOhost in %.0fµs over a 1%%-lossy fabric and re-homed %d guests; stranded requests completed on the survivor via retransmission.", cr.detectUs, cr.rehomes),
+			fmt.Sprintf("multi-queue cells run QD=4/NQ=2 per guest; per-queue in-flight tables drained to %d/%d entries (stall/crash cells) — both must be 0.", mqStall.tablesLeft, mqCrash.tablesLeft),
 		)
 		return res
 	}

@@ -64,6 +64,56 @@ func TestFaultToleranceGracefulDegradation(t *testing.T) {
 	}
 }
 
+// TestFaultToleranceMQExactlyOnce: the exactly-once ledger must hold at
+// QD=4/NQ=2 under 2% channel loss with every sidecore stalled twice
+// mid-run, and the per-queue in-flight tables must drain completely.
+func TestFaultToleranceMQExactlyOnce(t *testing.T) {
+	o := runFaultCellMQ(true, fault.Lossy(0.02), 4, 2)
+	if o.issued == 0 || o.completed == 0 {
+		t.Fatal("MQ cell produced no block traffic")
+	}
+	if o.frLost == 0 {
+		t.Fatal("2% loss profile injected no frame loss — the cell is vacuous")
+	}
+	if o.retrans == 0 {
+		t.Error("frames were lost but nothing retransmitted")
+	}
+	if o.stalls < 2 {
+		t.Errorf("expected 2 injected worker stalls, saw %d", o.stalls)
+	}
+	if o.dup != 0 {
+		t.Errorf("%d duplicated completions, want 0", o.dup)
+	}
+	if o.lost != 0 {
+		t.Errorf("%d requests never completed after the drain, want 0", o.lost)
+	}
+	if o.tablesLeft != 0 {
+		t.Errorf("%d entries left in per-queue in-flight tables after drain, want 0", o.tablesLeft)
+	}
+}
+
+// TestFaultToleranceMQCrash: crash/re-home at QD=4/NQ=2 — stranded
+// multi-queue requests ride retransmission onto the survivor, exactly once,
+// and both IOhosts' queue tables balance to zero.
+func TestFaultToleranceMQCrash(t *testing.T) {
+	o := runFaultCrashCellMQ(true, 4, 2)
+	if o.issued == 0 || o.completed == 0 {
+		t.Fatal("MQ crash cell produced no block traffic")
+	}
+	if o.dup != 0 {
+		t.Errorf("%d duplicated completions across the crash, want 0", o.dup)
+	}
+	if o.lost != 0 {
+		t.Errorf("%d requests never completed after crash+re-home, want 0", o.lost)
+	}
+	if o.devErrors != 0 {
+		t.Errorf("%d device errors: stranded requests should retransmit onto the survivor, not fail", o.devErrors)
+	}
+	if o.tablesLeft != 0 {
+		t.Errorf("%d entries left in per-queue in-flight tables after drain, want 0", o.tablesLeft)
+	}
+}
+
 // TestFaultToleranceCrashOverLossyChannel: the rack controller must still
 // detect a dead IOhost and re-home its guests when every heartbeat rides a
 // 1%-lossy fabric, and the exactly-once ledger must survive the migration.

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrio/internal/cluster"
+	"vrio/internal/core"
+	"vrio/internal/sim"
+	"vrio/internal/workload"
+)
+
+// mqscaling measures the multi-queue block path: NVMe-style queue pairs from
+// the guest ring to pinned IOhost workers. The sweep crosses per-queue depth
+// (QD), queue count (NQ), and IOhost sidecore workers; every cell runs the
+// MQBlock closed loop on each guest and audits its exactly-once ledger. The
+// single-queue single-depth cell is the pre-multi-queue baseline (it is
+// byte-identical on the wire), so the speedup column is exactly what the
+// queue-pair work buys at each worker count.
+func init() { register("mqscaling", mqscalingPlan) }
+
+var (
+	mqQDs     = []int{1, 4, 8, 16}
+	mqNQs     = []int{1, 2, 4}
+	mqWorkers = []int{1, 4}
+)
+
+// mqOut is one cell's measurements.
+type mqOut struct {
+	qd, nq, workers int
+	kiops           float64
+	issued, done    uint64
+	dup, lost, errs uint64
+	deferred        uint64
+	inflightLeft    int
+	affinity        string
+}
+
+// runMQCell runs one (QD, NQ, workers) point: two guests on one VMhost,
+// closed-loop 4 KiB writes for the measured window, then a drain to
+// quiescence so the ledger audit sees every completion.
+func runMQCell(quick bool, qd, nq, workers int) mqOut {
+	_, dur := durations(quick, 0, 20*sim.Millisecond)
+	tb := cluster.Build(cluster.Spec{
+		Model:           core.ModelVRIO,
+		VMsPerHost:      2,
+		WithBlock:       true,
+		BlkQueues:       nq,
+		IOhostSidecores: workers,
+		NoJitter:        true, // finite event horizon: the drain runs to empty
+		Seed:            911,
+	})
+	var loads []*workload.MQBlock
+	for _, g := range tb.Guests {
+		m := workload.NewMQBlock(tb.Eng, g, nq, qd, 4096)
+		m.Results.StartMeasuring()
+		m.Start()
+		loads = append(loads, m)
+	}
+	var doneAtStop uint64
+	tb.Eng.At(dur, func() {
+		for _, m := range loads {
+			m.Stop()
+			doneAtStop += m.Done()
+		}
+	})
+	tb.Eng.RunUntil(dur)
+	tb.Eng.Run() // drain: closed loops are stopped, so the event set empties
+
+	out := mqOut{qd: qd, nq: nq, workers: workers}
+	out.kiops = float64(doneAtStop) / dur.Seconds() / 1e3
+	for _, m := range loads {
+		dup, lost := m.Ledger()
+		out.dup += dup
+		out.lost += lost
+		out.errs += m.Errs
+		out.issued += m.Issued()
+		out.done += m.Done()
+	}
+	for _, s := range tb.BlockSchedulers {
+		out.deferred += s.Deferred
+	}
+	for _, h := range tb.IOHyps {
+		out.inflightLeft += h.BlkInFlight()
+	}
+	// Queue→worker affinity of guest 0's device, as registered.
+	if nq > 1 {
+		c := tb.VRIOClients[0]
+		hyp := tb.IOHyps[tb.ClientIOhost[0]]
+		aff := ""
+		for q := 0; q < nq; q++ {
+			if q > 0 {
+				aff += " "
+			}
+			aff += fmt.Sprintf("%d:%d", q, hyp.BlkQueueWorker(c.TransportMAC(), c.BlkDeviceID(), q))
+		}
+		out.affinity = aff
+	} else {
+		out.affinity = "dynamic"
+	}
+	return out
+}
+
+func mqscalingPlan(quick bool) Plan {
+	var cells []Cell
+	for _, w := range mqWorkers {
+		for _, nq := range mqNQs {
+			for _, qd := range mqQDs {
+				w, nq, qd := w, nq, qd
+				cells = append(cells, func() any { return runMQCell(quick, qd, nq, w) })
+			}
+		}
+	}
+	return Plan{
+		Cells: cells,
+		Assemble: func(out []any) Result {
+			next := cursor(out)
+			res := Result{
+				ID:    "mqscaling",
+				Title: "Multi-queue block I/O: QD x NQ x IOhost workers, closed-loop 4 KiB writes",
+				Header: []string{"workers", "NQ", "QD", "kIOPS", "speedup",
+					"deferred", "dup", "lost", "errs", "q-affinity"},
+			}
+			for range mqWorkers {
+				base := 0.0
+				for range mqNQs {
+					for range mqQDs {
+						o := next().(mqOut)
+						if o.nq == 1 && o.qd == 1 {
+							base = o.kiops
+						}
+						speedup := 0.0
+						if base > 0 {
+							speedup = o.kiops / base
+						}
+						res.Rows = append(res.Rows, []string{
+							fmt.Sprintf("%d", o.workers),
+							fmt.Sprintf("%d", o.nq),
+							fmt.Sprintf("%d", o.qd),
+							f1(o.kiops),
+							f2(speedup) + "x",
+							fmt.Sprintf("%d", o.deferred),
+							fmt.Sprintf("%d", o.dup),
+							fmt.Sprintf("%d", o.lost),
+							fmt.Sprintf("%d", o.errs),
+							o.affinity,
+						})
+					}
+				}
+			}
+			res.Notes = append(res.Notes,
+				"speedup is vs the QD=1/NQ=1 cell at the same worker count (the pre-multi-queue baseline)",
+				"queue pairs pin to workers round-robin at registration and never migrate (passthrough affinity)",
+				"deferred counts cross-queue range conflicts the IOhost scheduler serialized",
+			)
+			return res
+		},
+	}
+}

@@ -39,10 +39,14 @@ const (
 )
 
 // devKey identifies a front-end device: the client's transport MAC plus the
-// device id.
+// device id. For multi-queue block devices the submission queue joins the
+// key, so each queue pair carries its own steering state; single-queue
+// devices (and the registration maps, which are per-device) keep q at 0 and
+// behave exactly as before.
 type devKey struct {
 	client ethernet.MAC
 	id     uint16
+	q      uint8
 }
 
 // netDevice is a registered paravirtual net front-end.
@@ -52,11 +56,58 @@ type netDevice struct {
 	chain *interpose.Chain
 }
 
-// blkDevice is a registered paravirtual block front-end.
+// blkDevice is a registered paravirtual block front-end. A multi-queue
+// device (queues > 1) gets NVMe-style queue-pair passthrough: each
+// submission queue is pinned at registration time to one worker (qworker),
+// its requests never migrate workers mid-flight, and a per-queue in-flight
+// table replaces the old single completion slot so any number of requests
+// per queue can be outstanding at the backend.
 type blkDevice struct {
 	key     devKey
 	backend blockdev.Backend
 	chain   *interpose.Chain
+
+	queues int
+	// qworker pins each queue to a worker; nil for single-queue devices,
+	// which keep the legacy least-loaded/device-owner steering.
+	qworker []*Worker
+	// inflight counts outstanding backend executions per queue by OrigID.
+	// Values are counts, not booleans: a retransmitted request can be at
+	// the backend twice under the same OrigID.
+	inflight []map[uint64]int
+	// qdepth is the per-queue total of in-flight executions (the gauge the
+	// metrics registry reads without walking the maps).
+	qdepth []int
+}
+
+// blkQueue resolves the submission queue of a block id on this device,
+// clamping out-of-range ids to queue 0 so a malformed header can never
+// index past the tables.
+func (d *blkDevice) blkQueue(origID uint64) int {
+	if d.queues <= 1 {
+		return 0
+	}
+	q := int(transport.QueueOf(origID))
+	if q >= d.queues {
+		return 0
+	}
+	return q
+}
+
+// track records one backend execution entering queue q.
+func (d *blkDevice) track(q int, origID uint64) {
+	d.qdepth[q]++
+	d.inflight[q][origID]++
+}
+
+// untrack records one backend execution completing on queue q.
+func (d *blkDevice) untrack(q int, origID uint64) {
+	d.qdepth[q]--
+	if n := d.inflight[q][origID]; n <= 1 {
+		delete(d.inflight[q], origID)
+	} else {
+		d.inflight[q][origID] = n - 1
+	}
 }
 
 // IOHypervisor is the remote half of the split hypervisor.
@@ -390,7 +441,7 @@ func (h *IOHypervisor) BindClient(client ethernet.MAC, port *nic.MessagePort) {
 func (h *IOHypervisor) RebindClient(oldMAC, newMAC ethernet.MAC, port *nic.MessagePort) {
 	delete(h.clientPort, oldMAC)
 	h.clientPort[newMAC] = port
-	rekeyDev := func(old devKey) devKey { return devKey{newMAC, old.id} }
+	rekeyDev := func(old devKey) devKey { return devKey{newMAC, old.id, old.q} }
 	for k, d := range h.netDevs {
 		if k.client == oldMAC {
 			delete(h.netDevs, k)
@@ -461,18 +512,106 @@ func (h *IOHypervisor) RegisterNetDevice(client ethernet.MAC, id uint16, fMAC et
 	if chain == nil {
 		chain = h.defaultCh
 	}
-	d := &netDevice{key: devKey{client, id}, fMAC: fMAC, chain: chain}
+	d := &netDevice{key: devKey{client: client, id: id}, fMAC: fMAC, chain: chain}
 	h.netDevs[d.key] = d
 	h.fib[fMAC] = d
 }
 
-// RegisterBlkDevice creates a block front-end served by backend.
+// RegisterBlkDevice creates a single-queue block front-end served by backend.
 func (h *IOHypervisor) RegisterBlkDevice(client ethernet.MAC, id uint16, backend blockdev.Backend, chain *interpose.Chain) {
+	h.RegisterBlkDeviceMQ(client, id, backend, chain, 1)
+}
+
+// RegisterBlkDeviceMQ creates a block front-end with `queues` submission
+// queues. Each queue is bound round-robin to a worker at registration time
+// and keeps that affinity for the device's lifetime (queue-pair passthrough:
+// a queue's requests never migrate workers mid-flight, so the worker's FIFO
+// core preserves per-queue submission order). With queues > 1 the caller's
+// backend must arbitrate range conflicts itself (wrap it in a
+// blockdev.Scheduler): the guest-side one-outstanding-per-range guarantee no
+// longer holds across queues. queues <= 1 is exactly RegisterBlkDevice.
+func (h *IOHypervisor) RegisterBlkDeviceMQ(client ethernet.MAC, id uint16, backend blockdev.Backend, chain *interpose.Chain, queues int) {
 	if chain == nil {
 		chain = h.defaultCh
 	}
-	d := &blkDevice{key: devKey{client, id}, backend: backend, chain: chain}
+	if queues < 1 {
+		queues = 1
+	}
+	if queues > 256 {
+		panic("iohyp: queue id is one byte; at most 256 queues per device")
+	}
+	d := &blkDevice{
+		key:      devKey{client: client, id: id},
+		backend:  backend,
+		chain:    chain,
+		queues:   queues,
+		inflight: make([]map[uint64]int, queues),
+		qdepth:   make([]int, queues),
+	}
+	for q := range d.inflight {
+		d.inflight[q] = make(map[uint64]int)
+	}
+	if queues > 1 {
+		d.qworker = make([]*Worker, queues)
+		for q := range d.qworker {
+			d.qworker[q] = h.workers[q%len(h.workers)]
+		}
+	}
 	h.blkDevs[d.key] = d
+}
+
+// workerIndex resolves a worker's position in the sidecore list (-1 when
+// unknown); gauges report queue→worker affinity through it.
+func (h *IOHypervisor) workerIndex(w *Worker) int {
+	for i, cand := range h.workers {
+		if cand == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// BlkQueues reports the submission-queue count of a registered block device
+// (0 when unregistered).
+func (h *IOHypervisor) BlkQueues(client ethernet.MAC, id uint16) int {
+	d := h.blkDevs[devKey{client: client, id: id}]
+	if d == nil {
+		return 0
+	}
+	return d.queues
+}
+
+// BlkQueueDepth reports the in-flight backend executions on queue q of a
+// client's block device (0 when unregistered or out of range).
+func (h *IOHypervisor) BlkQueueDepth(client ethernet.MAC, id uint16, q int) int {
+	d := h.blkDevs[devKey{client: client, id: id}]
+	if d == nil || q < 0 || q >= d.queues {
+		return 0
+	}
+	return d.qdepth[q]
+}
+
+// BlkQueueWorker reports the sidecore index queue q is pinned to, or -1 for
+// single-queue devices (whose steering is dynamic).
+func (h *IOHypervisor) BlkQueueWorker(client ethernet.MAC, id uint16, q int) int {
+	d := h.blkDevs[devKey{client: client, id: id}]
+	if d == nil || d.qworker == nil || q < 0 || q >= d.queues {
+		return -1
+	}
+	return h.workerIndex(d.qworker[q])
+}
+
+// BlkInFlight totals in-flight backend executions across every registered
+// block device and queue. Fault tests assert it returns to zero after a
+// drain: stalls and crashes must empty the per-queue tables exactly once.
+func (h *IOHypervisor) BlkInFlight() int {
+	total := 0
+	for _, d := range h.blkDevs {
+		for _, n := range d.qdepth {
+			total += n
+		}
+	}
+	return total
 }
 
 // --- polling pickup ---
@@ -568,9 +707,20 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 	}
 	// Peek at the device to steer before charging the worker.
 	hdr, body, err := transport.Decode(msg)
-	key := devKey{src, 0}
+	key := devKey{client: src}
 	if err == nil {
 		key.id = hdr.DeviceID
+	}
+	// Multi-queue block requests steer by (device, queue) to the queue's
+	// pinned worker — passthrough affinity, decided before any worker is
+	// charged. Everything else keeps the legacy device-owner steering.
+	var pinned *Worker
+	if err == nil && hdr.Type == transport.MsgBlkReq {
+		if dev := h.blkDevs[key]; dev != nil && dev.qworker != nil {
+			q := dev.blkQueue(hdr.OrigID)
+			key.q = uint8(q)
+			pinned = dev.qworker[q]
+		}
 	}
 	// Pick up the trace context the client driver linked: the wire span ends
 	// here (message picked up off the channel); the worker span the steered
@@ -601,6 +751,7 @@ func (h *IOHypervisor) ingressMessage(src ethernet.MAC, msg []byte, zeroCopy boo
 	it := h.getSteer()
 	it.op = steerOpDeliver
 	it.key = key
+	it.pinned = pinned
 	it.cost = cost
 	it.parent = parent
 	it.flow = flow
@@ -703,6 +854,7 @@ type steerItem struct {
 	w      *Worker
 	op     int
 	key    devKey
+	pinned *Worker // queue-pair affinity; overrides device-owner steering
 	cost   sim.Time
 	parent trace.SpanID
 	name   string
@@ -739,10 +891,13 @@ func (h *IOHypervisor) getSteer() *steerItem {
 // span is backdated by cost from inside the completion callback, so it
 // covers exactly the service window (queueing excluded).
 func (h *IOHypervisor) steer(it *steerItem) {
-	w := h.devOwner[it.key]
+	w := it.pinned
 	if w == nil {
-		w = h.pickWorker()
-		h.devOwner[it.key] = w
+		w = h.devOwner[it.key]
+		if w == nil {
+			w = h.pickWorker()
+			h.devOwner[it.key] = w
+		}
 	}
 	it.w = w
 	h.devPending[it.key]++
@@ -753,7 +908,11 @@ func (h *IOHypervisor) steer(it *steerItem) {
 func (it *steerItem) run() {
 	h := it.h
 	if h.Tracer.Enabled() {
-		span := h.Tracer.BeginFlowAt(trace.CatWorker, it.name, it.parent, uint64(it.key.id), it.flow, h.eng.Now()-it.cost)
+		// The span arg packs the submission queue above the device id, so
+		// per-queue worker occupancy is visible in exports (0 for
+		// single-queue devices, leaving legacy traces untouched).
+		arg := uint64(it.key.id) | uint64(it.key.q)<<32
+		span := h.Tracer.BeginFlowAt(trace.CatWorker, it.name, it.parent, arg, it.flow, h.eng.Now()-it.cost)
 		defer h.Tracer.End(span)
 	}
 	it.w.Processed++
@@ -791,7 +950,7 @@ func (h *IOHypervisor) handleNetTx(src ethernet.MAC, deviceID uint16, frame []by
 	if h.failed {
 		return
 	}
-	dev := h.netDevs[devKey{src, deviceID}]
+	dev := h.netDevs[devKey{client: src, id: deviceID}]
 	chain := h.defaultCh
 	if dev != nil {
 		chain = dev.chain
@@ -868,7 +1027,7 @@ func statusResp(err error) []byte {
 // flushes, errors), or from the backend completion for writes, whose
 // interposed payload may alias the lease.
 func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req *bufpool.Frame) {
-	dev := h.blkDevs[devKey{src, hdr.DeviceID}]
+	dev := h.blkDevs[devKey{client: src, id: hdr.DeviceID}]
 	if dev == nil {
 		h.Counters.Inc("unknown_dev", 1)
 		h.endpoint.RespondBlk(src, hdr, respBlkUnsupp)
@@ -883,6 +1042,16 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 		return
 	}
 	h.Counters.Inc("blk_reqs", 1)
+	// Backend stages of a multi-queue request run on the queue's pinned
+	// worker (passthrough affinity end to end); single-queue devices keep
+	// the legacy least-loaded pick.
+	q := dev.blkQueue(hdr.OrigID)
+	execWorker := func() *Worker {
+		if dev.qworker != nil {
+			return dev.qworker[q]
+		}
+		return h.pickWorker()
+	}
 	// Blockdev spans cover handoff-to-backend through backend completion,
 	// parented under the request's guest_ring root (left linked until the
 	// driver consumes the completion).
@@ -908,9 +1077,14 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 		bd := h.Tracer.BeginArg(trace.CatBlockdev, "write", root, hdr.OrigID)
 		// The interposed payload may alias the leased request buffer, and the
 		// backend holds it until completion — the lease is released from the
-		// completion callback.
-		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
+		// completion callback. The in-flight table entry lives from here to
+		// backend completion; the completion always runs (even on a crashed
+		// host, where only the response is suppressed), so tables drain
+		// exactly once.
+		dev.track(q, hdr.OrigID)
+		execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpWrite, Sector: bh.Sector, Data: payload}, func(resp blockdev.Response) {
+				dev.untrack(q, hdr.OrigID)
 				h.Tracer.End(bd)
 				req.Release()
 				h.respondBlk(src, hdr, statusResp(resp.Err))
@@ -931,8 +1105,10 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 			return
 		}
 		bd := h.Tracer.BeginArg(trace.CatBlockdev, "read", root, hdr.OrigID)
-		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
+		dev.track(q, hdr.OrigID)
+		execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpRead, Sector: bh.Sector, Sectors: n}, func(resp blockdev.Response) {
+				dev.untrack(q, hdr.OrigID)
 				h.Tracer.End(bd)
 				if resp.Err != nil {
 					h.respondBlk(src, hdr, respBlkIOErr)
@@ -946,7 +1122,7 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 				}
 				copyCost := sim.Time(h.p.CopyPenaltyPerByte * float64(len(data)))
 				h.Counters.Inc("copy_bytes", uint64(len(data)))
-				h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost+copyCost, func() {
+				execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost+copyCost, func() {
 					// RespondBlk borrows the response, so the status+data
 					// buffer is pooled and returned right after the call.
 					out := h.bufPool().GetRaw(1 + len(data))
@@ -960,8 +1136,10 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 	case virtio.BlkFlush:
 		req.Release() // flush carries no payload
 		bd := h.Tracer.BeginArg(trace.CatBlockdev, "flush", root, hdr.OrigID)
-		h.pickWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
+		dev.track(q, hdr.OrigID)
+		execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
 			dev.backend.Submit(blockdev.Request{Op: blockdev.OpFlush}, func(resp blockdev.Response) {
+				dev.untrack(q, hdr.OrigID)
 				h.Tracer.End(bd)
 				h.respondBlk(src, hdr, statusResp(resp.Err))
 			})

@@ -137,6 +137,7 @@ type pendingBlk struct {
 	span     trace.SpanID // guest_ring root span, 0 when tracing is off
 	deviceID uint16
 	devType  uint8
+	queue    uint8 // submission queue; stamps the top byte of every id
 	chunks   [][]byte // raw payload chunks for retransmission (alias the request)
 	timeout  sim.Time
 	retries  int
@@ -321,6 +322,12 @@ func (d *Driver) allocID() uint64 {
 	return d.nextID
 }
 
+// tagID draws the next id and stamps the submission queue into its top byte
+// (see QueueShift). All queues share one counter, so ids never collide.
+func (d *Driver) tagID(queue uint8) uint64 {
+	return uint64(queue)<<QueueShift | d.allocID()
+}
+
 // getPending returns a recycled (or fresh) pendingBlk with its prebound
 // expiry callback.
 func (d *Driver) getPending() *pendingBlk {
@@ -343,6 +350,7 @@ func (d *Driver) recyclePending(p *pendingBlk) {
 	p.done = nil
 	p.span = 0
 	p.retries = 0
+	p.queue = 0
 	d.pbFree = append(d.pbFree, p)
 }
 
@@ -414,14 +422,25 @@ func (d *Driver) SendNet(devType uint8, deviceID uint16, frame []byte) {
 // with the response payload or ErrDeviceError. req must remain valid until
 // then (chunks alias it across retransmissions).
 func (d *Driver) SendBlk(devType uint8, deviceID uint16, req []byte, done BlkCallback) {
+	d.SendBlkQ(devType, deviceID, 0, req, done)
+}
+
+// SendBlkQ transmits a block request reliably on submission queue `queue`.
+// The queue rides in the top byte of OrigID and of every per-attempt ReqID
+// (QueueOf recovers it), so a multi-queue IOhost can steer each queue to its
+// pinned worker without any wire-format change: queue 0 is byte-identical to
+// SendBlk. The driver imposes no depth limit per queue — callers (the guest
+// workload) enforce QD by running closed loops.
+func (d *Driver) SendBlkQ(devType uint8, deviceID uint16, queue uint8, req []byte, done BlkCallback) {
 	if done == nil {
 		panic("transport: SendBlk requires a completion callback")
 	}
 	d.Counters.Inc("blk_sent", 1)
 	p := d.getPending()
-	p.origID = d.allocID()
+	p.origID = d.tagID(queue)
 	p.deviceID = deviceID
 	p.devType = devType
+	p.queue = queue
 	p.timeout = d.cfg.InitialTimeout
 	p.done = done
 	for off := 0; off == 0 || off < len(req); off += d.cfg.MaxChunk {
@@ -441,7 +460,7 @@ func (d *Driver) SendBlk(devType uint8, deviceID uint16, req []byte, done BlkCal
 
 // transmit sends all chunks of p under a fresh ReqID and arms the timer.
 func (d *Driver) transmit(p *pendingBlk) {
-	p.curReqID = d.allocID()
+	p.curReqID = d.tagID(p.queue)
 	// Chunks collected from a superseded attempt are discarded: the
 	// response must reassemble from a single ReqID generation.
 	d.dropAsm(p.origID)

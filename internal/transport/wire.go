@@ -65,6 +65,16 @@ const (
 	FlowNetRx                    // net-rx completion span, by endpoint ReqID
 )
 
+// Multi-queue block submission partitions the block id space per queue: the
+// top byte of OrigID (and of every per-attempt ReqID) carries the submission
+// queue, while the low 56 bits come from the driver's shared id counter, so
+// ids stay unique across queues. Queue 0 leaves ids untouched, which keeps
+// single-queue traffic byte-identical to the pre-multi-queue wire format.
+const QueueShift = 56
+
+// QueueOf extracts the submission queue a block id was stamped with.
+func QueueOf(id uint64) uint8 { return uint8(id >> QueueShift) }
+
 // NetFlow derives the fabric-global flow key of a guest Ethernet frame: its
 // destination F-MAC folded to 48 bits — the same key the fabric wires record
 // on their per-hop spans (they see the identical dst on the wire), so every

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"vrio/internal/core"
+	"vrio/internal/sim"
+)
+
+// MQBlock drives one guest's paravirtual block device in closed loop over
+// NQ submission queues with QD requests in flight per queue: every
+// completion immediately reissues on the same queue, so the offered depth
+// stays at NQ×QD until Stop. Each queue writes a stride pattern inside its
+// own sector region, with every hot-th request aimed at a sector region
+// shared by all queues so the IOhost-side range-conflict scheduler has real
+// cross-queue conflicts to arbitrate.
+//
+// Completions are ledgered per (queue, sequence): Ledger reports duplicated
+// and lost entries, the exactly-once check the fault experiments assert on.
+type MQBlock struct {
+	eng    *sim.Engine
+	g      *core.Guest
+	queues int
+	depth  int
+	size   int
+
+	// region is the sector span owned by each queue; the shared hot region
+	// starts at queues*region.
+	region uint64
+	// hot aims every hot-th request of a queue at the shared region
+	// (0 = never).
+	hot int
+
+	buf     []byte
+	stop    bool
+	counts  [][]int // per queue, per sequence: completions observed
+	started uint64  // requests issued
+	done    uint64  // completions observed
+	// Errs counts completions that reported an error (device errors after
+	// an exhausted retransmission budget, mid-crash failures).
+	Errs uint64
+
+	// Results collects latency/throughput inside the measurement window.
+	Results Results
+}
+
+// NewMQBlock builds the workload on guest g: queues×depth outstanding
+// writes of size bytes each. It does not issue anything until Start.
+func NewMQBlock(eng *sim.Engine, g *core.Guest, queues, depth, size int) *MQBlock {
+	if queues < 1 || depth < 1 || size < 1 {
+		panic("workload: MQBlock needs queues, depth, size >= 1")
+	}
+	m := &MQBlock{
+		eng:    eng,
+		g:      g,
+		queues: queues,
+		depth:  depth,
+		size:   size,
+		region: 1024,
+		hot:    16,
+		buf:    make([]byte, size),
+		counts: make([][]int, queues),
+	}
+	for i := range m.buf {
+		m.buf[i] = byte(i)
+	}
+	return m
+}
+
+// Start opens the closed loops: depth concurrent chains per queue.
+func (m *MQBlock) Start() {
+	for q := 0; q < m.queues; q++ {
+		for d := 0; d < m.depth; d++ {
+			m.issue(q)
+		}
+	}
+}
+
+// Stop closes the loops; in-flight requests still complete (and are
+// ledgered) but nothing new is issued.
+func (m *MQBlock) Stop() { m.stop = true }
+
+// issue sends one write on queue q and reissues from its completion.
+func (m *MQBlock) issue(q int) {
+	if m.stop {
+		return
+	}
+	seq := len(m.counts[q])
+	m.counts[q] = append(m.counts[q], 0)
+	sector := uint64(q)*m.region + uint64(seq*17)%m.region
+	if m.hot > 0 && seq%m.hot == 0 {
+		// The shared region: all queues collide here, exercising the
+		// cross-queue write serialization.
+		sector = uint64(m.queues) * m.region
+	}
+	m.started++
+	start := m.eng.Now()
+	m.g.WriteBlockQ(uint8(q), sector, m.buf, func(err error) {
+		m.counts[q][seq]++
+		m.done++
+		if err != nil {
+			m.Errs++
+		}
+		m.Results.record(m.eng.Now()-start, m.size, err != nil)
+		m.issue(q)
+	})
+}
+
+// Issued reports requests sent so far.
+func (m *MQBlock) Issued() uint64 { return m.started }
+
+// Done reports completions observed so far.
+func (m *MQBlock) Done() uint64 { return m.done }
+
+// Ledger audits the per-queue completion counts: dup counts extra
+// completions of one request, lost counts requests that never completed.
+// Both must be zero after a full drain for exactly-once delivery.
+func (m *MQBlock) Ledger() (dup, lost uint64) {
+	for _, qc := range m.counts {
+		for _, n := range qc {
+			switch {
+			case n == 0:
+				lost++
+			case n > 1:
+				dup += uint64(n - 1)
+			}
+		}
+	}
+	return dup, lost
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric bench-realwire bench-mq race-rack race-fault race-shard race-trace race-mq loadgen-smoke benchjson memprofile check
+.PHONY: build test vet race bench bench-engine bench-rack bench-datapath bench-fabric bench-realwire bench-mq bench-vol race-rack race-fault race-shard race-trace race-mq race-vol doccheck loadgen-smoke benchjson memprofile check
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,24 @@ bench-mq:
 race-mq:
 	$(GO) test -race -run 'MQ|Queue|Scheduler' ./internal/transport/ ./internal/iohyp/ ./internal/blockdev/ ./internal/experiments/
 
+# Distributed-volume write path: the R=1 quorum write benchmark plus its
+# zero-allocation guard (vol_write_quorum_* in BENCH json must stay 0
+# allocs/op on the fast path).
+bench-vol:
+	$(GO) test -run TestVolumeWriteQuorumZeroAlloc -bench 'BenchmarkVolumeWriteQuorum' -benchmem ./internal/core/
+
+# The distributed-volume layer under the race detector: extent maps and
+# versioned replica state, the volume router's quorum/rebuild machinery, the
+# cluster volume wiring, and the volrebuild cells (which run concurrently
+# under -parallel).
+race-vol:
+	$(GO) test -race -run 'Vol|Quorum|Rebuild|Replica' ./internal/blockdev/ ./internal/core/ ./internal/cluster/ ./internal/experiments/
+
+# Documentation gate: every exported symbol in blockdev/iohyp/cluster has a
+# doc comment, and README's architecture map covers every internal/ package.
+doccheck:
+	./scripts/doccheck.sh
+
 # Benchmark-trajectory record: writes BENCH_<date>.json with wall clock and
 # events/sec for serial vs parallel RunAll.
 benchjson:
@@ -101,4 +119,4 @@ memprofile:
 	$(GO) run ./cmd/vrio-experiments -run all -quick -memprofile mem.pprof > /dev/null
 	$(GO) tool pprof -top -sample_index=alloc_space -nodecount 15 mem.pprof
 
-check: build vet test race race-fault race-shard race-trace race-mq bench-mq loadgen-smoke
+check: build vet test race race-fault race-shard race-trace race-mq race-vol bench-mq bench-vol doccheck loadgen-smoke

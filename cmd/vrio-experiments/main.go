@@ -23,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"vrio/internal/blockdev"
 	"vrio/internal/bufpool"
 	"vrio/internal/cluster"
 	"vrio/internal/core"
@@ -34,6 +35,7 @@ import (
 	"vrio/internal/sim"
 	"vrio/internal/trace"
 	"vrio/internal/transport"
+	"vrio/internal/virtio"
 	"vrio/internal/workload"
 )
 
@@ -53,6 +55,8 @@ func main() {
 	metricsInterval := flag.Duration("metrics-interval", 500*time.Microsecond, "sim-time metrics sampling interval for -trace")
 	faultProfile := flag.String("fault-profile", "", "extra fault profile for the faulttolerance sweep: lossy | flaky | degraded | chaos, or inline JSON")
 	faultSeed := flag.Uint64("fault-seed", 0, "override the faulttolerance fault-draw seed (0 = built-in default)")
+	volReplicas := flag.Int("vol-replicas", 0, "override the volrebuild recovery cells' replication factor (0 = experiment default, R=2)")
+	volQuorum := flag.Int("vol-quorum", 0, "override the volrebuild recovery cells' write quorum (0 = experiment default, W=1)")
 	racks := flag.Int("racks", 0, "override the fabricscaling scale cell's rack count (0 = experiment default)")
 	shards := flag.Int("shards", 0, "worker count for sharded fabric execution (0 = one per CPU)")
 	oversub := flag.Float64("oversub", 0, "override the fabricscaling scale cell's ToR oversubscription ratio (0 = experiment default)")
@@ -65,6 +69,7 @@ func main() {
 	}
 	experiments.SetFaultOptions(prof, *faultSeed)
 	experiments.SetFabricOptions(*racks, *shards, *oversub)
+	experiments.SetVolOptions(*volReplicas, *volQuorum)
 
 	if err := realMain(*list, *run, *quick, *parallel, *workers, *cpuprofile, *memprofile, *benchjson, *benchout,
 		*doTrace, *traceOut, *traceSeed, *metricsInterval, *racks, *shards); err != nil {
@@ -296,6 +301,14 @@ type benchReport struct {
 	// TestHotPathZeroAllocMQ enforces it at exactly 0.
 	DatapathBlkMQNsOp     int64 `json:"datapath_blk_mq_ns_op"`
 	DatapathBlkMQAllocsOp int64 `json:"datapath_blk_mq_allocs_op"`
+	// Distributed-volume quorum write (internal/core
+	// BenchmarkVolumeWriteQuorum): one R=1 quorum write through the volume
+	// router and the full rig datapath — version allocation, header encode,
+	// chunked transport round trip, ack counting, commit.
+	// TestVolumeWriteQuorumZeroAlloc enforces the allocs/op figure at
+	// exactly 0 on this fast path.
+	VolWriteQuorumNsOp     int64 `json:"vol_write_quorum_ns_op"`
+	VolWriteQuorumAllocsOp int64 `json:"vol_write_quorum_allocs_op"`
 	// Notes carries caveats about the machine the numbers came from.
 	Notes []string `json:"notes"`
 }
@@ -476,6 +489,44 @@ func benchDatapathBlkMQ() (nsOp, allocsOp int64) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		run(b.N)
+	})
+	return res.NsPerOp(), res.AllocsPerOp()
+}
+
+// benchVolWriteQuorum mirrors internal/core BenchmarkVolumeWriteQuorum: one
+// R=1 quorum write through the VolumeRouter over the rig datapath per
+// iteration, after warmup.
+func benchVolWriteQuorum() (nsOp, allocsOp int64) {
+	res := testing.Benchmark(func(b *testing.B) {
+		r := transport.NewRig()
+		okResp := []byte{virtio.BlkOK}
+		r.Endpoint.BlkReq = func(src ethernet.MAC, h transport.Header, req *bufpool.Frame) {
+			r.Endpoint.RespondBlk(src, h, okResp)
+			req.Release()
+		}
+		spec := blockdev.VolumeSpec{
+			Stripes: 1, Replicas: 1, WriteQuorum: 1,
+			ExtentSectors: 128, CapacitySectors: 4096, Queues: 4,
+		}
+		vr := core.NewVolumeRouter(r.Eng, spec, 7, []*transport.Driver{r.Driver})
+		data := make([]byte, 4096)
+		cb := func(err error) {
+			if err != nil {
+				b.Fatalf("vol write: %v", err)
+			}
+		}
+		send := func() {
+			vr.Write(0, data, cb)
+			r.Step()
+		}
+		for i := 0; i < 100; i++ {
+			send()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			send()
+		}
 	})
 	return res.NsPerOp(), res.AllocsPerOp()
 }
@@ -715,6 +766,7 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 	report.RealwireSealNsOp, report.RealwireSealAllocsOp = benchRealwireSeal()
 	report.RealwireUDPBlkNsOp, report.RealwireUDPBlkAllocsOp = benchRealwireUDPBlk()
 	report.DatapathBlkMQNsOp, report.DatapathBlkMQAllocsOp = benchDatapathBlkMQ()
+	report.VolWriteQuorumNsOp, report.VolWriteQuorumAllocsOp = benchVolWriteQuorum()
 	if runtime.NumCPU() == 1 {
 		report.Notes = append(report.Notes,
 			"num_cpu:1 — the mqscaling worker-count speedups are capped by a single host CPU; re-run on a multi-core machine for the paper's worker-scaling figures")
@@ -744,6 +796,8 @@ func writeBenchJSON(quick bool, workers int, outPath string) error {
 		report.DatapathBlkNsOp, report.DatapathBlkAllocsOp)
 	fmt.Printf("datapath blk-mq %d ns/op (%d allocs/op) at QD=8 x NQ=4\n",
 		report.DatapathBlkMQNsOp, report.DatapathBlkMQAllocsOp)
+	fmt.Printf("vol write quorum %d ns/op (%d allocs/op) on the R=1 fast path\n",
+		report.VolWriteQuorumNsOp, report.VolWriteQuorumAllocsOp)
 	fmt.Printf("fault overhead  %+d ns/op (%d allocs/op) with an empty fault plan attached\n",
 		report.FaultOverheadNsOp, report.FaultNetTxAllocsOp)
 	fmt.Printf("fabric trace overhead %+d ns/op on the sharded window path with tracing disabled\n",

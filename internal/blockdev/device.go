@@ -9,11 +9,15 @@ import (
 // Op is a block request operation.
 type Op uint8
 
-// Operations.
+// Operations. OpVolWrite/OpVolRead are the distributed-volume variants of
+// write/read: they carry an extent id and version and are only served by
+// devices that have a ReplicaState attached (see AttachReplica).
 const (
 	OpRead Op = iota
 	OpWrite
 	OpFlush
+	OpVolWrite
+	OpVolRead
 )
 
 // String implements fmt.Stringer.
@@ -25,6 +29,10 @@ func (o Op) String() string {
 		return "write"
 	case OpFlush:
 		return "flush"
+	case OpVolWrite:
+		return "vol-write"
+	case OpVolRead:
+		return "vol-read"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -38,6 +46,11 @@ type Request struct {
 	Data []byte
 	// Sectors is the read length in sectors.
 	Sectors int
+	// Extent and Version qualify OpVolWrite/OpVolRead requests: Extent names
+	// the stripe unit, Version the writer's per-extent counter (for reads,
+	// the minimum committed version the replica must hold).
+	Extent  uint64
+	Version uint64
 }
 
 // Response is a completed request.
@@ -68,6 +81,10 @@ type Device struct {
 	// re-slicing, so the queue's capacity is reused across bursts.
 	wHead int
 
+	// replica, when non-nil, lets the device serve OpVolWrite/OpVolRead
+	// with per-extent version checks (see AttachReplica).
+	replica *ReplicaState
+
 	// FailNext injects a failure into the next request (fault testing).
 	FailNext bool
 
@@ -94,6 +111,19 @@ func NewDevice(eng *sim.Engine, store *Store, latency sim.Time, ways int) *Devic
 
 // Store exposes the backing store (for test setup and verification).
 func (d *Device) Store() *Store { return d.store }
+
+// AttachReplica turns the device into a volume replica: OpVolWrite and
+// OpVolRead become servable, gated by rs's per-extent version counters.
+// Plain OpRead/OpWrite keep working (rebuild verification reads use them).
+func (d *Device) AttachReplica(rs *ReplicaState) {
+	if rs == nil {
+		panic("blockdev: AttachReplica requires a ReplicaState")
+	}
+	d.replica = rs
+}
+
+// Replica exposes the attached replica state (nil for plain devices).
+func (d *Device) Replica() *ReplicaState { return d.replica }
 
 // QueueLen reports requests waiting for a free bank.
 func (d *Device) QueueLen() int { return len(d.waiting) - d.wHead }
@@ -152,6 +182,35 @@ func (d *Device) execute(req Request) Response {
 		return Response{Err: err, Data: data}
 	case OpFlush:
 		return Response{} // the in-memory store is always durable
+	case OpVolWrite:
+		if d.replica == nil {
+			return Response{Err: ErrNotReplica}
+		}
+		// A write carrying a version older than what the replica already
+		// holds is from a stale writer (e.g. a pre-rebuild router epoch);
+		// accepting it would roll the extent back.
+		if req.Version < d.replica.Version(req.Extent) {
+			return Response{Err: fmt.Errorf("%w: extent %d has v%d, write carries v%d",
+				ErrStaleWrite, req.Extent, d.replica.Version(req.Extent), req.Version)}
+		}
+		if err := d.store.Write(req.Sector, req.Data); err != nil {
+			return Response{Err: err}
+		}
+		d.replica.Advance(req.Extent, req.Version)
+		return Response{}
+	case OpVolRead:
+		if d.replica == nil {
+			return Response{Err: ErrNotReplica}
+		}
+		// The reader demands at least the committed version it knows about;
+		// a replica that missed a write (crash, rebuild copy in flight)
+		// must refuse rather than serve stale sectors.
+		if d.replica.Version(req.Extent) < req.Version {
+			return Response{Err: fmt.Errorf("%w: extent %d has v%d, read demands v%d",
+				ErrStaleReplica, req.Extent, d.replica.Version(req.Extent), req.Version)}
+		}
+		data, err := d.store.Read(req.Sector, req.Sectors)
+		return Response{Err: err, Data: data}
 	default:
 		return Response{Err: fmt.Errorf("%w: %d", ErrBadOp, req.Op)}
 	}
@@ -185,7 +244,7 @@ func NewScheduler(backend Backend, sectorSize int) *Scheduler {
 
 func (s *Scheduler) span(req Request) (uint64, uint64) {
 	n := uint64(req.Sectors)
-	if req.Op == OpWrite {
+	if req.Op == OpWrite || req.Op == OpVolWrite {
 		n = uint64((len(req.Data) + s.sectorSize - 1) / s.sectorSize)
 	}
 	if req.Op == OpFlush || n == 0 {

@@ -1,0 +1,150 @@
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Volume distribution (FlexBSO-style, arxiv 2409.02381): a volume's sector
+// space is cut into fixed-size extents, each extent is placed on R of the N
+// IOhosts ("stripes"), and every replica tracks a per-extent version counter
+// so stale copies can be fenced after crashes and rebuilds. This file holds
+// the data-model half — VolumeSpec (geometry), ExtentMap (placement), and
+// ReplicaState (versions); the guest-side router that drives quorum writes,
+// replica-steered reads, and rebuild lives in internal/core.
+
+// Volume distribution errors.
+var (
+	// ErrNotReplica reports a vol op sent to a device with no ReplicaState.
+	ErrNotReplica = errors.New("blockdev: device is not a volume replica")
+	// ErrStaleWrite reports a replica rejecting a write whose version is
+	// older than the extent version it already holds.
+	ErrStaleWrite = errors.New("blockdev: stale write version")
+	// ErrStaleReplica reports a replica refusing a read because it holds an
+	// extent version older than the reader's committed minimum.
+	ErrStaleReplica = errors.New("blockdev: replica holds stale extent")
+	// ErrQuorumLost reports a write that cannot reach W live replicas; the
+	// router fails it immediately rather than letting it hang.
+	ErrQuorumLost = errors.New("blockdev: write quorum unreachable")
+	// ErrNoReplica reports a read for which every candidate replica failed
+	// or answered stale.
+	ErrNoReplica = errors.New("blockdev: no replica could serve the read")
+)
+
+// VolumeSpec is the geometry of a distributed volume: CapacitySectors of
+// address space cut into ExtentSectors-sized extents, striped across
+// Stripes IOhosts with Replicas copies per extent, writes acknowledged
+// after WriteQuorum replica acks.
+type VolumeSpec struct {
+	// Stripes is the number of IOhosts extents are spread across (N).
+	Stripes int
+	// Replicas is the copy count per extent (R), 1 <= R <= Stripes.
+	Replicas int
+	// WriteQuorum is the ack count a write needs before completion (W),
+	// 1 <= W <= Replicas.
+	WriteQuorum int
+	// ExtentSectors is the stripe unit in sectors.
+	ExtentSectors uint64
+	// CapacitySectors is the volume size in sectors.
+	CapacitySectors uint64
+	// Queues is the submission queue count per replica (multi-queue id
+	// space from DESIGN.md §15); the router tags extent e onto queue
+	// e mod Queues.
+	Queues int
+}
+
+// Validate checks the geometry, returning a descriptive error.
+func (s VolumeSpec) Validate() error {
+	switch {
+	case s.Stripes < 1:
+		return fmt.Errorf("blockdev: volume needs at least one stripe, got %d", s.Stripes)
+	case s.Replicas < 1 || s.Replicas > s.Stripes:
+		return fmt.Errorf("blockdev: replicas must be in [1, stripes=%d], got %d", s.Stripes, s.Replicas)
+	case s.WriteQuorum < 1 || s.WriteQuorum > s.Replicas:
+		return fmt.Errorf("blockdev: write quorum must be in [1, replicas=%d], got %d", s.Replicas, s.WriteQuorum)
+	case s.ExtentSectors == 0:
+		return fmt.Errorf("blockdev: extent size must be positive")
+	case s.CapacitySectors == 0:
+		return fmt.Errorf("blockdev: volume capacity must be positive")
+	case s.Queues < 1 || s.Queues > 256:
+		return fmt.Errorf("blockdev: queues must be in [1, 256], got %d", s.Queues)
+	}
+	return nil
+}
+
+// NumExtents reports how many extents the capacity divides into (the last
+// one may be partial).
+func (s VolumeSpec) NumExtents() uint64 {
+	return (s.CapacitySectors + s.ExtentSectors - 1) / s.ExtentSectors
+}
+
+// ExtentOf maps a sector to its extent id.
+func (s VolumeSpec) ExtentOf(sector uint64) uint64 { return sector / s.ExtentSectors }
+
+// ExtentMap is the placement function: which IOhost holds replica slot j of
+// extent e. The default layout is rotational — slot j of extent e lives on
+// host (e+j) mod N — which spreads both primaries and replica load evenly;
+// rebuild retargets individual (extent, slot) cells onto survivors.
+type ExtentMap struct {
+	spec VolumeSpec
+	// overrides holds retargeted cells, keyed extent*R+slot. Only rebuild
+	// writes here, so a healthy volume stays allocation-free.
+	overrides map[uint64]int
+}
+
+// NewExtentMap builds the default rotational layout for spec.
+func NewExtentMap(spec VolumeSpec) *ExtentMap {
+	return &ExtentMap{spec: spec}
+}
+
+// Replica reports the host holding replica slot j of extent e.
+func (m *ExtentMap) Replica(e uint64, slot int) int {
+	if h, ok := m.overrides[e*uint64(m.spec.Replicas)+uint64(slot)]; ok {
+		return h
+	}
+	return int((e + uint64(slot)) % uint64(m.spec.Stripes))
+}
+
+// Retarget moves replica slot j of extent e onto host (rebuild placing a
+// lost copy on a survivor).
+func (m *ExtentMap) Retarget(e uint64, slot int, host int) {
+	if m.overrides == nil {
+		m.overrides = make(map[uint64]int)
+	}
+	m.overrides[e*uint64(m.spec.Replicas)+uint64(slot)] = host
+}
+
+// Slot reports which replica slot of extent e lives on host, or -1 if the
+// host holds no copy of e.
+func (m *ExtentMap) Slot(e uint64, host int) int {
+	for slot := 0; slot < m.spec.Replicas; slot++ {
+		if m.Replica(e, slot) == host {
+			return slot
+		}
+	}
+	return -1
+}
+
+// ReplicaState is one replica's per-extent version ledger. A replica only
+// accepts writes at or above its current extent version and only serves
+// reads when it holds at least the version the reader demands — together
+// these fence copies that missed writes during a crash or rebuild.
+type ReplicaState struct {
+	versions map[uint64]uint64
+}
+
+// NewReplicaState builds an empty ledger (every extent at version 0).
+func NewReplicaState() *ReplicaState {
+	return &ReplicaState{versions: make(map[uint64]uint64)}
+}
+
+// Version reports the replica's current version for extent e (0 = never
+// written).
+func (rs *ReplicaState) Version(e uint64) uint64 { return rs.versions[e] }
+
+// Advance raises extent e's version to v if v is newer.
+func (rs *ReplicaState) Advance(e, v uint64) {
+	if v > rs.versions[e] {
+		rs.versions[e] = v
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"vrio/internal/params"
 	"vrio/internal/sim"
 	"vrio/internal/trace"
+	"vrio/internal/transport"
 	"vrio/internal/workload"
 )
 
@@ -37,6 +38,9 @@ const (
 	macStationBase   = 3000 // load generators
 	macHostBase      = 4000 // host NICs (baseline/elvis/optimum uplinks)
 	macIOHostBase    = 5000 // IOhost i: uplink 5000+100i, channel to VMhost h 5000+100i+1+h
+	// macVolBase numbers the per-(guest, IOhost) volume transport MACs:
+	// guest vm's driver toward IOhost io is 20000 + 64*vm + io.
+	macVolBase = 20000
 )
 
 // Spec describes a testbed.
@@ -62,6 +66,24 @@ type Spec struct {
 	BlkQueues int
 	// BlockWays overrides the per-device bank parallelism (0 = 4).
 	BlockWays int
+	// VolReplicas > 0 attaches a distributed volume to every guest: extents
+	// striped across all NumIOhosts IOhosts with VolReplicas-way replication
+	// (DESIGN.md §16; vRIO models only, requires VolReplicas <= NumIOhosts).
+	// Each guest gets one replica device per IOhost plus a core.VolumeRouter
+	// (tb.Volumes) steering quorum writes and replica reads over dedicated
+	// per-IOhost transport drivers.
+	VolReplicas int
+	// VolQuorum is the write quorum W (acks before completion); 0 defaults
+	// to VolReplicas (write-all).
+	VolQuorum int
+	// VolExtentSectors is the stripe unit in sectors (0 = 128).
+	VolExtentSectors uint64
+	// VolCapacitySectors is the volume size in sectors (0 = 4096 — small,
+	// so rebuild experiments copy a bounded extent population).
+	VolCapacitySectors uint64
+	// VolQueues is the submission-queue count per replica device (0 = 1;
+	// >1 wraps each replica in a range-conflict Scheduler, like BlkQueues).
+	VolQueues int
 	// NetChain, if set, builds the interposition chain for VM (host, vm).
 	NetChain func(host, vm int) *interpose.Chain
 	// BlkChain likewise for block devices.
@@ -181,6 +203,12 @@ type Testbed struct {
 	BlockSchedulers []*blockdev.Scheduler
 	// Threads by global VM index (when WithThreads).
 	Threads []*guestos.VCPU
+	// Volumes[vm] is guest vm's distributed-volume router (only when
+	// Spec.VolReplicas > 0; empty otherwise).
+	Volumes []*core.VolumeRouter
+	// VolReplicaDevices[vm][io] is the replica device backing guest vm's
+	// volume on IOhost io (test verification reads its Store and Replica).
+	VolReplicaDevices [][]*blockdev.Device
 
 	// SecondaryIOHyp is the fallback I/O hypervisor (when configured).
 	SecondaryIOHyp *iohyp.IOHypervisor
@@ -252,6 +280,20 @@ func (s *Spec) defaults() {
 	if s.Carrier == "" {
 		s.Carrier = CarrierSim
 	}
+	if s.VolReplicas > 0 {
+		if s.VolQuorum == 0 {
+			s.VolQuorum = s.VolReplicas // write-all
+		}
+		if s.VolExtentSectors == 0 {
+			s.VolExtentSectors = 128
+		}
+		if s.VolCapacitySectors == 0 {
+			s.VolCapacitySectors = 4096
+		}
+		if s.VolQueues == 0 {
+			s.VolQueues = 1
+		}
+	}
 }
 
 // Build assembles the testbed on a fresh engine.
@@ -293,6 +335,17 @@ func BuildOn(spec Spec, eng *sim.Engine) *Testbed {
 	}
 	if spec.BlkQueues > 256 {
 		panic("cluster: queue ids are one byte; BlkQueues must be <= 256")
+	}
+	if spec.VolReplicas > 0 {
+		if !isVRIO {
+			panic(fmt.Sprintf("cluster: VolReplicas requires a vRIO model, got %q", spec.Model))
+		}
+		if spec.VolReplicas > spec.NumIOhosts {
+			panic(fmt.Sprintf("cluster: VolReplicas (%d) cannot exceed NumIOhosts (%d)", spec.VolReplicas, spec.NumIOhosts))
+		}
+		if spec.VolQuorum > spec.VolReplicas {
+			panic(fmt.Sprintf("cluster: VolQuorum (%d) cannot exceed VolReplicas (%d)", spec.VolQuorum, spec.VolReplicas))
+		}
 	}
 
 	tb := &Testbed{
@@ -643,6 +696,9 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 					tb.SecondaryIOHyp.RegisterBlkDeviceMQ(tMAC, client.BlkDeviceID(), blkBackend, blkChain, spec.BlkQueues)
 				}
 			}
+			if spec.VolReplicas > 0 {
+				tb.buildGuestVolume(hostIdx, vmID)
+			}
 			tb.attachThreads(client.Guest)
 			tb.VRIOClients = append(tb.VRIOClients, client)
 			tb.ClientIOhost = append(tb.ClientIOhost, io)
@@ -655,6 +711,86 @@ func (tb *Testbed) buildVRIO(nicCfg nic.Config) {
 			tb.GuestHost = append(tb.GuestHost, hostIdx)
 			vmID++
 		}
+	}
+}
+
+// buildGuestVolume assembles guest vmID's distributed volume: one replica
+// device (own store + version ledger) registered on EVERY IOhost, one
+// dedicated transport driver per IOhost riding that VMhost's existing
+// channel cable, and a core.VolumeRouter steering extents across them.
+// Registering a replica on every IOhost — not just the R in an extent's
+// initial replica set — is what lets rebuild retarget lost copies onto any
+// survivor without new control-plane work.
+func (tb *Testbed) buildGuestVolume(hostIdx, vmID int) {
+	spec := tb.Spec
+	p := tb.P
+	if spec.NumIOhosts > 64 {
+		panic("cluster: volumes support at most 64 IOhosts (MAC plan and rebuild bitmask)")
+	}
+	vspec := blockdev.VolumeSpec{
+		Stripes:         spec.NumIOhosts,
+		Replicas:        spec.VolReplicas,
+		WriteQuorum:     spec.VolQuorum,
+		ExtentSectors:   spec.VolExtentSectors,
+		CapacitySectors: spec.VolCapacitySectors,
+		Queues:          spec.VolQueues,
+	}
+	if err := vspec.Validate(); err != nil {
+		panic(err)
+	}
+	// Vol device ids live far above the net/blk ids (2*vm, 2*vm+1) so the
+	// id spaces can never collide on a shared IOhost registration map.
+	volID := uint16(0x4000 + vmID)
+	drivers := make([]*transport.Driver, spec.NumIOhosts)
+	devs := make([]*blockdev.Device, spec.NumIOhosts)
+	for io := 0; io < spec.NumIOhosts; io++ {
+		store := blockdev.NewStore(p.SectorSize, spec.VolCapacitySectors)
+		ways := spec.BlockWays
+		if ways == 0 {
+			ways = 4
+		}
+		dev := blockdev.NewDevice(tb.Eng, store, spec.BlockLatency, ways)
+		dev.AttachReplica(blockdev.NewReplicaState())
+		devs[io] = dev
+		var backend blockdev.Backend = dev
+		if spec.VolQueues > 1 {
+			// Same arbitration as BlkQueues: multi-queue submission loses
+			// the one-outstanding-per-range guarantee, so the IOhost
+			// serializes overlapping ranges in front of the device.
+			backend = blockdev.NewScheduler(dev, p.SectorSize)
+		}
+
+		ch := tb.channels[io][hostIdx]
+		volMAC := tb.mac(macVolBase + 64*uint32(vmID) + uint32(io))
+		vf := ch.vmhostNIC.AddVF(volMAC, nic.ModeInterrupt)
+		port := nic.NewMessagePort(vf, p.MTU)
+		drv := transport.NewDriver(tb.Eng, port, ch.iohostMAC, transport.Config{
+			InitialTimeout: p.RetransmitTimeout,
+			MaxRetransmits: p.MaxRetransmits,
+		})
+		drv.Tracer = tb.Tracer
+		vf.OnInterrupt(func(frames [][]byte) { port.HandleBatch(frames) })
+		port.OnMessage = func(_ ethernet.MAC, msg []byte, _ bool, _ int) {
+			_ = drv.Deliver(msg)
+		}
+		drivers[io] = drv
+
+		hyp := tb.IOHyps[io]
+		hyp.BindClient(volMAC, ch.port)
+		hyp.RegisterVolReplica(volMAC, volID, backend, nil, spec.VolQueues)
+	}
+	router := core.NewVolumeRouter(tb.Eng, vspec, volID, drivers)
+	tb.Volumes = append(tb.Volumes, router)
+	tb.VolReplicaDevices = append(tb.VolReplicaDevices, devs)
+}
+
+// IOhostDied tells every volume router that IOhost i is gone, queueing
+// rebuilds for the replica cells it held. The rack controller's heartbeat
+// detector calls this alongside its guest re-homing (rack imports cluster,
+// so the hook lives here). Inert when no volumes are configured.
+func (tb *Testbed) IOhostDied(i int) {
+	for _, v := range tb.Volumes {
+		v.OnHostDeath(i)
 	}
 }
 

@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vrio/internal/blockdev"
+	"vrio/internal/core"
+	"vrio/internal/sim"
+)
+
+// buildVolTestbed assembles one guest with a distributed volume across
+// numIO IOhosts: R replicas, write quorum W, 8 extents of 128 sectors.
+func buildVolTestbed(numIO, r, w int) *Testbed {
+	return Build(Spec{
+		Model:              core.ModelVRIO,
+		NumIOhosts:         numIO,
+		VolReplicas:        r,
+		VolQuorum:          w,
+		VolExtentSectors:   128,
+		VolCapacitySectors: 1024,
+		NoJitter:           true,
+		Seed:               31,
+	})
+}
+
+// extentPattern is the fill byte test writes stamp into extent e.
+func extentPattern(e uint64) byte { return byte(0xA0 + e) }
+
+// writeAllExtents stamps one sector into every extent through the router
+// and runs the engine until the writes complete.
+func writeAllExtents(t *testing.T, tb *Testbed, vol *core.VolumeRouter) {
+	t.Helper()
+	spec := vol.Spec()
+	data := make([]byte, tb.P.SectorSize)
+	completed := 0
+	for e := uint64(0); e < spec.NumExtents(); e++ {
+		for i := range data {
+			data[i] = extentPattern(e)
+		}
+		vol.Write(e*spec.ExtentSectors, data, func(err error) {
+			if err != nil {
+				t.Errorf("write extent: %v", err)
+			}
+			completed++
+		})
+		tb.Eng.Run()
+	}
+	if completed != int(spec.NumExtents()) {
+		t.Fatalf("completed %d writes, want %d", completed, spec.NumExtents())
+	}
+}
+
+// verifyAllExtents reads every extent back through the router and checks
+// the pattern, then checks both mapped replica stores hold it too.
+func verifyAllExtents(t *testing.T, tb *Testbed, vm int) {
+	t.Helper()
+	vol := tb.Volumes[vm]
+	spec := vol.Spec()
+	for e := uint64(0); e < spec.NumExtents(); e++ {
+		want := make([]byte, tb.P.SectorSize)
+		for i := range want {
+			want[i] = extentPattern(e)
+		}
+		got := false
+		vol.Read(e*spec.ExtentSectors, 1, func(data []byte, err error) {
+			if err != nil {
+				t.Fatalf("read extent %d: %v", e, err)
+			}
+			if !bytes.Equal(data, want) {
+				t.Fatalf("extent %d: router read returned wrong payload", e)
+			}
+			got = true
+		})
+		tb.Eng.Run()
+		if !got {
+			t.Fatalf("read of extent %d never completed", e)
+		}
+		for slot := 0; slot < spec.Replicas; slot++ {
+			host := vol.ExtentMap().Replica(e, slot)
+			stored, err := tb.VolReplicaDevices[vm][host].Store().Read(e*spec.ExtentSectors, 1)
+			if err != nil {
+				t.Fatalf("extent %d replica on host %d: %v", e, host, err)
+			}
+			if !bytes.Equal(stored, want) {
+				t.Fatalf("extent %d replica on host %d holds wrong payload", e, host)
+			}
+		}
+	}
+}
+
+func TestVolumeQuorumWriteAndRead(t *testing.T) {
+	tb := buildVolTestbed(3, 2, 2)
+	vol := tb.Volumes[0]
+	writeAllExtents(t, tb, vol)
+	verifyAllExtents(t, tb, 0)
+	if n := vol.Counters.Get("vol_writes"); n != 8 {
+		t.Fatalf("vol_writes = %d, want 8", n)
+	}
+	// Every extent committed exactly one version.
+	for e := uint64(0); e < vol.Spec().NumExtents(); e++ {
+		if v := vol.Committed(e); v != 1 {
+			t.Fatalf("Committed(%d) = %d, want 1", e, v)
+		}
+	}
+}
+
+// TestVolumeQuorumLossFailsCleanly covers both flavors of losing the write
+// quorum: detected dead replicas fail synchronously, and an undetected dead
+// replica fails after the retransmission budget — a clean error either way,
+// never a hang.
+func TestVolumeQuorumLossFailsCleanly(t *testing.T) {
+	tb := buildVolTestbed(3, 2, 2)
+	vol := tb.Volumes[0]
+
+	// Undetected: IOhost 1 (slot 1 of extent 0) is dead but not yet
+	// declared. The write reaches host 0, never hears from host 1, and
+	// fails once the retransmit budget rules the quorum unreachable.
+	tb.IOHyps[1].Fail()
+	var slowErr error
+	fired := false
+	vol.Write(0, make([]byte, tb.P.SectorSize), func(err error) { slowErr = err; fired = true })
+	tb.Eng.Run()
+	if !fired {
+		t.Fatal("write against undetected-dead replica hung")
+	}
+	if !errors.Is(slowErr, blockdev.ErrQuorumLost) {
+		t.Fatalf("undetected loss: err = %v, want ErrQuorumLost", slowErr)
+	}
+
+	// Detected: after the death is declared, the same write fails
+	// immediately — no transport round trip at all.
+	tb.IOhostDied(1)
+	fired = false
+	vol.Write(0, make([]byte, tb.P.SectorSize), func(err error) {
+		if !errors.Is(err, blockdev.ErrQuorumLost) {
+			t.Errorf("detected loss: err = %v, want ErrQuorumLost", err)
+		}
+		fired = true
+	})
+	if !fired {
+		t.Fatal("detected quorum loss was not synchronous")
+	}
+}
+
+// TestVolumeStaleReadRejection drives a replica stale (it misses a write via
+// an injected device failure) and shows the version fence at work: reads
+// demanding the committed version refuse the stale copy, and a newer write
+// heals it.
+func TestVolumeStaleReadRejection(t *testing.T) {
+	tb := buildVolTestbed(3, 2, 1) // W=1: a write can succeed on one replica
+	vol := tb.Volumes[0]
+	devs := tb.VolReplicaDevices[0]
+
+	// Extent 0 lives on hosts 0 (slot 0) and 1 (slot 1). Make host 1's
+	// device fail the incoming replica write: host 0 acks (quorum met),
+	// host 1 stays at version 0.
+	devs[1].FailNext = true
+	data := make([]byte, tb.P.SectorSize)
+	for i := range data {
+		data[i] = 0xEE
+	}
+	vol.Write(0, data, func(err error) {
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	tb.Eng.Run()
+	if v := devs[1].Replica().Version(0); v != 0 {
+		t.Fatalf("host 1 should have missed the write, holds v%d", v)
+	}
+	if v := devs[0].Replica().Version(0); v != 1 {
+		t.Fatalf("host 0 should hold v1, holds v%d", v)
+	}
+
+	// Kill host 0 (the fresh replica). A read now has only the stale
+	// replica to ask; it answers BlkStale and the read fails cleanly
+	// rather than returning pre-write data.
+	tb.IOHyps[0].Fail()
+	tb.IOhostDied(0)
+	var readErr error
+	vol.Read(0, 1, func(_ []byte, err error) { readErr = err })
+	tb.Eng.Run()
+	if !errors.Is(readErr, blockdev.ErrNoReplica) {
+		t.Fatalf("stale-only read: err = %v, want ErrNoReplica", readErr)
+	}
+	if n := vol.Counters.Get("stale_reads"); n != 1 {
+		t.Fatalf("stale_reads = %d, want 1", n)
+	}
+
+	// A newer write (v2, to the surviving replica) heals the extent: the
+	// fence lifts and reads succeed again.
+	vol.Write(0, data, func(err error) {
+		if err != nil {
+			t.Errorf("healing write: %v", err)
+		}
+	})
+	tb.Eng.Run()
+	ok := false
+	vol.Read(0, 1, func(got []byte, err error) {
+		if err != nil {
+			t.Fatalf("post-heal read: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("post-heal read returned wrong payload")
+		}
+		ok = true
+	})
+	tb.Eng.Run()
+	if !ok {
+		t.Fatal("post-heal read never completed")
+	}
+}
+
+// TestVolumeRebuildAfterCrash crashes one IOhost of a fully written R=2
+// volume and checks the rebuild engine restores full replication on the
+// survivors, byte-exact.
+func TestVolumeRebuildAfterCrash(t *testing.T) {
+	tb := buildVolTestbed(3, 2, 1)
+	vol := tb.Volumes[0]
+	writeAllExtents(t, tb, vol)
+
+	tb.IOHyps[1].Fail()
+	tb.IOhostDied(1)
+	tb.Eng.Run() // drain the rebuild queue
+
+	if vol.Rebuilding() {
+		t.Fatal("rebuild queue did not drain")
+	}
+	if !vol.FullyReplicated() {
+		t.Fatal("volume not fully replicated after rebuild")
+	}
+	// 8 extents, replica slots (e%3, (e+1)%3): host 1 held 6 cells.
+	if n := vol.Counters.Get("rebuild_extents"); n != 6 {
+		t.Fatalf("rebuild_extents = %d, want 6", n)
+	}
+	if vol.RebuildBytes == 0 {
+		t.Fatal("RebuildBytes = 0, want > 0")
+	}
+	// No cell may still point at the dead host, and the data must match.
+	spec := vol.Spec()
+	for e := uint64(0); e < spec.NumExtents(); e++ {
+		for slot := 0; slot < spec.Replicas; slot++ {
+			if h := vol.ExtentMap().Replica(e, slot); h == 1 {
+				t.Fatalf("extent %d slot %d still on dead host 1", e, slot)
+			}
+		}
+	}
+	verifyAllExtents(t, tb, 0)
+}
+
+// TestVolumeRebuildRetargetsOntoThirdSurvivor crashes a second IOhost while
+// the first crash's rebuild is still in flight: jobs that had picked the
+// second victim as their copy target must fail, requeue, and re-target onto
+// a third survivor.
+func TestVolumeRebuildRetargetsOntoThirdSurvivor(t *testing.T) {
+	tb := buildVolTestbed(4, 2, 1)
+	vol := tb.Volumes[0]
+	writeAllExtents(t, tb, vol)
+
+	// Crash host 2. Under the rotation layout hosts 2 and 0 share no extent
+	// (their cell pairs are (1,2)/(2,3) vs (0,1)/(3,0)), so a second crash
+	// of host 0 never loses both copies of anything. Every rebuild job for
+	// host 2's cells picks host 0 as its copy target first (fewest-cells,
+	// lowest-index rule), so those in-flight copies land on a host about to
+	// die.
+	tb.IOHyps[2].Fail()
+	tb.IOhostDied(2)
+	// Host 0 dies under the in-flight copies, undetected for 1 ms.
+	tb.IOHyps[0].Fail()
+	tb.Eng.At(tb.Eng.Now()+sim.Millisecond, func() { tb.IOhostDied(0) })
+	tb.Eng.Run()
+
+	if !vol.FullyReplicated() {
+		t.Fatalf("volume not fully replicated after double crash (counters: retargets=%d stuck=%d lost=%d)",
+			vol.Counters.Get("rebuild_retargets"), vol.Counters.Get("rebuild_stuck"),
+			vol.Counters.Get("extents_lost"))
+	}
+	if n := vol.Counters.Get("rebuild_retargets"); n == 0 {
+		t.Fatal("expected at least one re-targeted rebuild job")
+	}
+	// Only hosts 1 and 3 survive; every replica cell must sit on them.
+	spec := vol.Spec()
+	for e := uint64(0); e < spec.NumExtents(); e++ {
+		for slot := 0; slot < spec.Replicas; slot++ {
+			if h := vol.ExtentMap().Replica(e, slot); h != 1 && h != 3 {
+				t.Fatalf("extent %d slot %d on host %d, want 1 or 3", e, slot, h)
+			}
+		}
+	}
+	verifyAllExtents(t, tb, 0)
+}

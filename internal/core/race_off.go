@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. The
+// volume-write zero-allocation guard skips under -race: the detector
+// instruments allocations and would fail the guard for reasons unrelated to
+// the router fast path.
+const raceEnabled = false

@@ -135,3 +135,34 @@ func TestFaultToleranceCrashOverLossyChannel(t *testing.T) {
 		t.Errorf("%d device errors: stranded requests should retransmit onto the survivor, not fail", o.devErrors)
 	}
 }
+
+// TestFaultToleranceVolCrash: quorum writes on a striped R=2 volume over a
+// 1%-lossy fabric with a replica IOhost crashing mid-run. Exactly-once must
+// hold end to end, and the rebuild engine must restore full replication over
+// the same lossy fabric. Device errors are allowed — they are writes
+// superseded by a newer concurrent version (the stale fence rejecting a
+// late arrival whole), never partial or duplicated applications.
+func TestFaultToleranceVolCrash(t *testing.T) {
+	o := runFaultVolCell(true)
+	if o.issued == 0 || o.completed == 0 {
+		t.Fatal("vol crash cell produced no write traffic")
+	}
+	if o.frLost == 0 {
+		t.Fatal("1% loss profile injected no frame loss — the cell is vacuous")
+	}
+	if o.dup != 0 {
+		t.Errorf("%d duplicated completions across loss+crash, want 0", o.dup)
+	}
+	if o.lost != 0 {
+		t.Errorf("%d requests never completed after the drain, want 0", o.lost)
+	}
+	if o.rebuilt == 0 {
+		t.Error("crash cost no extent replicas; the cell exercises nothing")
+	}
+	if !o.healthy {
+		t.Error("rebuild did not restore full replication over the lossy fabric")
+	}
+	if o.devErrors != o.qlosses {
+		t.Errorf("%d device errors but %d quorum losses: every failed write must be a clean quorum-loss error", o.devErrors, o.qlosses)
+	}
+}

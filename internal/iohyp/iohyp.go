@@ -9,6 +9,7 @@
 package iohyp
 
 import (
+	"errors"
 	"fmt"
 
 	"vrio/internal/blockdev"
@@ -78,6 +79,9 @@ type blkDevice struct {
 	// qdepth is the per-queue total of in-flight executions (the gauge the
 	// metrics registry reads without walking the maps).
 	qdepth []int
+	// vol marks a volume-replica registration: only these serve the
+	// versioned BlkVolOut/BlkVolIn ops (plain devices answer BlkUnsupp).
+	vol bool
 }
 
 // blkQueue resolves the submission queue of a block id on this device,
@@ -560,6 +564,18 @@ func (h *IOHypervisor) RegisterBlkDeviceMQ(client ethernet.MAC, id uint16, backe
 	h.blkDevs[d.key] = d
 }
 
+// RegisterVolReplica creates a volume-replica block front-end: a multi-queue
+// block device (see RegisterBlkDeviceMQ) that additionally serves the
+// versioned BlkVolOut/BlkVolIn ops. backend must resolve to a Device with a
+// ReplicaState attached (directly or through a blockdev.Scheduler); the
+// version checks themselves run in the device. Rebuild source reads arrive
+// through the same registration — they are ordinary BlkVolIn requests whose
+// VolHdr demands the router's committed version.
+func (h *IOHypervisor) RegisterVolReplica(client ethernet.MAC, id uint16, backend blockdev.Backend, chain *interpose.Chain, queues int) {
+	h.RegisterBlkDeviceMQ(client, id, backend, chain, queues)
+	h.blkDevs[devKey{client: client, id: id}].vol = true
+}
+
 // workerIndex resolves a worker's position in the sidecore list (-1 when
 // unknown); gauges report queue→worker affinity through it.
 func (h *IOHypervisor) workerIndex(w *Worker) int {
@@ -1012,6 +1028,7 @@ var (
 	respBlkOK     = []byte{virtio.BlkOK}
 	respBlkIOErr  = []byte{virtio.BlkIOErr}
 	respBlkUnsupp = []byte{virtio.BlkUnsupp}
+	respBlkStale  = []byte{virtio.BlkStale}
 )
 
 func statusResp(err error) []byte {
@@ -1019,6 +1036,21 @@ func statusResp(err error) []byte {
 		return respBlkIOErr
 	}
 	return respBlkOK
+}
+
+// volStatusResp maps a replica completion to a status byte: version fencing
+// (a stale writer, or a replica behind the reader's committed minimum)
+// answers BlkStale so the router can distinguish "retry elsewhere / give up
+// cleanly" from a real I/O failure.
+func volStatusResp(err error) []byte {
+	switch {
+	case err == nil:
+		return respBlkOK
+	case errors.Is(err, blockdev.ErrStaleWrite), errors.Is(err, blockdev.ErrStaleReplica):
+		return respBlkStale
+	default:
+		return respBlkIOErr
+	}
 }
 
 // handleBlkReq decodes a virtio-blk request, interposes, executes it on the
@@ -1125,6 +1157,94 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 				execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost+copyCost, func() {
 					// RespondBlk borrows the response, so the status+data
 					// buffer is pooled and returned right after the call.
+					out := h.bufPool().GetRaw(1 + len(data))
+					out[0] = virtio.BlkOK
+					copy(out[1:], data)
+					h.respondBlk(src, hdr, out)
+					h.bufPool().PutRaw(out)
+				})
+			})
+		})
+	case virtio.BlkVolOut: // versioned replica write
+		if !dev.vol {
+			h.endpoint.RespondBlk(src, hdr, respBlkUnsupp)
+			req.Release()
+			return
+		}
+		vh, volBody, err := virtio.DecodeVolHdr(body)
+		if err != nil {
+			h.Counters.Inc("bad_msgs", 1)
+			h.endpoint.RespondBlk(src, hdr, respBlkIOErr)
+			req.Release()
+			return
+		}
+		payload, icost, err := dev.chain.Process(interpose.ToDevice, hdr.DeviceID, volBody)
+		if err != nil {
+			h.Counters.Inc("interpose_drops", 1)
+			h.endpoint.RespondBlk(src, hdr, respBlkIOErr)
+			req.Release()
+			return
+		}
+		copied := copiedEdgeBytes(len(payload), h.p.SectorSize)
+		cost := h.p.BlockServiceCost + icost + sim.Time(h.p.CopyPenaltyPerByte*float64(copied))
+		if copied > 0 {
+			h.Counters.Inc("copy_bytes", uint64(copied))
+		}
+		bd := h.Tracer.BeginArg(trace.CatBlockdev, "vol-write", root, hdr.OrigID)
+		// Same lifetime rules as BlkOut: payload may alias the lease, so the
+		// release happens in the backend completion; the completion always
+		// runs (response-only suppression on a crashed host), so the
+		// in-flight tables drain exactly once.
+		dev.track(q, hdr.OrigID)
+		execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, cost, func() {
+			dev.backend.Submit(blockdev.Request{
+				Op: blockdev.OpVolWrite, Sector: bh.Sector, Data: payload,
+				Extent: vh.Extent, Version: vh.Version,
+			}, func(resp blockdev.Response) {
+				dev.untrack(q, hdr.OrigID)
+				h.Tracer.End(bd)
+				req.Release()
+				h.respondBlk(src, hdr, volStatusResp(resp.Err))
+			})
+		})
+	case virtio.BlkVolIn: // versioned replica read
+		if !dev.vol {
+			h.endpoint.RespondBlk(src, hdr, respBlkUnsupp)
+			req.Release()
+			return
+		}
+		vh, volBody, err := virtio.DecodeVolHdr(body)
+		n := 0
+		if err == nil && len(volBody) >= 4 {
+			n = int(uint32(volBody[0]) | uint32(volBody[1])<<8 | uint32(volBody[2])<<16 | uint32(volBody[3])<<24)
+		}
+		req.Release() // header and count are values now
+		if err != nil || n <= 0 {
+			h.Counters.Inc("bad_msgs", 1)
+			h.endpoint.RespondBlk(src, hdr, respBlkIOErr)
+			return
+		}
+		bd := h.Tracer.BeginArg(trace.CatBlockdev, "vol-read", root, hdr.OrigID)
+		dev.track(q, hdr.OrigID)
+		execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, h.p.BlockServiceCost, func() {
+			dev.backend.Submit(blockdev.Request{
+				Op: blockdev.OpVolRead, Sector: bh.Sector, Sectors: n,
+				Extent: vh.Extent, Version: vh.Version,
+			}, func(resp blockdev.Response) {
+				dev.untrack(q, hdr.OrigID)
+				h.Tracer.End(bd)
+				if resp.Err != nil {
+					h.respondBlk(src, hdr, volStatusResp(resp.Err))
+					return
+				}
+				data, icost, err := dev.chain.Process(interpose.ToGuest, hdr.DeviceID, resp.Data)
+				if err != nil {
+					h.respondBlk(src, hdr, respBlkIOErr)
+					return
+				}
+				copyCost := sim.Time(h.p.CopyPenaltyPerByte * float64(len(data)))
+				h.Counters.Inc("copy_bytes", uint64(len(data)))
+				execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost+copyCost, func() {
 					out := h.bufPool().GetRaw(1 + len(data))
 					out[0] = virtio.BlkOK
 					copy(out[1:], data)

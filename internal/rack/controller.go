@@ -217,6 +217,10 @@ func (c *Controller) declareDead(i int) {
 	c.alive[i] = false
 	c.Counters.Inc("detections", 1)
 	c.logEvent(Event{T: c.tb.Eng.Now(), Kind: EventDetect, IOhost: i, VM: -1, Dst: -1})
+	// Distributed volumes react to the same detection: every volume router
+	// marks the host's replicas dead and starts rebuilding them onto
+	// survivors. Inert when the testbed has no volumes.
+	c.tb.IOhostDied(i)
 	for vm, io := range c.tb.ClientIOhost {
 		if io != i {
 			continue

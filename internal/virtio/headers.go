@@ -84,18 +84,26 @@ func DecodeNetHdr(b []byte) (NetHdr, []byte, error) {
 	return h, b[NetHdrSize:], nil
 }
 
-// Block request types (virtio_blk_req.type).
+// Block request types (virtio_blk_req.type). BlkVolOut/BlkVolIn are the
+// vRIO extension for distributed volumes: the same sector-addressed
+// read/write, but carrying a VolHdr (extent id + version) so a replica can
+// reject stale writers and a reader can demand at-least-committed data.
 const (
-	BlkIn    = 0 // read
-	BlkOut   = 1 // write
-	BlkFlush = 4
+	BlkIn     = 0 // read
+	BlkOut    = 1 // write
+	BlkFlush  = 4
+	BlkVolOut = 8 // versioned replica write (BlkHdr + VolHdr + data)
+	BlkVolIn  = 9 // versioned replica read (BlkHdr + VolHdr + sector count)
 )
 
-// Block request status bytes.
+// Block request status bytes. BlkStale is the vRIO volume extension: the
+// replica holds (or was asked to accept) an extent version older than the
+// one named in the request's VolHdr.
 const (
 	BlkOK     = 0
 	BlkIOErr  = 1
 	BlkUnsupp = 2
+	BlkStale  = 3
 )
 
 // BlkHdr is the virtio-blk request header (type, reserved, sector).
@@ -127,4 +135,37 @@ func DecodeBlkHdr(b []byte) (BlkHdr, []byte, error) {
 		Sector: binary.LittleEndian.Uint64(b[8:]),
 	}
 	return h, b[BlkHdrSize:], nil
+}
+
+// VolHdr follows BlkHdr on BlkVolOut/BlkVolIn requests. Extent names the
+// stripe unit the sectors fall in; Version is the writer's per-extent
+// version counter (on reads: the minimum committed version the replica must
+// hold to answer).
+type VolHdr struct {
+	Extent  uint64
+	Version uint64
+}
+
+// VolHdrSize is the encoded size of VolHdr.
+const VolHdrSize = 16
+
+// Encode appends the wire form of h to dst and returns the result.
+func (h VolHdr) Encode(dst []byte) []byte {
+	var b [VolHdrSize]byte
+	binary.LittleEndian.PutUint64(b[0:], h.Extent)
+	binary.LittleEndian.PutUint64(b[8:], h.Version)
+	return append(dst, b[:]...)
+}
+
+// DecodeVolHdr parses a VolHdr from b, returning the header and remaining
+// payload.
+func DecodeVolHdr(b []byte) (VolHdr, []byte, error) {
+	if len(b) < VolHdrSize {
+		return VolHdr{}, nil, ErrShortHeader
+	}
+	h := VolHdr{
+		Extent:  binary.LittleEndian.Uint64(b[0:]),
+		Version: binary.LittleEndian.Uint64(b[8:]),
+	}
+	return h, b[VolHdrSize:], nil
 }

@@ -58,6 +58,10 @@ type Response struct {
 	Err error
 	// Data holds read results.
 	Data []byte
+	// Version is the replica's extent version at serve time, set on
+	// successful OpVolRead completions. Rebuild and heal copies stamp their
+	// target with it — never with a version the served data might not hold.
+	Version uint64
 }
 
 // Backend is anything that serves block requests asynchronously: a local
@@ -186,12 +190,23 @@ func (d *Device) execute(req Request) Response {
 		if d.replica == nil {
 			return Response{Err: ErrNotReplica}
 		}
-		// A write carrying a version older than what the replica already
-		// holds is from a stale writer (e.g. a pre-rebuild router epoch);
-		// accepting it would roll the extent back.
-		if req.Version < d.replica.Version(req.Extent) {
+		cur := d.replica.Version(req.Extent)
+		full := d.replica.CoversExtent(req.Extent, req.Sector, len(req.Data), d.store.SectorSize())
+		switch {
+		case req.Version < cur, !full && req.Version == cur:
+			// Older than (or, for a partial write, a duplicate of) what the
+			// replica holds: a stale writer (e.g. a rebuild copy outrun by
+			// foreground writes). Accepting it would roll the extent back.
 			return Response{Err: fmt.Errorf("%w: extent %d has v%d, write carries v%d",
-				ErrStaleWrite, req.Extent, d.replica.Version(req.Extent), req.Version)}
+				ErrStaleWrite, req.Extent, cur, req.Version)}
+		case !full && req.Version > cur+1:
+			// The replica missed version cur+1..req.Version-1. A sub-extent
+			// write must not advance the fence past the gap — the missed
+			// sectors would then read back stale with a clean status. Only a
+			// full-extent write (rebuild/heal copy, or a whole-extent
+			// overwrite), which replaces every byte, may jump.
+			return Response{Err: fmt.Errorf("%w: extent %d has v%d, write carries v%d",
+				ErrVersionGap, req.Extent, cur, req.Version)}
 		}
 		if err := d.store.Write(req.Sector, req.Data); err != nil {
 			return Response{Err: err}
@@ -210,7 +225,7 @@ func (d *Device) execute(req Request) Response {
 				ErrStaleReplica, req.Extent, d.replica.Version(req.Extent), req.Version)}
 		}
 		data, err := d.store.Read(req.Sector, req.Sectors)
-		return Response{Err: err, Data: data}
+		return Response{Err: err, Data: data, Version: d.replica.Version(req.Extent)}
 	default:
 		return Response{Err: fmt.Errorf("%w: %d", ErrBadOp, req.Op)}
 	}

@@ -18,8 +18,14 @@ var (
 	// ErrNotReplica reports a vol op sent to a device with no ReplicaState.
 	ErrNotReplica = errors.New("blockdev: device is not a volume replica")
 	// ErrStaleWrite reports a replica rejecting a write whose version is
-	// older than the extent version it already holds.
+	// older than (or a duplicate of) the extent version it already holds.
 	ErrStaleWrite = errors.New("blockdev: stale write version")
+	// ErrVersionGap reports a replica rejecting a sub-extent write whose
+	// version is more than one ahead of what the replica holds: the replica
+	// provably missed an earlier write, and accepting the new one would
+	// un-fence the missed sectors. Only a full-extent write (which replaces
+	// every byte) may jump the version forward.
+	ErrVersionGap = errors.New("blockdev: replica missed an earlier write version")
 	// ErrStaleReplica reports a replica refusing a read because it holds an
 	// extent version older than the reader's committed minimum.
 	ErrStaleReplica = errors.New("blockdev: replica holds stale extent")
@@ -125,17 +131,32 @@ func (m *ExtentMap) Slot(e uint64, host int) int {
 	return -1
 }
 
-// ReplicaState is one replica's per-extent version ledger. A replica only
-// accepts writes at or above its current extent version and only serves
-// reads when it holds at least the version the reader demands — together
-// these fence copies that missed writes during a crash or rebuild.
+// ReplicaState is one replica's per-extent version ledger. The ledger keeps
+// a contiguity invariant: a replica at version v holds the cumulative effect
+// of every write 1..v of that extent. Sub-extent writes therefore must carry
+// exactly version v+1 (a bigger jump means the replica missed a write —
+// ErrVersionGap); only a full-extent write, which replaces every byte, may
+// jump the version forward. Reads are served only when the replica holds at
+// least the version the reader demands. Together these fence copies that
+// missed writes during loss, a crash, or a rebuild.
 type ReplicaState struct {
-	versions map[uint64]uint64
+	extentSectors   uint64
+	capacitySectors uint64
+	versions        map[uint64]uint64
 }
 
-// NewReplicaState builds an empty ledger (every extent at version 0).
-func NewReplicaState() *ReplicaState {
-	return &ReplicaState{versions: make(map[uint64]uint64)}
+// NewReplicaState builds an empty ledger (every extent at version 0) for a
+// volume with spec's extent geometry; the geometry is what lets the ledger
+// tell full-extent writes (which may jump versions) from partial ones.
+func NewReplicaState(spec VolumeSpec) *ReplicaState {
+	if spec.ExtentSectors == 0 || spec.CapacitySectors == 0 {
+		panic("blockdev: ReplicaState needs the volume's extent geometry")
+	}
+	return &ReplicaState{
+		extentSectors:   spec.ExtentSectors,
+		capacitySectors: spec.CapacitySectors,
+		versions:        make(map[uint64]uint64),
+	}
 }
 
 // Version reports the replica's current version for extent e (0 = never
@@ -147,4 +168,20 @@ func (rs *ReplicaState) Advance(e, v uint64) {
 	if v > rs.versions[e] {
 		rs.versions[e] = v
 	}
+}
+
+// CoversExtent reports whether a write of dataLen bytes at sector replaces
+// every byte of extent e (the final extent may be partial). Such a write
+// leaves no sector behind for a missed version to hide in, so the version
+// fence lets it jump the extent version forward.
+func (rs *ReplicaState) CoversExtent(e, sector uint64, dataLen, sectorSize int) bool {
+	start := e * rs.extentSectors
+	if start >= rs.capacitySectors {
+		return false
+	}
+	n := rs.extentSectors
+	if start+n > rs.capacitySectors {
+		n = rs.capacitySectors - start
+	}
+	return sector == start && uint64(dataLen) == n*uint64(sectorSize)
 }

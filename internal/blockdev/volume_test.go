@@ -83,13 +83,14 @@ func TestExtentMapLayoutAndRetarget(t *testing.T) {
 	}
 }
 
-// replicaDevice builds a replica-enabled device over a tiny store.
+// replicaDevice builds a replica-enabled device over a tiny store with
+// volSpec's extent geometry (8-sector extents).
 func replicaDevice(t *testing.T) (*sim.Engine, *Device) {
 	t.Helper()
 	eng := sim.NewEngine()
 	store := NewStore(512, 64)
 	dev := NewDevice(eng, store, sim.Microsecond, 1)
-	dev.AttachReplica(NewReplicaState())
+	dev.AttachReplica(NewReplicaState(volSpec()))
 	return eng, dev
 }
 
@@ -118,22 +119,77 @@ func TestReplicaVersionChecks(t *testing.T) {
 	if got := dev.Replica().Version(1); got != 1 {
 		t.Fatalf("extent version = %d, want 1", got)
 	}
-	// A later v3 write advances the ledger.
-	if r := submit(t, eng, dev, Request{Op: OpVolWrite, Sector: 8, Data: data, Extent: 1, Version: 3}); r.Err != nil {
-		t.Fatalf("v3 write failed: %v", r.Err)
+	// A sub-extent v3 write after v1 is a gap — the replica missed v2, and
+	// advancing the fence past the gap would let v2's sectors read back
+	// stale. It must be refused, leaving the ledger at v1.
+	r := submit(t, eng, dev, Request{Op: OpVolWrite, Sector: 8, Data: data, Extent: 1, Version: 3})
+	if !errors.Is(r.Err, ErrVersionGap) {
+		t.Fatalf("gapped write: got %v, want ErrVersionGap", r.Err)
 	}
-	// A stale v2 write is rejected.
-	r := submit(t, eng, dev, Request{Op: OpVolWrite, Sector: 8, Data: data, Extent: 1, Version: 2})
+	if got := dev.Replica().Version(1); got != 1 {
+		t.Fatalf("gapped write moved the ledger to v%d, want v1", got)
+	}
+	// The contiguous v2 write lands.
+	if r := submit(t, eng, dev, Request{Op: OpVolWrite, Sector: 8, Data: data, Extent: 1, Version: 2}); r.Err != nil {
+		t.Fatalf("v2 write failed: %v", r.Err)
+	}
+	// A stale v1 re-write is rejected.
+	r = submit(t, eng, dev, Request{Op: OpVolWrite, Sector: 8, Data: data, Extent: 1, Version: 1})
 	if !errors.Is(r.Err, ErrStaleWrite) {
 		t.Fatalf("stale write: got %v, want ErrStaleWrite", r.Err)
 	}
-	// Reads demanding <= v3 succeed; a read demanding v4 is refused.
-	if r := submit(t, eng, dev, Request{Op: OpVolRead, Sector: 8, Sectors: 1, Extent: 1, Version: 3}); r.Err != nil || r.Data[0] != 0xAB {
-		t.Fatalf("v3 read: err=%v", r.Err)
+	// A full-extent write (extent 1 = sectors 8..16, 8 sectors) replaces
+	// every byte, so it may jump the version: v5 after v2 is accepted.
+	fullData := make([]byte, 8*512)
+	for i := range fullData {
+		fullData[i] = 0xCD
 	}
-	r = submit(t, eng, dev, Request{Op: OpVolRead, Sector: 8, Sectors: 1, Extent: 1, Version: 4})
-	if !errors.Is(r.Err, ErrStaleReplica) {
-		t.Fatalf("stale replica read: got %v, want ErrStaleReplica", r.Err)
+	if r := submit(t, eng, dev, Request{Op: OpVolWrite, Sector: 8, Data: fullData, Extent: 1, Version: 5}); r.Err != nil {
+		t.Fatalf("full-extent v5 write failed: %v", r.Err)
+	}
+	if got := dev.Replica().Version(1); got != 5 {
+		t.Fatalf("extent version = %d, want 5", got)
+	}
+	// Reads demanding <= v5 succeed and report the replica's version; a
+	// read demanding v6 is refused.
+	rr := submit(t, eng, dev, Request{Op: OpVolRead, Sector: 8, Sectors: 1, Extent: 1, Version: 5})
+	if rr.Err != nil || rr.Data[0] != 0xCD {
+		t.Fatalf("v5 read: err=%v", rr.Err)
+	}
+	if rr.Version != 5 {
+		t.Fatalf("read reported replica version %d, want 5", rr.Version)
+	}
+	rr = submit(t, eng, dev, Request{Op: OpVolRead, Sector: 8, Sectors: 1, Extent: 1, Version: 6})
+	if !errors.Is(rr.Err, ErrStaleReplica) {
+		t.Fatalf("stale replica read: got %v, want ErrStaleReplica", rr.Err)
+	}
+}
+
+// TestReplicaCoversExtent pins the full-extent detection the version fence's
+// jump rule rests on, including the final partial extent.
+func TestReplicaCoversExtent(t *testing.T) {
+	rs := NewReplicaState(VolumeSpec{
+		Stripes: 1, Replicas: 1, WriteQuorum: 1,
+		ExtentSectors: 8, CapacitySectors: 60, Queues: 1, // final extent: 4 sectors
+	})
+	if !rs.CoversExtent(1, 8, 8*512, 512) {
+		t.Fatal("whole 8-sector extent not recognized as full")
+	}
+	if rs.CoversExtent(1, 8, 4*512, 512) {
+		t.Fatal("half an extent recognized as full")
+	}
+	if rs.CoversExtent(1, 12, 8*512, 512) {
+		t.Fatal("misaligned 8-sector span recognized as full")
+	}
+	// Extent 7 is the 4-sector tail (sectors 56..60).
+	if !rs.CoversExtent(7, 56, 4*512, 512) {
+		t.Fatal("full partial tail extent not recognized as full")
+	}
+	if rs.CoversExtent(7, 56, 8*512, 512) {
+		t.Fatal("overlong tail write recognized as full")
+	}
+	if rs.CoversExtent(8, 64, 8*512, 512) {
+		t.Fatal("out-of-range extent recognized as full")
 	}
 }
 

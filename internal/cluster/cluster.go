@@ -750,7 +750,7 @@ func (tb *Testbed) buildGuestVolume(hostIdx, vmID int) {
 			ways = 4
 		}
 		dev := blockdev.NewDevice(tb.Eng, store, spec.BlockLatency, ways)
-		dev.AttachReplica(blockdev.NewReplicaState())
+		dev.AttachReplica(blockdev.NewReplicaState(vspec))
 		devs[io] = dev
 		var backend blockdev.Backend = dev
 		if spec.VolQueues > 1 {

@@ -146,8 +146,9 @@ func TestVolumeQuorumLossFailsCleanly(t *testing.T) {
 
 // TestVolumeStaleReadRejection drives a replica stale (it misses a write via
 // an injected device failure) and shows the version fence at work: reads
-// demanding the committed version refuse the stale copy, and a newer write
-// heals it.
+// demanding the committed version refuse the stale copy, sub-extent writes
+// gap-nack rather than un-fence it, and a full-extent overwrite re-silvers
+// it.
 func TestVolumeStaleReadRejection(t *testing.T) {
 	tb := buildVolTestbed(3, 2, 1) // W=1: a write can succeed on one replica
 	vol := tb.Volumes[0]
@@ -189,21 +190,177 @@ func TestVolumeStaleReadRejection(t *testing.T) {
 		t.Fatalf("stale_reads = %d, want 1", n)
 	}
 
-	// A newer write (v2, to the surviving replica) heals the extent: the
-	// fence lifts and reads succeed again.
-	vol.Write(0, data, func(err error) {
+	// A newer sub-extent write must NOT un-fence the gapped survivor — it
+	// missed v1, and accepting v2 would let v1's sectors read back stale
+	// under a lifted fence. The replica gap-nacks, and with the extent's
+	// only fresh copy dead there is nothing to heal from: the write fails
+	// cleanly and the heal is recorded as stuck.
+	var gapErr error
+	vol.Write(0, data, func(err error) { gapErr = err })
+	tb.Eng.Run()
+	if !errors.Is(gapErr, blockdev.ErrQuorumLost) {
+		t.Fatalf("sub-extent write to gapped replica: err = %v, want ErrQuorumLost", gapErr)
+	}
+	if n := vol.Counters.Get("gap_nacks"); n != 1 {
+		t.Fatalf("gap_nacks = %d, want 1", n)
+	}
+	if n := vol.Counters.Get("heal_stuck"); n == 0 {
+		t.Fatal("heal_stuck = 0, want > 0 (no live source for the heal)")
+	}
+	if v := devs[1].Replica().Version(0); v != 0 {
+		t.Fatalf("gapped write advanced the survivor to v%d, want v0", v)
+	}
+
+	// A full-extent overwrite replaces every byte of the extent, so it may
+	// jump the fence: it re-silvers the survivor and reads succeed again.
+	full := make([]byte, int(vol.Spec().ExtentSectors)*tb.P.SectorSize)
+	for i := range full {
+		full[i] = 0xEE
+	}
+	vol.Write(0, full, func(err error) {
 		if err != nil {
-			t.Errorf("healing write: %v", err)
+			t.Errorf("full-extent overwrite: %v", err)
 		}
 	})
 	tb.Eng.Run()
 	ok := false
 	vol.Read(0, 1, func(got []byte, err error) {
 		if err != nil {
-			t.Fatalf("post-heal read: %v", err)
+			t.Fatalf("post-overwrite read: %v", err)
 		}
 		if !bytes.Equal(got, data) {
-			t.Fatal("post-heal read returned wrong payload")
+			t.Fatal("post-overwrite read returned wrong payload")
+		}
+		ok = true
+	})
+	tb.Eng.Run()
+	if !ok {
+		t.Fatal("post-overwrite read never completed")
+	}
+}
+
+// TestVolumeGapFenceAndHeal replays the reviewer's linearizability scenario:
+// under W=1 a replica misses a committed write, a later write to a DIFFERENT
+// sector range of the same extent must not quietly advance its fence past the
+// gap. Instead the replica gap-nacks, the heal engine re-silvers it with a
+// full-extent copy from the fresh replica, and after the fresh replica dies
+// the healed copy serves the missed write's data — never stale bytes.
+func TestVolumeGapFenceAndHeal(t *testing.T) {
+	tb := buildVolTestbed(3, 2, 1)
+	vol := tb.Volumes[0]
+	devs := tb.VolReplicaDevices[0]
+	sectorBytes := tb.P.SectorSize
+
+	// Write A (v1, sector 0): host 1's device fails it, host 0 acks —
+	// quorum met at W=1, so A is committed while host 1 missed it.
+	devs[1].FailNext = true
+	aData := make([]byte, sectorBytes)
+	for i := range aData {
+		aData[i] = 0x11
+	}
+	vol.Write(0, aData, func(err error) {
+		if err != nil {
+			t.Errorf("write A: %v", err)
+		}
+	})
+	tb.Eng.Run()
+	if v := devs[1].Replica().Version(0); v != 0 {
+		t.Fatalf("host 1 should have missed write A, holds v%d", v)
+	}
+
+	// Write B (v2, sector 8 — same extent, disjoint sector range). Host 1
+	// must NOT accept it: doing so would fence the extent at v2 with write
+	// A's sectors still stale. It gap-nacks, which queues a heal; the heal
+	// copies the whole extent from host 0 (which holds A and B) onto host 1.
+	bData := make([]byte, sectorBytes)
+	for i := range bData {
+		bData[i] = 0x22
+	}
+	vol.Write(8, bData, func(err error) {
+		if err != nil {
+			t.Errorf("write B: %v", err)
+		}
+	})
+	tb.Eng.Run()
+	if n := vol.Counters.Get("gap_nacks"); n == 0 {
+		t.Fatal("gap_nacks = 0, want > 0 — the gapped replica accepted a sub-extent write")
+	}
+	if n := vol.Counters.Get("replica_heals"); n != 1 {
+		t.Fatalf("replica_heals = %d, want 1", n)
+	}
+	if v := devs[1].Replica().Version(0); v != 2 {
+		t.Fatalf("healed replica at v%d, want v2", v)
+	}
+
+	// Kill the only replica that saw write A directly. The healed copy is
+	// all that remains; it must serve A's data, not the pre-A bytes.
+	tb.IOHyps[0].Fail()
+	tb.IOhostDied(0)
+	tb.Eng.Run()
+	readSector := func(sector uint64, want []byte, label string) {
+		t.Helper()
+		ok := false
+		vol.Read(sector, 1, func(got []byte, err error) {
+			if err != nil {
+				t.Fatalf("%s read: %v", label, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s read returned stale bytes", label)
+			}
+			ok = true
+		})
+		tb.Eng.Run()
+		if !ok {
+			t.Fatalf("%s read never completed", label)
+		}
+	}
+	readSector(0, aData, "write A")
+	readSector(8, bData, "write B")
+}
+
+// TestVolumeHealRestoresWriteQuorum is the W=R liveness half of gap fencing:
+// with WriteQuorum equal to Replicas, one missed write would permanently kill
+// the quorum if gapped replicas stayed fenced forever. The heal engine must
+// restore the replica so later writes succeed.
+func TestVolumeHealRestoresWriteQuorum(t *testing.T) {
+	tb := buildVolTestbed(3, 2, 2)
+	vol := tb.Volumes[0]
+	devs := tb.VolReplicaDevices[0]
+	data := make([]byte, tb.P.SectorSize)
+	write := func() error {
+		var werr error
+		vol.Write(0, data, func(err error) { werr = err })
+		tb.Eng.Run()
+		return werr
+	}
+
+	// Write 1: host 1's device fails it — quorum lost at W=2.
+	devs[1].FailNext = true
+	if err := write(); !errors.Is(err, blockdev.ErrQuorumLost) {
+		t.Fatalf("write 1: err = %v, want ErrQuorumLost", err)
+	}
+	// Write 2: host 0 (at v1) acks, host 1 (at v0) gap-nacks — still a
+	// quorum loss, but the nack queues a heal from host 0.
+	if err := write(); !errors.Is(err, blockdev.ErrQuorumLost) {
+		t.Fatalf("write 2: err = %v, want ErrQuorumLost", err)
+	}
+	if n := vol.Counters.Get("gap_nacks"); n == 0 {
+		t.Fatal("gap_nacks = 0, want > 0")
+	}
+	if n := vol.Counters.Get("replica_heals"); n != 1 {
+		t.Fatalf("replica_heals = %d, want 1", n)
+	}
+	if v0, v1 := devs[0].Replica().Version(0), devs[1].Replica().Version(0); v1 != v0 {
+		t.Fatalf("heal left replicas split: host0 v%d, host1 v%d", v0, v1)
+	}
+	// Write 3: both replicas are contiguous again — the quorum is back.
+	if err := write(); err != nil {
+		t.Fatalf("write 3 after heal: %v", err)
+	}
+	ok := false
+	vol.Read(0, 1, func(got []byte, err error) {
+		if err != nil {
+			t.Fatalf("post-heal read: %v", err)
 		}
 		ok = true
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"vrio/internal/blockdev"
@@ -17,7 +18,9 @@ import (
 //   - Writes fan out to every live replica of the extent and complete after
 //     WriteQuorum acks; each write carries a fresh per-extent version, and a
 //     replica that already holds a newer version answers BlkStale, so a
-//     stale writer can never roll an extent back.
+//     stale writer can never roll an extent back. A replica that missed an
+//     earlier version answers BlkGap (the contiguous fence refuses to jump
+//     a sub-extent write past a gap) and is queued for a heal.
 //   - Reads go to the least-loaded live replica (outstanding-request count,
 //     slot order breaking ties) and demand the extent's committed version;
 //     a replica that missed a write answers BlkStale and the router retries
@@ -26,7 +29,12 @@ import (
 //     heartbeat detector) a rebuild engine re-replicates every lost copy
 //     onto survivors — reading each extent from a live replica and writing
 //     it to the least-full survivor outside the replica set — while
-//     foreground traffic keeps flowing.
+//     foreground traffic keeps flowing. The same engine heals gap-nacked
+//     live replicas with a full-extent copy, restoring their ability to
+//     take sub-extent writes (without it, a W=R volume would lose its
+//     quorum permanently after one missed write). Copies are stamped with
+//     the source's reported version — never a version the copied bytes
+//     might not hold — so the fence stays honest around racing writes.
 //
 // The router is single-goroutine (simulation event context) and its R=1
 // write fast path is allocation-free: ops, request buffers, and callbacks
@@ -53,30 +61,41 @@ type VolumeRouter struct {
 	writeFree []*volWriteOp
 	readFree  []*volReadOp
 
-	// Rebuild engine state: a FIFO of lost (extent, slot) cells, drained
-	// with bounded concurrency. reserved holds per-extent bitmasks of hosts
-	// already chosen by in-flight jobs, so two jobs rebuilding different
-	// slots of one extent never pick the same survivor.
+	// Rebuild engine state: a FIFO of lost (extent, slot) cells and heal
+	// jobs for gap-nacked live replicas, drained with bounded concurrency.
+	// reserved holds per-extent bitmasks of hosts already chosen by
+	// in-flight jobs, so two jobs rebuilding different slots of one extent
+	// never pick the same survivor. healing holds per-extent bitmasks of
+	// slots with a heal queued or in flight, so a storm of gap nacks on one
+	// cell queues a single heal.
 	rebuildQ      []rebuildJob
 	rebuildActive int
 	reserved      map[uint64]uint64
+	healing       map[uint64]uint8
 
-	// RebuildConcurrency bounds in-flight rebuild copies (default 2).
+	// RebuildConcurrency bounds in-flight rebuild and heal copies
+	// (default 2).
 	RebuildConcurrency int
 
-	// RebuildBytes totals payload bytes copied by completed rebuilds.
+	// RebuildBytes totals payload bytes copied by completed rebuilds and
+	// heals.
 	RebuildBytes uint64
 
 	// Counters: "vol_writes", "vol_reads", "quorum_losses", "write_nacks",
-	// "stale_reads", "read_retries", "read_failures", "host_deaths",
-	// "rebuild_extents", "rebuild_retargets", "rebuild_redo",
-	// "rebuild_stuck", "extents_lost".
+	// "gap_nacks", "stale_reads", "read_retries", "read_failures",
+	// "host_deaths", "rebuild_extents", "rebuild_retargets", "rebuild_redo",
+	// "rebuild_stuck", "extents_lost", "replica_heals", "heal_stuck".
 	Counters stats.Counters
 }
 
 // maxVolReplicas bounds R so per-op replica state fits in fixed arrays (the
-// write fast path must not allocate).
+// write fast path must not allocate) and per-extent heal state fits a uint8
+// slot bitmask.
 const maxVolReplicas = 8
+
+// maxVolStripes bounds N so the per-extent host bitmasks (reserved,
+// FullyReplicated, pickRebuildTarget) fit a uint64.
+const maxVolStripes = 64
 
 // maxRebuildAttempts bounds failure-driven retries per rebuild job. A job
 // whose only live source is version-fenced (it missed a write the dead host
@@ -90,6 +109,9 @@ type rebuildJob struct {
 	extent   uint64
 	slot     int
 	attempts int
+	// heal marks a copy onto the cell's own (live, gap-nacked) host rather
+	// than a re-replication of a dead host's cell onto a fresh survivor.
+	heal bool
 }
 
 // NewVolumeRouter builds a router for spec over one driver per stripe host
@@ -101,6 +123,9 @@ func NewVolumeRouter(eng *sim.Engine, spec blockdev.VolumeSpec, deviceID uint16,
 	}
 	if spec.Replicas > maxVolReplicas {
 		panic(fmt.Sprintf("core: at most %d replicas, got %d", maxVolReplicas, spec.Replicas))
+	}
+	if spec.Stripes > maxVolStripes {
+		panic(fmt.Sprintf("core: at most %d stripes, got %d", maxVolStripes, spec.Stripes))
 	}
 	if len(drivers) != spec.Stripes {
 		panic(fmt.Sprintf("core: volume needs %d drivers, got %d", spec.Stripes, len(drivers)))
@@ -117,6 +142,7 @@ func NewVolumeRouter(eng *sim.Engine, spec blockdev.VolumeSpec, deviceID uint16,
 		loads:              make([]int, spec.Stripes),
 		hostExtents:        make([]int, spec.Stripes),
 		reserved:           make(map[uint64]uint64),
+		healing:            make(map[uint64]uint8),
 		RebuildConcurrency: 2,
 	}
 	for i := range r.alive {
@@ -188,9 +214,6 @@ func (r *VolumeRouter) Write(sector uint64, data []byte, done func(error)) {
 	extent := r.spec.ExtentOf(sector)
 	op := r.getWriteOp()
 	op.extent = extent
-	v := r.verAlloc[extent] + 1
-	r.verAlloc[extent] = v
-	op.version = v
 
 	// Fan out only to live replicas: a send to a detected-dead host would
 	// burn the full retransmission budget for a guaranteed nack.
@@ -208,6 +231,12 @@ func (r *VolumeRouter) Write(sector uint64, data []byte, done func(error)) {
 		done(blockdev.ErrQuorumLost)
 		return
 	}
+	// Allocate the version only once the write will actually be sent, so a
+	// detected outage doesn't burn version numbers and widen the
+	// committed/verAlloc gap the rebuild redo check reasons about.
+	v := r.verAlloc[extent] + 1
+	r.verAlloc[extent] = v
+	op.version = v
 
 	op.req = virtio.BlkHdr{Type: virtio.BlkVolOut, Sector: sector}.Encode(op.req[:0])
 	op.req = virtio.VolHdr{Extent: extent, Version: v}.Encode(op.req)
@@ -230,6 +259,13 @@ func (op *volWriteOp) complete(slot int, resp []byte, err error) {
 		op.acks++
 	} else {
 		r.Counters.Inc("write_nacks", 1)
+		if err == nil && len(resp) >= 1 && resp[0] == virtio.BlkGap {
+			// The replica is live but missed an earlier version; it will
+			// nack every sub-extent write until a full-extent copy heals
+			// it, so queue that heal now.
+			r.Counters.Inc("gap_nacks", 1)
+			r.queueHeal(op.extent, op.hosts[slot])
+		}
 	}
 	if !op.decided {
 		if op.acks >= op.needed {
@@ -345,9 +381,11 @@ func (op *volReadOp) try() {
 func (op *volReadOp) complete(resp []byte, err error) {
 	r := op.r
 	r.loads[op.cur]--
-	if err == nil && len(resp) >= 1 && resp[0] == virtio.BlkOK {
+	if err == nil && len(resp) >= 1+virtio.VolReadVerSize && resp[0] == virtio.BlkOK {
 		done := op.done
-		data := resp[1:]
+		// Successful vol-reads are [BlkOK][replica version:8][data]; the
+		// version matters to rebuild/heal copies, not foreground reads.
+		data := resp[1+virtio.VolReadVerSize:]
 		done(data, nil)
 		r.putReadOp(op)
 		return
@@ -422,16 +460,40 @@ func (r *VolumeRouter) finishRebuild() {
 
 // requeueRebuild retries a job later (its source or target failed, or a
 // concurrent foreground write outran the copy). Jobs that keep failing are
-// dropped after maxRebuildAttempts as "rebuild_stuck": the cell stays
-// degraded until a later host death re-queues it.
+// dropped after maxRebuildAttempts — as "rebuild_stuck" (the cell stays
+// degraded until a later host death re-queues it) or "heal_stuck" (the
+// replica stays fenced until the next gap nack re-queues the heal).
 func (r *VolumeRouter) requeueRebuild(job rebuildJob) {
 	r.rebuildActive--
 	job.attempts++
 	if job.attempts >= maxRebuildAttempts {
-		r.Counters.Inc("rebuild_stuck", 1)
+		if job.heal {
+			r.healing[job.extent] &^= 1 << uint(job.slot)
+			r.Counters.Inc("heal_stuck", 1)
+		} else {
+			r.Counters.Inc("rebuild_stuck", 1)
+		}
 	} else {
 		r.rebuildQ = append(r.rebuildQ, job)
 	}
+	r.pumpRebuild()
+}
+
+// queueHeal enqueues a full-extent copy onto a live replica that gap-nacked
+// a write (it missed an earlier version and now refuses every sub-extent
+// write to the extent). The healing bitmask collapses the storm of nacks a
+// gapped replica produces under write load into one queued heal per cell.
+func (r *VolumeRouter) queueHeal(e uint64, host int) {
+	slot := r.emap.Slot(e, host)
+	if slot < 0 {
+		return // the cell moved off this host since the nack
+	}
+	bit := uint8(1) << uint(slot)
+	if r.healing[e]&bit != 0 {
+		return // a heal for this cell is already queued or in flight
+	}
+	r.healing[e] |= bit
+	r.rebuildQ = append(r.rebuildQ, rebuildJob{extent: e, slot: slot, heal: true})
 	r.pumpRebuild()
 }
 
@@ -454,13 +516,23 @@ func (r *VolumeRouter) pickRebuildTarget(e uint64) int {
 
 func (r *VolumeRouter) startRebuild(job rebuildJob) {
 	e, slot := job.extent, job.slot
-	// A requeued job may have been healed in the meantime (e.g. the cell
-	// was retargeted while this copy of the job waited).
-	if r.alive[r.emap.Replica(e, slot)] {
+	cellHost := r.emap.Replica(e, slot)
+	if job.heal {
+		// A heal copies onto the cell's own live host. If that host has died
+		// since the gap nack, the death path queued a regular rebuild for
+		// the cell; this job is moot.
+		if !r.alive[cellHost] {
+			r.healing[e] &^= 1 << uint(slot)
+			r.finishRebuild()
+			return
+		}
+	} else if r.alive[cellHost] {
+		// A requeued job may have been healed in the meantime (e.g. the cell
+		// was retargeted while this copy of the job waited).
 		r.finishRebuild()
 		return
 	}
-	// Source: the first live replica of the extent.
+	// Source: the first live replica of the extent on another slot.
 	src := -1
 	for s := 0; s < r.spec.Replicas; s++ {
 		if s == slot {
@@ -472,20 +544,33 @@ func (r *VolumeRouter) startRebuild(job rebuildJob) {
 		}
 	}
 	if src < 0 {
-		// Every copy of the extent died: data loss, nothing to rebuild from.
-		r.Counters.Inc("extents_lost", 1)
+		if job.heal {
+			// The gapped copy is the extent's only live replica: the bytes
+			// of the missed writes exist nowhere, so the cell stays fenced
+			// until a full-extent foreground overwrite re-silvers it.
+			r.healing[e] &^= 1 << uint(slot)
+			r.Counters.Inc("heal_stuck", 1)
+		} else {
+			// Every copy of the extent died: data loss, nothing to rebuild
+			// from.
+			r.Counters.Inc("extents_lost", 1)
+		}
 		r.finishRebuild()
 		return
 	}
-	target := r.pickRebuildTarget(e)
-	if target < 0 {
-		r.Counters.Inc("rebuild_stuck", 1)
-		r.finishRebuild()
-		return
+	target := cellHost
+	if !job.heal {
+		target = r.pickRebuildTarget(e)
+		if target < 0 {
+			r.Counters.Inc("rebuild_stuck", 1)
+			r.finishRebuild()
+			return
+		}
+		r.reserved[e] |= 1 << uint(target)
 	}
-	r.reserved[e] |= 1 << uint(target)
 
 	ver := r.committed[e]
+	startAlloc := r.verAlloc[e]
 	sector := e * r.spec.ExtentSectors
 	sectors := r.spec.ExtentSectors
 	if end := r.spec.CapacitySectors; sector+sectors > end {
@@ -501,34 +586,61 @@ func (r *VolumeRouter) startRebuild(job rebuildJob) {
 	r.loads[src]++
 	r.drivers[src].SendBlkQ(uint8(virtio.DeviceBlk), r.deviceID, q, req, func(resp []byte, err error) {
 		r.loads[src]--
-		if err != nil || len(resp) < 1 || resp[0] != virtio.BlkOK {
+		if err != nil || len(resp) < 1+virtio.VolReadVerSize || resp[0] != virtio.BlkOK {
 			// Source failed or fell stale mid-copy: release the target and
 			// retry (the next attempt re-picks source and target).
-			r.reserved[e] &^= 1 << uint(target)
+			if !job.heal {
+				r.reserved[e] &^= 1 << uint(target)
+			}
 			r.requeueRebuild(job)
 			return
 		}
-		data := append([]byte(nil), resp[1:]...) // resp is borrowed
+		// Stamp the copy with the version the source actually served — at
+		// least ver, possibly newer. Stamping anything the copied bytes
+		// might not hold (e.g. assuming committed) would un-fence writes
+		// the target never saw.
+		vsrc := binary.LittleEndian.Uint64(resp[1:])
+		data := append([]byte(nil), resp[1+virtio.VolReadVerSize:]...) // resp is borrowed
 		wreq := virtio.BlkHdr{Type: virtio.BlkVolOut, Sector: sector}.Encode(nil)
-		wreq = virtio.VolHdr{Extent: e, Version: ver}.Encode(wreq)
+		wreq = virtio.VolHdr{Extent: e, Version: vsrc}.Encode(wreq)
 		wreq = append(wreq, data...)
 		r.loads[target]++
 		r.drivers[target].SendBlkQ(uint8(virtio.DeviceBlk), r.deviceID, q, wreq, func(resp []byte, err error) {
 			r.loads[target]--
-			r.reserved[e] &^= 1 << uint(target)
+			if !job.heal {
+				r.reserved[e] &^= 1 << uint(target)
+			}
 			if err != nil || len(resp) < 1 || resp[0] != virtio.BlkOK {
-				// Target died under us (crash during rebuild): requeue; the
-				// retry picks a different survivor.
-				r.Counters.Inc("rebuild_retargets", 1)
+				// Target died under us (crash during rebuild), or raced a
+				// newer version: requeue; a rebuild retry picks a different
+				// survivor, a heal retry re-reads the newer state.
+				if !job.heal {
+					r.Counters.Inc("rebuild_retargets", 1)
+				}
 				r.requeueRebuild(job)
 				return
 			}
-			if r.committed[e] != ver {
-				// A foreground write advanced the extent while the copy was
-				// in flight; the new target missed it. Copy again at the
-				// newer version (the version fence keeps the stale copy
-				// unreadable in the meantime). Redo is progress, not failure:
-				// reset the attempt budget.
+			if job.heal {
+				// Good enough even if a write raced the copy: the stamp is
+				// the source's true version, so the target stays honestly
+				// fenced for anything newer, and the next gap nack (if any)
+				// queues a fresh heal.
+				r.healing[e] &^= 1 << uint(slot)
+				r.RebuildBytes += uint64(len(data))
+				r.Counters.Inc("replica_heals", 1)
+				r.finishRebuild()
+				return
+			}
+			if r.verAlloc[e] != startAlloc || r.committed[e] != ver {
+				// A foreground write was allocated or committed while the
+				// copy was in flight; it fanned out before Retarget, so the
+				// new target missed it. Copy again at the newer state (the
+				// honest version stamp keeps the copy fenced in the
+				// meantime). Comparing against the start-of-job snapshots —
+				// not verAlloc vs committed — means a long-failed write
+				// (verAlloc permanently ahead of committed) cannot wedge the
+				// job in an endless redo loop. Redo is progress, not
+				// failure: reset the attempt budget.
 				r.Counters.Inc("rebuild_redo", 1)
 				job.attempts = -1 // requeueRebuild increments; redo restarts at 0
 				r.requeueRebuild(job)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -105,9 +106,12 @@ func TestVolumeRouterReadRoundtrip(t *testing.T) {
 				t.Errorf("extent = %d, want 0", vh.Extent)
 			}
 			n := int(rest[0]) | int(rest[1])<<8
-			out := make([]byte, 1+n*512)
+			// Successful vol-reads carry the serving replica's extent
+			// version between the status byte and the data.
+			out := make([]byte, 1+virtio.VolReadVerSize+n*512)
 			out[0] = virtio.BlkOK
-			for i := 1; i < len(out); i++ {
+			binary.LittleEndian.PutUint64(out[1:], vh.Version)
+			for i := 1 + virtio.VolReadVerSize; i < len(out); i++ {
 				out[i] = 0x5A
 			}
 			r.Endpoint.RespondBlk(src, h, out)

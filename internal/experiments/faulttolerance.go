@@ -304,21 +304,30 @@ func runFaultCrashCellMQ(quick bool, qd, nq int) ftMQOut {
 // recovery traffic all at once.
 type ftVolOut struct {
 	ftOut
-	rebuilt uint64
-	nacks   uint64 // replica write rejections (stale version or device error)
-	qlosses uint64 // writes that failed with ErrQuorumLost
-	healthy bool
+	rebuilt  uint64
+	nacks    uint64 // replica write rejections (stale version or device error)
+	gapNacks uint64 // writes refused because the replica missed an earlier version
+	heals    uint64 // gap-nacked replicas re-silvered by the heal engine
+	qlosses  uint64 // writes that failed with ErrQuorumLost
+	healthy  bool
 }
 
-// runFaultVolCell drives closed-loop quorum writes (R=2, W=1, 3 IOhosts)
+// runFaultVolCell drives closed-loop quorum writes (R=2, W=2, 3 IOhosts)
 // over a 1%-lossy fabric, crashes IOhost 1 at the midpoint, and audits the
 // ledger after the drain: every write completed exactly once and the volume
-// is fully replicated again.
+// is fully replicated again. W equals R so every committed write survives
+// the crash on the other replica — the configuration under which "restored
+// full replication" is actually guaranteeable. (At W=1 a crash of the lone
+// acking replica loses the write's bytes outright; the gap-aware fence then
+// honestly reports the extent degraded rather than serving stale data — the
+// cluster tests pin that behavior directly.) W=R also leans on the heal
+// engine: retransmission-reordered versions gap-fence a replica, and without
+// the heal's full-extent re-silvering the write quorum would never recover.
 func runFaultVolCell(quick bool) ftVolOut {
 	_, dur := durations(quick, 0, 50*sim.Millisecond)
 	tb := cluster.Build(cluster.Spec{
 		Model: core.ModelVRIO, VMsPerHost: 2, NumIOhosts: 3,
-		VolReplicas: 2, VolQuorum: 1, VolQueues: 2,
+		VolReplicas: 2, VolQuorum: 2, VolQueues: 2,
 		Seed: 903, Fault: fault.Lossy(0.01), FaultSeed: faultSeed(),
 	})
 	c := rack.New(tb, rack.Config{HeartbeatInterval: sim.Millisecond / 2, MissThreshold: 3})
@@ -338,7 +347,12 @@ func runFaultVolCell(quick bool) ftVolOut {
 			doneAtStop += vw.done()
 		}
 	})
-	tb.Eng.RunUntil(dur + ftDrain)
+	// The vol cell drains longer than the others: a gap nack carried by one
+	// of the final writes (loss can reorder versions via retransmission)
+	// queues a heal, and that heal is a further read + write round trip,
+	// each with its own worst-case retransmission budget. The volume must
+	// report fully replicated with no rebuild/heal work still in flight.
+	tb.Eng.RunUntil(dur + 4*ftDrain)
 
 	var out ftVolOut
 	out.healthy = true
@@ -348,6 +362,8 @@ func runFaultVolCell(quick bool) ftVolOut {
 	for _, vol := range tb.Volumes {
 		out.rebuilt += vol.Counters.Get("rebuild_extents")
 		out.nacks += vol.Counters.Get("write_nacks")
+		out.gapNacks += vol.Counters.Get("gap_nacks")
+		out.heals += vol.Counters.Get("replica_heals")
 		out.qlosses += vol.Counters.Get("quorum_losses")
 		if vol.Rebuilding() || !vol.FullyReplicated() {
 			out.healthy = false
@@ -510,7 +526,7 @@ func faultTolerancePlan(quick bool) Plan {
 			volHealth = "LEFT THE VOLUME DEGRADED"
 		}
 		res.Notes = append(res.Notes,
-			fmt.Sprintf("volume cell runs R=2/W=1 quorum writes across 3 IOhosts; the crash cost %d extent replicas and the rebuild engine %s over the same lossy fabric. Its dev errors (%d, all clean quorum-loss errors) are writes superseded by a newer concurrent version — the stale fence rejects late arrivals whole, so dup and never-completed stay 0.", vc.rebuilt, volHealth, vc.devErrors),
+			fmt.Sprintf("volume cell runs R=2/W=2 quorum writes across 3 IOhosts; the crash cost %d extent replicas and the rebuild engine %s over the same lossy fabric. Its dev errors (%d, all clean quorum-loss errors) are writes the version fence refused whole — superseded by a newer concurrent version, or aimed at a replica that provably missed an earlier one (%d gap nacks, %d healed by full-extent copy) — so dup and never-completed stay 0.", vc.rebuilt, volHealth, vc.devErrors, vc.gapNacks, vc.heals),
 		)
 		res.Notes = append(res.Notes,
 			"dup and never-completed must be 0 at every loss rate: §4.5 retransmission with stale filtering gives exactly-once completion, not at-least-once.",

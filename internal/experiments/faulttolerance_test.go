@@ -139,9 +139,10 @@ func TestFaultToleranceCrashOverLossyChannel(t *testing.T) {
 // TestFaultToleranceVolCrash: quorum writes on a striped R=2 volume over a
 // 1%-lossy fabric with a replica IOhost crashing mid-run. Exactly-once must
 // hold end to end, and the rebuild engine must restore full replication over
-// the same lossy fabric. Device errors are allowed — they are writes
-// superseded by a newer concurrent version (the stale fence rejecting a
-// late arrival whole), never partial or duplicated applications.
+// the same lossy fabric. Device errors are allowed — they are writes the
+// version fence refused whole (superseded by a newer concurrent version, or
+// gap-nacked by a replica that missed an earlier one), never partial or
+// duplicated applications.
 func TestFaultToleranceVolCrash(t *testing.T) {
 	o := runFaultVolCell(true)
 	if o.issued == 0 || o.completed == 0 {

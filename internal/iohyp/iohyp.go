@@ -9,6 +9,7 @@
 package iohyp
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -1029,6 +1030,7 @@ var (
 	respBlkIOErr  = []byte{virtio.BlkIOErr}
 	respBlkUnsupp = []byte{virtio.BlkUnsupp}
 	respBlkStale  = []byte{virtio.BlkStale}
+	respBlkGap    = []byte{virtio.BlkGap}
 )
 
 func statusResp(err error) []byte {
@@ -1040,14 +1042,17 @@ func statusResp(err error) []byte {
 
 // volStatusResp maps a replica completion to a status byte: version fencing
 // (a stale writer, or a replica behind the reader's committed minimum)
-// answers BlkStale so the router can distinguish "retry elsewhere / give up
-// cleanly" from a real I/O failure.
+// answers BlkStale, and a replica that provably missed an earlier write
+// answers BlkGap — so the router can distinguish "retry elsewhere / give up
+// cleanly" and "heal this replica" from a real I/O failure.
 func volStatusResp(err error) []byte {
 	switch {
 	case err == nil:
 		return respBlkOK
 	case errors.Is(err, blockdev.ErrStaleWrite), errors.Is(err, blockdev.ErrStaleReplica):
 		return respBlkStale
+	case errors.Is(err, blockdev.ErrVersionGap):
+		return respBlkGap
 	default:
 		return respBlkIOErr
 	}
@@ -1245,9 +1250,13 @@ func (h *IOHypervisor) handleBlkReq(src ethernet.MAC, hdr transport.Header, req 
 				copyCost := sim.Time(h.p.CopyPenaltyPerByte * float64(len(data)))
 				h.Counters.Inc("copy_bytes", uint64(len(data)))
 				execWorker().Core.Exec(cpu.NoOwner, cpu.KindBusy, icost+copyCost, func() {
-					out := h.bufPool().GetRaw(1 + len(data))
+					// Successful vol-reads answer [BlkOK][version:8][data]:
+					// the serving replica's extent version lets rebuild and
+					// heal copies stamp their target honestly.
+					out := h.bufPool().GetRaw(1 + virtio.VolReadVerSize + len(data))
 					out[0] = virtio.BlkOK
-					copy(out[1:], data)
+					binary.LittleEndian.PutUint64(out[1:], resp.Version)
+					copy(out[1+virtio.VolReadVerSize:], data)
 					h.respondBlk(src, hdr, out)
 					h.bufPool().PutRaw(out)
 				})

@@ -96,15 +96,28 @@ const (
 	BlkVolIn  = 9 // versioned replica read (BlkHdr + VolHdr + sector count)
 )
 
-// Block request status bytes. BlkStale is the vRIO volume extension: the
-// replica holds (or was asked to accept) an extent version older than the
-// one named in the request's VolHdr.
+// Block request status bytes. BlkStale and BlkGap are the vRIO volume
+// extension: BlkStale means the replica holds (or was asked to accept) an
+// extent version older than the one named in the request's VolHdr; BlkGap
+// means the replica rejected a sub-extent write because it provably missed
+// an earlier version (the write's version is more than one ahead of what
+// the replica holds) — the router must heal the replica with a full-extent
+// copy before it can accept partial writes again.
 const (
 	BlkOK     = 0
 	BlkIOErr  = 1
 	BlkUnsupp = 2
 	BlkStale  = 3
+	BlkGap    = 4
 )
+
+// VolReadVerSize is the length of the replica-version field that follows the
+// status byte on successful BlkVolIn responses: `[BlkOK][version:8][data]`.
+// The version is the serving replica's current version for the extent (always
+// at least the VolHdr's demanded minimum); rebuild and heal copies stamp
+// their target with it so a copy is never credited with a version whose
+// writes it might not hold.
+const VolReadVerSize = 8
 
 // BlkHdr is the virtio-blk request header (type, reserved, sector).
 type BlkHdr struct {
